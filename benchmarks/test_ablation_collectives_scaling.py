@@ -1,0 +1,55 @@
+"""Ablation: collective choice as the cluster scales.
+
+The paper's all-reduce-compatibility requirement rests on all-reduce scaling
+better than all-gather and parameter-server aggregation.  This ablation
+prices the same sparsified payload (b = 2 on the BERT-large gradient) under
+all four aggregation schemes while the cluster grows.
+"""
+
+from repro.collectives.cost_model import CollectiveCostModel
+from repro.simulator.cluster import scale_out_cluster
+from repro.training.workloads import bert_large_wikitext
+
+NODE_COUNTS = (2, 4, 8, 16)
+GPUS_PER_NODE = 4
+BITS_PER_COORDINATE = 2.0
+
+
+def run_collective_scaling():
+    workload = bert_large_wikitext()
+    payload_bits = BITS_PER_COORDINATE * workload.paper_num_coordinates
+    results = {}
+    for num_nodes in NODE_COUNTS:
+        cluster = scale_out_cluster(num_nodes=num_nodes, gpus_per_node=GPUS_PER_NODE)
+        model = CollectiveCostModel(cluster)
+        results[cluster.world_size] = {
+            "ring_allreduce": model.ring_allreduce(payload_bits).seconds,
+            "tree_allreduce": model.tree_allreduce(payload_bits).seconds,
+            "allgather": model.allgather(payload_bits).seconds,
+            "parameter_server": model.parameter_server(payload_bits).seconds,
+        }
+    return results
+
+
+def test_ablation_collectives_scaling(benchmark):
+    results = benchmark(run_collective_scaling)
+
+    print("\nCollective completion time (ms) for a b=2 BERT-large payload")
+    schemes = ["ring_allreduce", "tree_allreduce", "allgather", "parameter_server"]
+    print(f"{'GPUs':>6s} " + "".join(f"{name:>20s}" for name in schemes))
+    for world_size, times in results.items():
+        print(
+            f"{world_size:6d} "
+            + "".join(f"{times[name] * 1e3:20.2f}" for name in schemes)
+        )
+
+    smallest = results[min(results)]
+    largest = results[max(results)]
+    # Ring all-reduce stays nearly flat as the cluster grows...
+    assert largest["ring_allreduce"] < 1.3 * smallest["ring_allreduce"]
+    # ...while all-gather and the parameter server blow up roughly linearly.
+    assert largest["allgather"] > 4 * smallest["allgather"]
+    assert largest["parameter_server"] > 4 * smallest["parameter_server"]
+    # At every scale, ring all-reduce is the cheapest option.
+    for times in results.values():
+        assert times["ring_allreduce"] == min(times.values())

@@ -1,0 +1,64 @@
+"""Ablation: partial-rotation depth vs compression time and quantization error.
+
+The paper picks the rotation depth so one chunk fits in GPU shared memory.
+This sweep shows both sides of that choice: shallower rotations are cheaper
+but reduce the value range less (worse quantization), deeper rotations cost
+more global-memory traffic for diminishing error gains.
+"""
+
+import numpy as np
+
+from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
+from repro.compression.hadamard import HadamardRotation, depth_for_shared_memory
+from repro.core.metrics import vnmse
+from repro.experiments.common import bert_like_gradients, paper_context
+
+DEPTHS = (0, 4, 8, 15, None)  # None = full rotation
+
+
+def run_partial_rotation_sweep():
+    ctx = paper_context(seed=1)
+    generator = bert_like_gradients(1 << 15, seed=5)
+    gradients = generator.next_round(4)
+    true_mean = generator.true_mean(gradients)
+
+    results = {}
+    for depth in DEPTHS:
+        scheme = THCCompressor(
+            4,
+            rotation=RotationMode.FULL if depth is None else RotationMode.PARTIAL,
+            aggregation=AggregationMode.SATURATION,
+        )
+        # Override the automatic shared-memory depth with the sweep value.
+        if depth is not None:
+            scheme._make_rotation = (  # type: ignore[method-assign]
+                lambda ctx, _depth=depth: HadamardRotation(seed=7, depth=_depth)
+                if _depth > 0
+                else None
+            )
+        result = scheme.aggregate(gradients, ctx)
+        kernel_time = ctx.kernels.hadamard_time(345_000_000, depth)
+        results[depth] = (vnmse(result.mean_estimate, true_mean), kernel_time)
+    return results
+
+
+def test_ablation_partial_rotation(run_once):
+    results = run_once(run_partial_rotation_sweep)
+
+    shared_depth = depth_for_shared_memory(164 * 1024)
+    print("\nPartial-rotation ablation (THC q=4, saturation, BERT-like gradients)")
+    print(f"shared-memory depth on the modelled GPU: {shared_depth}")
+    print(f"{'depth':>8s} {'vNMSE':>10s} {'rotation kernel ms (345M coords)':>34s}")
+    for depth, (error, kernel_time) in results.items():
+        label = "full" if depth is None else str(depth)
+        print(f"{label:>8s} {error:10.4f} {kernel_time * 1e3:34.2f}")
+
+    errors = {depth: error for depth, (error, _) in results.items()}
+    times = {depth: kernel_time for depth, (_, kernel_time) in results.items()}
+    # No rotation has the worst quantization error; the shared-memory depth
+    # recovers most of the full rotation's error reduction...
+    assert errors[0] >= max(errors[15], errors[None]) * 0.9
+    assert errors[15] <= errors[0]
+    # ...at a lower kernel cost than the full rotation.
+    assert times[15] < times[None]
+    assert not np.isnan(list(errors.values())).any()

@@ -1,0 +1,48 @@
+"""Ablation: TopKC chunk size C trades selection quality against norm-stage cost.
+
+DESIGN.md calls out the chunk size as the scheme's central hyperparameter:
+small chunks localise the selection (lower error per aggregated coordinate)
+but spend more of the budget on the chunk-norm consensus stage; large chunks
+waste budget on uninteresting coordinates inside energetic chunks.
+"""
+
+import pytest
+
+from repro.compression.topkc import TopKChunkedCompressor
+from repro.experiments.common import bert_like_gradients, mean_vnmse, paper_context
+
+CHUNK_SIZES = (32, 64, 128, 512)
+BUDGET = 2.0
+
+
+def run_chunk_size_sweep():
+    ctx = paper_context(seed=0)
+    results = {}
+    for chunk_size in CHUNK_SIZES:
+        scheme = TopKChunkedCompressor(BUDGET, chunk_size=chunk_size)
+        error = mean_vnmse(
+            scheme, bert_like_gradients(1 << 16, seed=3), num_rounds=2, ctx=ctx
+        )
+        cost = scheme.estimate_costs(345_000_000, ctx)
+        results[chunk_size] = (error, cost)
+    return results
+
+
+def test_ablation_topkc_chunk_size(run_once):
+    results = run_once(run_chunk_size_sweep)
+
+    print("\nTopKC chunk-size ablation (b = 2, BERT-like gradients)")
+    print(f"{'C':>6s} {'vNMSE':>10s} {'selected bits/coord':>20s} {'comm ms':>10s}")
+    for chunk_size, (error, cost) in results.items():
+        print(
+            f"{chunk_size:6d} {error:10.4f} {cost.bits_per_coordinate:20.3f} "
+            f"{cost.communication_seconds * 1e3:10.2f}"
+        )
+
+    errors = {chunk: error for chunk, (error, _) in results.items()}
+    # All chunk sizes hit (approximately) the same wire budget...
+    for _, cost in results.values():
+        assert cost.bits_per_coordinate == pytest.approx(BUDGET, rel=0.1)
+    # ...and the paper's choice (C = 64) is not worse than the extremes.
+    assert errors[64] <= errors[512] * 1.05
+    assert errors[64] <= errors[32] * 1.25

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (assessment of prior systems)."""
+
+from repro.experiments import table1
+
+
+def test_table1_assessment(benchmark):
+    rows = benchmark(table1.run_table1)
+    print("\n" + table1.render_table1())
+
+    # Shape: 5 criteria x 8 systems, and no prior system clears the FP16 bar.
+    assert len(rows) == 6
+    fp16_row = rows[1]
+    assert all(cell == "X" for cell in fp16_row[1:])

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (baseline throughput by precision)."""
+
+from repro.experiments import table2
+
+
+def test_table2_baseline_throughput(benchmark):
+    rows = benchmark(table2.run_table2)
+    print("\n" + table2.render_table2(rows))
+
+    for row in rows:
+        throughput = row.rounds_per_second
+        # FP16 communication is the stronger baseline at either training precision.
+        assert throughput["TF32+FP16"] > throughput["TF32+FP32"]
+        assert throughput["FP32+FP16"] > throughput["FP32+FP32"]
+        # TF32 training beats FP32 training at either communication precision.
+        assert throughput["TF32+FP16"] > throughput["FP32+FP16"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (vNMSE of TopKC vs its permutation ablation)."""
+
+from repro.experiments import table4
+
+
+def test_table4_vnmse_permutation(run_once):
+    rows = run_once(table4.run_table4, num_coordinates=1 << 16, num_rounds=2)
+    print("\n" + table4.render_table4(rows))
+
+    # Shape: destroying spatial locality hurts at every bit budget, and the
+    # error decreases monotonically with the budget.
+    for row in rows:
+        assert row.topkc_permutation_vnmse > row.topkc_vnmse
+    errors = {row.bits_per_coordinate: row.topkc_vnmse for row in rows}
+    assert errors[8.0] < errors[2.0] < errors[0.5]

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 5 (throughput of TopK vs TopKC)."""
+
+from repro.experiments import table5
+
+
+def test_table5_topk_throughput(benchmark):
+    rows = benchmark(table5.run_table5)
+    print("\n" + table5.render_table5(rows))
+
+    # Shape: TopKC is faster than TopK at every budget on both workloads
+    # (up to ~2x in the paper), and the gap widens as b grows.
+    for row in rows:
+        assert 1.0 < row.speedup < 3.0
+    for workload in ("bert_large", "vgg19"):
+        speedups = {
+            row.bits_per_coordinate: row.speedup
+            for row in rows
+            if row.workload_name == workload
+        }
+        assert speedups[8.0] > speedups[0.5]

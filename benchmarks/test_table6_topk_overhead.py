@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 6 (TopK compression overhead)."""
+
+from repro.experiments import table6
+
+
+def test_table6_topk_overhead(benchmark):
+    rows = benchmark(table6.run_table6)
+    print("\n" + table6.render_table6(rows))
+
+    # Shape: TopK's compression kernels consume roughly a tenth of the round
+    # (the paper reports 8.2-12.5%); never negligible, never dominant.
+    for row in rows:
+        assert 0.05 < row.overhead_fraction < 0.25

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 7 (vNMSE of TopK vs TopKC)."""
+
+from repro.experiments import table7
+
+
+def test_table7_vnmse_topk(run_once):
+    rows = run_once(table7.run_table7, num_coordinates=1 << 16, num_rounds=2)
+    print("\n" + table7.render_table7(rows))
+
+    per_budget = {row.bits_per_coordinate: row for row in rows}
+    # Shape: TopKC matches or beats TopK at b = 2 and clearly wins at b = 8
+    # (J' > K plus spatial locality); errors shrink as the budget grows.
+    assert per_budget[2.0].topkc_vnmse <= per_budget[2.0].topk_vnmse * 1.05
+    assert per_budget[8.0].topkc_vnmse < per_budget[8.0].topk_vnmse
+    assert per_budget[8.0].topkc_vnmse < per_budget[0.5].topkc_vnmse

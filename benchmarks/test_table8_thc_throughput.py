@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 8 (THC throughput with saturation / rotation)."""
+
+from repro.experiments import table8
+
+
+def test_table8_thc_throughput(benchmark):
+    results = benchmark(table8.run_table8)
+    print("\n" + table8.render_table8(results))
+
+    saturation_rows, baseline_rows = results
+    baselines = {row.workload_name: row.baseline for row in baseline_rows}
+    for row in saturation_rows:
+        # Rotation cost ordering: none > partial > full (in rounds/s).
+        assert (
+            row.no_rotation.rounds_per_second
+            > row.partial_rotation.rounds_per_second
+            > row.full_rotation.rounds_per_second
+        )
+        # Saturation at b=q=4 beats the widened b=8 baseline adaptation.
+        if row.quantization_bits == 4:
+            assert (
+                row.full_rotation.rounds_per_second
+                > baselines[row.workload_name].rounds_per_second
+            )

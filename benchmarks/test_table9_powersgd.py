@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 9 (PowerSGD bits-per-coordinate and throughput)."""
+
+import pytest
+
+from repro.experiments import table9
+
+
+def test_table9_powersgd(benchmark):
+    rows = benchmark(table9.run_table9)
+    print("\n" + table9.render_table9(rows))
+
+    bert = {row.rank: row for row in rows if row.workload_name == "bert_large"}
+    vgg = {row.rank: row for row in rows if row.workload_name == "vgg19"}
+
+    # Bits-per-coordinate reproduce the paper's values closely (factor sizes
+    # are analytic): BERT 0.0797 / 0.217 / 0.764 / 2.95, VGG 0.0242 / ... / 1.36.
+    assert bert[1].bits_per_coordinate == pytest.approx(0.0797, rel=0.25)
+    assert bert[64].bits_per_coordinate == pytest.approx(2.95, rel=0.15)
+    assert vgg[64].bits_per_coordinate == pytest.approx(1.36, rel=0.15)
+
+    # Throughput drops substantially from r=1 to r=64 although communication
+    # stays tiny: the orthogonalization is the bottleneck.  (The paper sees
+    # 1.8-1.9x; the BERT model reproduces that, VGG's drop is milder here.)
+    assert bert[1].throughput.rounds_per_second > 1.5 * bert[64].throughput.rounds_per_second
+    assert vgg[1].throughput.rounds_per_second > 1.3 * vgg[64].throughput.rounds_per_second
+    assert bert[64].orthogonalization_bound

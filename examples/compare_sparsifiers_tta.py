@@ -1,0 +1,67 @@
+"""Scenario: should we deploy TopK or TopKC sparsification for a vision job?
+
+This reproduces the decision the paper's Figure 1 supports, end to end: train
+the VGG19-like workload with both sparsifiers at several bit budgets, plot
+the TTA curves, and report each configuration's utility against the FP16
+baseline.  The conclusion mirrors the paper: TopKC dominates TopK at equal
+bit budget, and the most aggressive budget (b = 0.5) maximises throughput but
+not utility.
+
+Run with:  python examples/compare_sparsifiers_tta.py [--rounds N]
+"""
+
+import argparse
+
+from repro.core import compute_utility
+from repro.core.evaluation import run_end_to_end
+from repro.core.reporting import format_float_table, render_curves
+from repro.training import vgg19_tinyimagenet
+
+SCHEMES = (
+    "baseline_fp16",
+    "baseline_fp32",
+    "topk_b8",
+    "topkc_b8",
+    "topk_b0.5",
+    "topkc_b0.5",
+)
+
+
+def main(num_rounds: int) -> None:
+    workload = vgg19_tinyimagenet()
+    results = {
+        name: run_end_to_end(name, workload, num_rounds=num_rounds, eval_every=20)
+        for name in SCHEMES
+    }
+
+    print(render_curves([r.curve for r in results.values()], title="TTA (VGG19-like workload)"))
+    print()
+
+    baseline_curve = results["baseline_fp16"].curve
+    rows = []
+    for name, result in results.items():
+        report = compute_utility(result.curve, baseline_curve)
+        rows.append(
+            [
+                name,
+                result.rounds_per_second,
+                result.bits_per_coordinate,
+                result.curve.best_value(),
+                report.mean_speedup() or float("nan"),
+                len(report.unreachable_targets),
+            ]
+        )
+    print(
+        format_float_table(
+            ["Scheme", "Rounds/s", "b", "Best acc.", "Speedup vs FP16", "Targets missed"],
+            rows,
+            title="Utility summary",
+            precision=3,
+        )
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=400, help="training rounds per scheme")
+    main(parser.parse_args().rounds)

@@ -1,0 +1,81 @@
+"""Scenario: judging compression by cost- and power-to-accuracy.
+
+The paper's conclusion suggests that time-to-accuracy may not be the final
+word: the dollars or joules spent to reach an accuracy can matter more.  This
+example trains the FP16 baseline and TopKC on two differently priced cluster
+configurations and shows how the winner can change when the metric switches
+from time to cost -- the exact framework extension the paper leaves as future
+work (implemented in ``repro.core.resource_metrics``).
+
+Run with:  python examples/cost_to_accuracy.py
+"""
+
+from repro.core import compute_utility
+from repro.core.evaluation import run_end_to_end
+from repro.core.reporting import format_float_table
+from repro.core.resource_metrics import ResourceModel, cost_to_accuracy, power_to_accuracy
+from repro.simulator.cluster import paper_testbed
+from repro.training import vgg19_tinyimagenet
+
+#: The premium cluster has faster networking priced in; the budget cluster is
+#: the same hardware model but billed (and powered) at a lower rate, standing
+#: in for spot/older instances.
+PREMIUM = ResourceModel(node_power_watts=1500.0, node_cost_per_hour=12.0)
+BUDGET = ResourceModel(node_power_watts=1100.0, node_cost_per_hour=5.0)
+
+
+def main() -> None:
+    workload = vgg19_tinyimagenet()
+    cluster = paper_testbed()
+    baseline = run_end_to_end("baseline_fp16", workload, num_rounds=250, eval_every=25)
+    topkc = run_end_to_end("topkc_b2", workload, num_rounds=250, eval_every=25)
+
+    target = baseline.curve.values[0] + 0.6 * (
+        baseline.curve.best_value() - baseline.curve.values[0]
+    )
+
+    rows = []
+    for label, result, resources in (
+        ("baseline_fp16 on premium nodes", baseline, PREMIUM),
+        ("topkc_b2 on budget nodes", topkc, BUDGET),
+    ):
+        time_curve = result.curve
+        cost_curve = cost_to_accuracy(time_curve, cluster, resources)
+        energy_curve = power_to_accuracy(time_curve, cluster, resources)
+        rows.append(
+            [
+                label,
+                time_curve.time_to_target(target) or float("nan"),
+                cost_curve.time_to_target(target) or float("nan"),
+                (energy_curve.time_to_target(target) or float("nan")) / 3.6e6,
+            ]
+        )
+
+    print(
+        format_float_table(
+            ["Configuration", f"Time to {target:.2f} acc (s)", "Cost (units)", "Energy (kWh)"],
+            rows,
+            title="Time vs cost vs energy to the same accuracy target",
+            precision=4,
+        )
+    )
+
+    time_report = compute_utility(topkc.curve, baseline.curve, targets=[target])
+    cost_report = compute_utility(
+        cost_to_accuracy(topkc.curve, cluster, BUDGET),
+        cost_to_accuracy(baseline.curve, cluster, PREMIUM),
+        targets=[target],
+    )
+    print(
+        f"\nSpeedup of TopKC over FP16 at the target:  "
+        f"time {time_report.speedups[0]:.2f}x,  cost {cost_report.speedups[0]:.2f}x"
+    )
+    print(
+        "The cost advantage exceeds the time advantage because the compressed "
+        "run also tolerates the cheaper nodes -- the kind of conclusion TTA "
+        "alone cannot express."
+    )
+
+
+if __name__ == "__main__":
+    main()

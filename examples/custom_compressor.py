@@ -1,0 +1,106 @@
+"""Scenario: plug a new compression scheme into the evaluation framework.
+
+The paper's methodological point is that *any* new scheme should be evaluated
+by its end-to-end utility against the FP16 baseline.  This example shows the
+extension path: implement the :class:`AggregationScheme` interface for a
+simple new scheme (random-block sparsification, a common strawman), register
+it, and run it through exactly the same utility evaluation as the built-in
+schemes.
+
+Run with:  python examples/custom_compressor.py
+"""
+
+import numpy as np
+
+from repro.collectives.ops import SumOp
+from repro.compression import SimContext, register_scheme
+from repro.compression.base import AggregationResult, AggregationScheme, CostEstimate
+from repro.core import compute_utility
+from repro.core.evaluation import run_end_to_end
+from repro.simulator.timeline import PHASE_COMMUNICATION, PHASE_COMPRESSION
+from repro.training import vgg19_tinyimagenet
+
+
+class RandomBlockCompressor(AggregationScheme):
+    """Aggregate one randomly chosen block of coordinates per round.
+
+    All workers agree on the block via a shared round counter, so the scheme
+    is trivially all-reduce compatible; unlike TopKC it ignores gradient
+    energy entirely, which is exactly why its utility should be worse.
+    """
+
+    def __init__(self, bits_per_coordinate: float = 2.0):
+        if bits_per_coordinate <= 0:
+            raise ValueError("bits_per_coordinate must be positive")
+        self.bits_per_coordinate = float(bits_per_coordinate)
+        self.name = f"randomblock_b{bits_per_coordinate:g}"
+        self._round = 0
+
+    def _block(self, num_coordinates: int, rng: np.random.Generator) -> np.ndarray:
+        keep = max(1, int(num_coordinates * self.bits_per_coordinate / 16.0))
+        start = int(rng.integers(0, max(1, num_coordinates - keep)))
+        return np.arange(start, min(num_coordinates, start + keep))
+
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        del num_coordinates, world_size
+        return self.bits_per_coordinate
+
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        keep = max(1, int(num_coordinates * self.bits_per_coordinate / 16.0))
+        communication = ctx.backend.cost_model.ring_allreduce(keep * 16.0).seconds
+        compression = ctx.kernels.chunk_gather_time(keep)
+        return CostEstimate(compression, communication, self.bits_per_coordinate)
+
+    def aggregate(self, worker_gradients, ctx: SimContext) -> AggregationResult:
+        d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        block = self._block(d, np.random.default_rng(self._round))
+        self._round += 1
+
+        payloads = [g[block].astype(np.float16).astype(np.float32) for g in worker_gradients]
+        reduce_result = ctx.backend.allreduce(payloads, wire_bits_per_value=16.0, op=SumOp())
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:gather", ctx.kernels.chunk_gather_time(block.size))
+        ctx.add_time(PHASE_COMMUNICATION, f"{self.name}:allreduce", reduce_result.cost.seconds)
+
+        mean = np.zeros(d, dtype=np.float32)
+        mean[block] = np.asarray(reduce_result.aggregate) / ctx.world_size
+        transmitted = []
+        for payload in payloads:
+            dense = np.zeros(d, dtype=np.float32)
+            dense[block] = payload
+            transmitted.append(dense)
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=self.bits_per_coordinate,
+            per_worker_transmitted=transmitted,
+            communication_seconds=reduce_result.cost.seconds,
+        )
+
+
+def main() -> None:
+    register_scheme("randomblock_b2", lambda: RandomBlockCompressor(2.0))
+
+    workload = vgg19_tinyimagenet()
+    baseline = run_end_to_end("baseline_fp16", workload, num_rounds=250, eval_every=25)
+    topkc = run_end_to_end("topkc_b2", workload, num_rounds=250, eval_every=25)
+    custom = run_end_to_end(
+        "randomblock_b2", workload, num_rounds=250, eval_every=25, error_feedback=True
+    )
+
+    print(f"{'scheme':18s} {'rounds/s':>9s} {'best acc':>9s} {'speedup vs FP16':>16s}")
+    for result in (baseline, topkc, custom):
+        report = compute_utility(result.curve, baseline.curve)
+        speedup = report.mean_speedup()
+        print(
+            f"{result.scheme_name:18s} {result.rounds_per_second:9.2f} "
+            f"{result.curve.best_value():9.3f} "
+            f"{speedup if speedup is not None else float('nan'):16.2f}"
+        )
+    print(
+        "\nThe energy-blind random-block scheme matches TopKC's throughput but has "
+        "worse accuracy at the same budget -- the utility framework makes that "
+        "visible immediately."
+    )
+
+
+if __name__ == "__main__":
+    main()

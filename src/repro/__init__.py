@@ -1,0 +1,26 @@
+"""Reproduction of "Beyond Throughput and Compression Ratios: Towards High
+End-to-end Utility of Gradient Compression" (HotNets 2024).
+
+The package is organised by subsystem:
+
+* :mod:`repro.simulator` -- GPU/NIC timing models (the testbed stand-in).
+* :mod:`repro.collectives` -- functional + priced collective communication.
+* :mod:`repro.compression` -- the compression schemes of the case study.
+* :mod:`repro.training` -- the distributed data-parallel training substrate.
+* :mod:`repro.core` -- the utility-centric evaluation framework (TTA, vNMSE,
+  FP16-baseline utility), the paper's primary methodological contribution.
+* :mod:`repro.experiments` -- drivers that regenerate every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.compression import available_schemes, make_scheme
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+
+__all__ = [
+    "__version__",
+    "available_schemes",
+    "make_scheme",
+    "ClusterSpec",
+    "paper_testbed",
+]

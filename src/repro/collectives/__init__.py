@@ -1,0 +1,39 @@
+"""Collective communication substrate.
+
+The paper's prototypes aggregate gradients with NCCL collectives (ring and
+tree all-reduce, all-gather) or a parameter server.  This package provides a
+functional + timed simulation of those aggregation schemes:
+
+* *functional*: given one NumPy vector per worker, each collective actually
+  steps through its algorithm and returns the aggregated result every worker
+  would hold, applying the reduction operator at intermediate hops exactly as
+  a real all-reduce would.  This matters because the paper's saturation-based
+  aggregation (section 3.2.2) is a *non-associative-in-precision* per-hop
+  operation -- applying it hop by hop is what the scheme actually does.
+* *timed*: an alpha-beta cost model turns the per-worker payload size into a
+  simulated collective completion time on a :class:`~repro.simulator.ClusterSpec`.
+"""
+
+from repro.collectives.ops import ReduceOp, SumOp, SaturatingSumOp, MaxOp, MeanOp
+from repro.collectives.cost_model import CollectiveCostModel, CollectiveCost
+from repro.collectives.topology import RingTopology, TreeTopology
+from repro.collectives.api import (
+    Collective,
+    CollectiveBackend,
+    CollectiveResult,
+)
+
+__all__ = [
+    "ReduceOp",
+    "SumOp",
+    "SaturatingSumOp",
+    "MaxOp",
+    "MeanOp",
+    "CollectiveCostModel",
+    "CollectiveCost",
+    "RingTopology",
+    "TreeTopology",
+    "Collective",
+    "CollectiveBackend",
+    "CollectiveResult",
+]

@@ -1,0 +1,31 @@
+"""Functional all-gather.
+
+All-gather does not reduce anything: every worker receives every other
+worker's payload verbatim and performs the aggregation locally.  This is the
+collective that sparsification schemes such as TopK typically rely on
+(each worker's selected coordinates differ, so their payloads cannot be summed
+in flight), and it is the source of the (n-1)x traffic blow-up the paper
+contrasts with all-reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def allgather(worker_payloads: list[np.ndarray]) -> list[np.ndarray]:
+    """Return the list of payloads every worker ends up holding.
+
+    Payloads may have different shapes (e.g. different numbers of selected
+    coordinates per worker), which is precisely why they cannot be reduced by
+    the network.
+    """
+    if not worker_payloads:
+        raise ValueError("need at least one worker payload")
+    return [np.array(payload, copy=True) for payload in worker_payloads]
+
+
+def allgather_concat(worker_payloads: list[np.ndarray]) -> np.ndarray:
+    """Convenience: the gathered payloads concatenated into one array."""
+    gathered = allgather(worker_payloads)
+    return np.concatenate([payload.ravel() for payload in gathered])

@@ -1,0 +1,141 @@
+"""Unified collective backend: functional result + simulated cost in one call.
+
+:class:`CollectiveBackend` is what the DDP trainer and the experiments talk
+to.  Each call takes the per-worker payloads (NumPy arrays) plus the number of
+*wire bits per value*, performs the collective functionally, and prices it on
+the configured cluster with the alpha-beta cost model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collectives.allgather import allgather
+from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
+from repro.collectives.ops import ReduceOp, SumOp
+from repro.collectives.parameter_server import ParameterServer
+from repro.collectives.ring import ring_allreduce
+from repro.collectives.tree import tree_allreduce
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+
+
+class Collective(enum.Enum):
+    """Aggregation schemes the paper discusses."""
+
+    RING_ALLREDUCE = "ring_allreduce"
+    TREE_ALLREDUCE = "tree_allreduce"
+    ALLGATHER = "allgather"
+    PARAMETER_SERVER = "parameter_server"
+
+    @property
+    def is_allreduce(self) -> bool:
+        """Whether this collective reduces payloads in flight."""
+        return self in (Collective.RING_ALLREDUCE, Collective.TREE_ALLREDUCE)
+
+
+@dataclass(frozen=True)
+class CollectiveResult:
+    """Outcome of one collective invocation.
+
+    Attributes:
+        aggregate: The reduced vector every worker holds (all-reduce / PS), or
+            None for all-gather, where aggregation happens at the caller.
+        gathered: The list of gathered payloads (all-gather only).
+        cost: Simulated communication cost.
+    """
+
+    aggregate: np.ndarray | None
+    gathered: list[np.ndarray] | None
+    cost: CollectiveCost
+
+
+class CollectiveBackend:
+    """Performs and prices collectives on a simulated cluster."""
+
+    def __init__(self, cluster: ClusterSpec | None = None):
+        self.cluster = cluster or paper_testbed()
+        self.cost_model = CollectiveCostModel(self.cluster)
+
+    @property
+    def world_size(self) -> int:
+        """Number of workers participating in every collective."""
+        return self.cluster.world_size
+
+    # ------------------------------------------------------------------ #
+    def allreduce(
+        self,
+        worker_vectors: list[np.ndarray],
+        *,
+        wire_bits_per_value: float,
+        op: ReduceOp | None = None,
+        collective: Collective = Collective.RING_ALLREDUCE,
+    ) -> CollectiveResult:
+        """All-reduce the per-worker vectors and price the transfer.
+
+        Args:
+            worker_vectors: One equally shaped vector per worker.
+            wire_bits_per_value: How many bits one vector element occupies on
+                the wire (16 for FP16 payloads, ``b`` for b-bit integers...).
+            op: Reduction operator; defaults to a plain sum.
+            collective: Ring (default) or tree schedule.
+        """
+        self._check_world(worker_vectors)
+        op = op or SumOp()
+        payload_bits = worker_vectors[0].size * wire_bits_per_value
+        if collective is Collective.RING_ALLREDUCE:
+            aggregate = ring_allreduce(worker_vectors, op)
+            cost = self.cost_model.ring_allreduce(payload_bits)
+        elif collective is Collective.TREE_ALLREDUCE:
+            aggregate = tree_allreduce(worker_vectors, op)
+            cost = self.cost_model.tree_allreduce(payload_bits)
+        else:
+            raise ValueError(f"{collective} is not an all-reduce collective")
+        return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)
+
+    def allgather(
+        self,
+        worker_payloads: list[np.ndarray],
+        *,
+        wire_bits_per_value: float,
+    ) -> CollectiveResult:
+        """All-gather arbitrary (possibly unequal-sized) per-worker payloads."""
+        if len(worker_payloads) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} payloads, got {len(worker_payloads)}"
+            )
+        gathered = allgather(worker_payloads)
+        max_payload_bits = max(p.size for p in worker_payloads) * wire_bits_per_value
+        cost = self.cost_model.allgather(max_payload_bits)
+        return CollectiveResult(aggregate=None, gathered=gathered, cost=cost)
+
+    def parameter_server(
+        self,
+        worker_vectors: list[np.ndarray],
+        *,
+        wire_bits_per_value: float,
+        downlink_bits_per_value: float | None = None,
+        op: ReduceOp | None = None,
+        num_servers: int = 1,
+    ) -> CollectiveResult:
+        """Aggregate at a (sharded) parameter server and broadcast the result."""
+        self._check_world(worker_vectors)
+        server = ParameterServer(num_shards=num_servers)
+        aggregate = server.aggregate(worker_vectors, op or SumOp())
+        payload_bits = worker_vectors[0].size * wire_bits_per_value
+        downlink_bits = None
+        if downlink_bits_per_value is not None:
+            downlink_bits = worker_vectors[0].size * downlink_bits_per_value
+        cost = self.cost_model.parameter_server(
+            payload_bits, downlink_bits=downlink_bits, num_servers=num_servers
+        )
+        return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)
+
+    # ------------------------------------------------------------------ #
+    def _check_world(self, worker_vectors: list[np.ndarray]) -> None:
+        if len(worker_vectors) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} worker vectors, got {len(worker_vectors)}"
+            )

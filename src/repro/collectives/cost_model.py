@@ -1,0 +1,182 @@
+"""Alpha-beta cost model for collective operations.
+
+The paper measures communication overhead "in terms of the all-reduce input
+size, in bits per coordinate" and notes that ring all-reduce moves roughly
+``2 b`` bits per coordinate (reduce-scatter plus all-gather), while all-gather
+and parameter-server aggregation move ``(n - 1) b`` and ``n b`` bits through a
+bottleneck link respectively.  The cost model turns a per-worker payload size
+into a simulated completion time using the standard alpha-beta formulation:
+each of the algorithm's steps costs one link latency (alpha) plus the message
+size divided by the bottleneck bandwidth (beta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """The priced outcome of one collective invocation.
+
+    Attributes:
+        seconds: Simulated completion time.
+        bits_sent_per_worker: Bits each worker pushes into the network.
+        bits_on_bottleneck: Bits that traverse the most-loaded link (the
+            quantity that actually limits scalability).
+        steps: Number of communication steps in the schedule.
+    """
+
+    seconds: float
+    bits_sent_per_worker: float
+    bits_on_bottleneck: float
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.bits_sent_per_worker < 0 or self.bits_on_bottleneck < 0:
+            raise ValueError("cost components must be non-negative")
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Prices collective schedules on a physical cluster.
+
+    The model assumes the inter-node link is the bottleneck whenever the
+    cluster spans several nodes (true for the paper's testbed, where NVLink is
+    an order of magnitude faster than the 100 Gbps NIC).
+    """
+
+    cluster: ClusterSpec
+
+    def _alpha_beta(self) -> tuple[float, float]:
+        """Return (latency per step, seconds per bit) of the bottleneck link."""
+        if self.cluster.num_nodes > 1:
+            nic = self.cluster.inter_node_nic
+        else:
+            nic = self.cluster.intra_node_nic
+        return nic.latency_s, 1.0 / (nic.effective_bandwidth_gbps(1) * 1e9)
+
+    # ------------------------------------------------------------------ #
+    # All-reduce family
+    # ------------------------------------------------------------------ #
+    def ring_allreduce(self, payload_bits: float) -> CollectiveCost:
+        """Ring all-reduce of a ``payload_bits``-sized vector per worker.
+
+        2(n-1) steps of ``payload / n``-sized blocks; every worker sends and
+        receives ``2 (n-1)/n * payload`` bits in total.
+        """
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        alpha, beta = self._alpha_beta()
+        block_bits = payload_bits / n
+        steps = 2 * (n - 1)
+        seconds = steps * (alpha + block_bits * beta)
+        sent = steps * block_bits
+        return CollectiveCost(seconds, sent, sent, steps)
+
+    def tree_allreduce(self, payload_bits: float) -> CollectiveCost:
+        """Binary-tree all-reduce: reduce to the root, then broadcast down.
+
+        Each of the 2*depth steps moves the full payload over one link.
+        """
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        alpha, beta = self._alpha_beta()
+        depth = max(1, (n - 1).bit_length())
+        steps = 2 * depth
+        seconds = steps * (alpha + payload_bits * beta)
+        # An interior worker forwards the payload up and down once each.
+        sent = 2.0 * payload_bits
+        return CollectiveCost(seconds, sent, 2.0 * payload_bits, steps)
+
+    def reduce_scatter(self, payload_bits: float) -> CollectiveCost:
+        """Ring reduce-scatter: (n-1) steps of payload/n blocks."""
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        alpha, beta = self._alpha_beta()
+        block_bits = payload_bits / n
+        steps = n - 1
+        seconds = steps * (alpha + block_bits * beta)
+        sent = steps * block_bits
+        return CollectiveCost(seconds, sent, sent, steps)
+
+    # ------------------------------------------------------------------ #
+    # All-gather and parameter server
+    # ------------------------------------------------------------------ #
+    def allgather(self, payload_bits: float) -> CollectiveCost:
+        """Ring all-gather: every worker ends up with all n payloads.
+
+        Each worker sends its own payload (n-1) times (forwarding neighbours'
+        blocks), so the traffic grows linearly with the number of workers --
+        the scalability drawback the paper contrasts with all-reduce.
+        """
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        alpha, beta = self._alpha_beta()
+        steps = n - 1
+        seconds = steps * (alpha + payload_bits * beta)
+        sent = steps * payload_bits
+        return CollectiveCost(seconds, sent, sent, steps)
+
+    def parameter_server(
+        self, payload_bits: float, *, downlink_bits: float | None = None, num_servers: int = 1
+    ) -> CollectiveCost:
+        """Centralised parameter-server aggregation.
+
+        All n workers upload their payload to the server(s) and download the
+        aggregate.  The server-side link carries ``n * payload`` bits each
+        way (divided across ``num_servers`` for a sharded/co-located PS), and
+        the NIC's connection-scalability penalty applies because the server
+        maintains a connection per worker -- the many-to-one pattern the paper
+        calls out.
+        """
+        self._check_payload(payload_bits)
+        if num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        if downlink_bits is None:
+            downlink_bits = payload_bits
+        nic = (
+            self.cluster.inter_node_nic
+            if self.cluster.num_nodes > 1
+            else self.cluster.intra_node_nic
+        )
+        alpha = nic.latency_s
+        per_server_workers = max(1, -(-n // num_servers))
+        bandwidth_bps = nic.effective_bandwidth_gbps(per_server_workers) * 1e9
+        upload_bits = n * payload_bits / num_servers
+        download_bits = n * downlink_bits / num_servers
+        seconds = 2 * alpha + (upload_bits + download_bits) / bandwidth_bps
+        bottleneck = upload_bits + download_bits
+        return CollectiveCost(seconds, payload_bits + downlink_bits, bottleneck, 2)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def bits_per_coordinate(payload_bits: float, num_coordinates: int) -> float:
+        """The paper's ``b`` metric: all-reduce input bits per gradient coordinate."""
+        if num_coordinates <= 0:
+            raise ValueError("num_coordinates must be positive")
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be non-negative")
+        return payload_bits / num_coordinates
+
+    @staticmethod
+    def _check_payload(payload_bits: float) -> None:
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be non-negative")

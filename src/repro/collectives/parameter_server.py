@@ -1,0 +1,45 @@
+"""Functional parameter-server aggregation.
+
+A (possibly sharded) parameter server receives every worker's payload,
+reduces them centrally with full-width arithmetic, and broadcasts the result.
+Because the PS is the final destination of the aggregation it can always
+"allocate more bits on the server to prevent overflows" (paper section 3.2.1)
+-- which is why quantization schemes like THC were originally designed for
+this architecture and why making them all-reduce compatible needs extra work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import ReduceOp, SumOp
+
+
+class ParameterServer:
+    """A centralised aggregator over ``num_shards`` server processes.
+
+    Sharding splits the gradient coordinate space evenly across servers (the
+    "co-located PS" mode the paper mentions reduces per-node load the same
+    way); it does not change the aggregate, only the cost model.
+    """
+
+    def __init__(self, num_shards: int = 1):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def aggregate(
+        self, worker_vectors: list[np.ndarray], op: ReduceOp | None = None
+    ) -> np.ndarray:
+        """Reduce all worker vectors at the server and return the aggregate."""
+        op = op or SumOp()
+        if not worker_vectors:
+            raise ValueError("need at least one worker vector")
+        shape = worker_vectors[0].shape
+        for vec in worker_vectors[1:]:
+            if vec.shape != shape:
+                raise ValueError("all worker vectors must have the same shape")
+        accumulator = np.array(worker_vectors[0], copy=True)
+        for vec in worker_vectors[1:]:
+            accumulator = op.combine(accumulator, vec)
+        return op.finalize(accumulator, len(worker_vectors))

@@ -1,0 +1,11 @@
+"""Reduce-scatter entry point.
+
+The ring all-reduce is built from a reduce-scatter followed by an all-gather;
+this module exposes the reduce-scatter half on its own for callers (and
+tests) that want the per-block reduced result, e.g. to model schemes that
+shard the optimizer state.
+"""
+
+from repro.collectives.ring import ring_reduce_scatter, split_blocks
+
+__all__ = ["ring_reduce_scatter", "split_blocks"]

@@ -1,0 +1,109 @@
+"""Logical topologies used by the collective algorithms.
+
+NCCL builds rings and trees over the physical cluster; the paper's argument
+about all-reduce scalability rests on the structure of those schedules (no
+many-to-one hotspots, O(1) or O(log n) rounds of bounded-size messages).
+These classes describe the logical schedule; the cost model consults the
+physical :class:`~repro.simulator.ClusterSpec` to price each hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulator.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class RingTopology:
+    """A directed ring over all workers, in rank order.
+
+    Rank r sends to ``(r + 1) % n`` and receives from ``(r - 1) % n``.
+    """
+
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+
+    def next_rank(self, rank: int) -> int:
+        """The downstream neighbour of ``rank``."""
+        self._check(rank)
+        return (rank + 1) % self.world_size
+
+    def prev_rank(self, rank: int) -> int:
+        """The upstream neighbour of ``rank``."""
+        self._check(rank)
+        return (rank - 1) % self.world_size
+
+    def hops(self) -> list[tuple[int, int]]:
+        """All (sender, receiver) pairs in the ring."""
+        return [(r, self.next_rank(r)) for r in range(self.world_size)]
+
+    def crosses_nodes(self, cluster: ClusterSpec) -> bool:
+        """Whether any hop of the ring traverses the inter-node network."""
+        if cluster.world_size != self.world_size:
+            raise ValueError("cluster world size does not match topology")
+        if self.world_size == 1:
+            return False
+        return any(not cluster.same_node(a, b) for a, b in self.hops())
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+
+
+@dataclass(frozen=True)
+class TreeTopology:
+    """A binary reduction tree over all workers, rooted at rank 0.
+
+    Worker r's parent is ``(r - 1) // 2``; the reduce phase walks leaves to
+    root and the broadcast phase walks root to leaves.
+    """
+
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if self.world_size < 1:
+            raise ValueError("world_size must be >= 1")
+
+    def parent(self, rank: int) -> int | None:
+        """Parent of ``rank`` in the tree, or None for the root."""
+        self._check(rank)
+        if rank == 0:
+            return None
+        return (rank - 1) // 2
+
+    def children(self, rank: int) -> list[int]:
+        """Children of ``rank`` in the tree (zero, one, or two)."""
+        self._check(rank)
+        kids = [2 * rank + 1, 2 * rank + 2]
+        return [k for k in kids if k < self.world_size]
+
+    def depth(self) -> int:
+        """Number of levels below the root (0 for a single worker)."""
+        depth = 0
+        frontier = [0]
+        while True:
+            next_frontier = [c for r in frontier for c in self.children(r)]
+            if not next_frontier:
+                return depth
+            frontier = next_frontier
+            depth += 1
+
+    def reduce_order(self) -> list[int]:
+        """Ranks in the order their contribution reaches the root (post-order)."""
+        order: list[int] = []
+
+        def visit(rank: int) -> None:
+            for child in self.children(rank):
+                visit(child)
+            order.append(rank)
+
+        visit(0)
+        return order
+
+    def _check(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")

@@ -1,0 +1,38 @@
+"""Functional tree all-reduce.
+
+Contributions are combined bottom-up along a binary tree (post-order), so --
+as in the ring implementation -- a non-associative operator such as the
+paper's saturating sum is applied per hop in a realistic order.  The root's
+result is then broadcast back down unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.ops import ReduceOp, SumOp
+from repro.collectives.topology import TreeTopology
+
+
+def tree_allreduce(
+    worker_vectors: list[np.ndarray], op: ReduceOp | None = None
+) -> np.ndarray:
+    """Tree all-reduce: every worker obtains the reduced vector."""
+    op = op or SumOp()
+    if not worker_vectors:
+        raise ValueError("need at least one worker vector")
+    shape = worker_vectors[0].shape
+    for vec in worker_vectors[1:]:
+        if vec.shape != shape:
+            raise ValueError("all worker vectors must have the same shape")
+
+    topology = TreeTopology(world_size=len(worker_vectors))
+
+    def reduce_subtree(rank: int) -> np.ndarray:
+        accumulator = np.array(worker_vectors[rank], copy=True)
+        for child in topology.children(rank):
+            accumulator = op.combine(accumulator, reduce_subtree(child))
+        return accumulator
+
+    aggregate = reduce_subtree(0)
+    return op.finalize(aggregate, len(worker_vectors))

@@ -1,0 +1,177 @@
+"""Common interface for gradient aggregation schemes.
+
+The unit the paper reasons about is not "compress one vector" but "aggregate
+the workers' gradients through the network and come back with an estimate of
+their mean".  Different schemes use different protocols for that -- a single
+FP16 ring all-reduce, an all-gather of (value, index) pairs, a two-stage
+chunk-norm consensus, a saturating integer all-reduce, two low-rank
+all-reduces -- and the protocol determines both the error and the cost.
+
+:class:`AggregationScheme` is that protocol abstraction.  Each scheme:
+
+* aggregates the per-worker gradients functionally (NumPy in, NumPy out);
+* records the simulated time of its compression kernels and collective calls
+  on the :class:`~repro.simulator.RoundTimeline` inside the
+  :class:`SimContext`;
+* reports the bits per coordinate ``b`` it put on the wire, the paper's
+  communication-volume metric.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collectives.api import CollectiveBackend
+from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.timeline import RoundTimeline
+
+
+@dataclass
+class SimContext:
+    """Everything a scheme needs to aggregate gradients in simulation.
+
+    Attributes:
+        backend: The collective communication backend (functional + priced).
+        kernels: Per-kernel GPU cost model used to price compression work.
+        rng: Source of randomness (stochastic rounding, rotation seeds...).
+        timeline: Optional per-round timeline; when present, schemes record
+            their compression/communication time on it.
+    """
+
+    backend: CollectiveBackend
+    kernels: KernelCostModel = field(default_factory=KernelCostModel)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    timeline: RoundTimeline | None = None
+
+    @property
+    def world_size(self) -> int:
+        """Number of workers whose gradients are aggregated."""
+        return self.backend.world_size
+
+    def add_time(self, phase: str, label: str, seconds: float) -> None:
+        """Record simulated time if a timeline is attached (no-op otherwise)."""
+        if self.timeline is not None:
+            self.timeline.add(phase, label, seconds)
+
+
+@dataclass(frozen=True)
+class AggregationResult:
+    """What one aggregation round produced.
+
+    Attributes:
+        mean_estimate: The scheme's estimate of the mean of the worker
+            gradients (what the optimizer will apply).
+        bits_per_coordinate: Communication volume ``b``: all-reduce (or
+            all-gather / PS) input bits per gradient coordinate, summed over
+            all communication stages of the protocol.
+        per_worker_transmitted: For error feedback -- what each worker's own
+            contribution became after compression, expressed in the original
+            gradient space.  ``None`` when the scheme is lossless from the
+            worker's perspective (precision baselines) or when the notion
+            does not apply.
+        communication_seconds: Simulated time of all collective calls.
+        compression_seconds: Simulated time of all compression and
+            decompression kernels (one worker's critical path).
+    """
+
+    mean_estimate: np.ndarray
+    bits_per_coordinate: float
+    per_worker_transmitted: list[np.ndarray] | None = None
+    communication_seconds: float = 0.0
+    compression_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bits_per_coordinate < 0:
+            raise ValueError("bits_per_coordinate must be non-negative")
+        if self.communication_seconds < 0 or self.compression_seconds < 0:
+            raise ValueError("times must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Analytic per-round cost of a scheme on a ``d``-coordinate gradient.
+
+    Used for the paper-scale throughput tables (BERT-large has 345M
+    coordinates; pricing a round does not require materialising a vector of
+    that size).
+
+    Attributes:
+        compression_seconds: Compression + decompression kernel time on one
+            worker's critical path.
+        communication_seconds: Collective completion time, all stages summed.
+        bits_per_coordinate: Wire volume ``b`` of the protocol.
+    """
+
+    compression_seconds: float
+    communication_seconds: float
+    bits_per_coordinate: float
+
+    def __post_init__(self) -> None:
+        if min(self.compression_seconds, self.communication_seconds) < 0:
+            raise ValueError("times must be non-negative")
+        if self.bits_per_coordinate < 0:
+            raise ValueError("bits_per_coordinate must be non-negative")
+
+    @property
+    def total_seconds(self) -> float:
+        """Compression plus communication time (no training compute)."""
+        return self.compression_seconds + self.communication_seconds
+
+
+class AggregationScheme(abc.ABC):
+    """A gradient aggregation protocol (compression + collective)."""
+
+    #: Short identifier used in experiment tables and the registry.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def aggregate(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> AggregationResult:
+        """Aggregate one gradient per worker into a mean estimate.
+
+        Implementations must not modify the input gradients.
+        """
+
+    @abc.abstractmethod
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        """The analytic ``b`` this scheme puts on the wire for a ``d``-sized gradient."""
+
+    @abc.abstractmethod
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        """Price one aggregation round analytically, without gradient data.
+
+        This is how the paper-scale throughput tables are produced: the
+        kernel and collective cost models are evaluated at the real model
+        size (hundreds of millions of coordinates) even though the functional
+        simulation runs on smaller gradients.
+        """
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in reports)."""
+        return self.name
+
+    # ------------------------------------------------------------------ #
+    # Shared validation helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_gradients(
+        worker_gradients: list[np.ndarray], world_size: int
+    ) -> tuple[int, np.dtype]:
+        """Check shapes/ranks and return (num_coordinates, dtype)."""
+        if len(worker_gradients) != world_size:
+            raise ValueError(
+                f"expected {world_size} worker gradients, got {len(worker_gradients)}"
+            )
+        first = worker_gradients[0]
+        if first.ndim != 1:
+            raise ValueError("gradients must be flat 1-D vectors")
+        for grad in worker_gradients[1:]:
+            if grad.shape != first.shape:
+                raise ValueError("all worker gradients must have the same shape")
+        if first.size == 0:
+            raise ValueError("gradients must be non-empty")
+        return first.size, first.dtype

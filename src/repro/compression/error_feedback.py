@@ -1,0 +1,99 @@
+"""Error feedback (EF) for biased gradient compressors.
+
+Error feedback accumulates, on every worker, the part of the gradient the
+compressor dropped this round and adds it back to the next round's gradient
+before compressing again.  The paper applies EF to both TopK and TopKC (it is
+what lets aggressive sparsifiers converge at all), and PowerSGD ships with it
+by default.
+
+The wrapper delegates aggregation to any :class:`AggregationScheme` and uses
+the scheme's ``per_worker_transmitted`` report to update the residuals:
+
+    residual_i  <-  (gradient_i + residual_i) - transmitted_i
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    AggregationResult,
+    AggregationScheme,
+    CostEstimate,
+    SimContext,
+)
+
+
+class ErrorFeedback(AggregationScheme):
+    """Wrap a compression scheme with per-worker error-feedback residuals.
+
+    Args:
+        scheme: The underlying aggregation scheme.
+        decay: Multiplicative decay applied to the residual each round
+            (1.0 = classic error feedback; values below 1 forget stale error).
+    """
+
+    def __init__(self, scheme: AggregationScheme, *, decay: float = 1.0):
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        self.scheme = scheme
+        self.decay = decay
+        self._residuals: list[np.ndarray] | None = None
+        self.name = f"ef({scheme.name})"
+
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        return self.scheme.expected_bits_per_coordinate(num_coordinates, world_size)
+
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        """EF adds one elementwise residual update to the wrapped scheme's cost."""
+        inner = self.scheme.estimate_costs(num_coordinates, ctx)
+        residual_update = 2 * ctx.kernels.elementwise_sum_time(num_coordinates)
+        return CostEstimate(
+            compression_seconds=inner.compression_seconds + residual_update,
+            communication_seconds=inner.communication_seconds,
+            bits_per_coordinate=inner.bits_per_coordinate,
+        )
+
+    def reset_state(self) -> None:
+        """Clear the residuals (e.g. between independent experiments)."""
+        self._residuals = None
+        if hasattr(self.scheme, "reset_state"):
+            self.scheme.reset_state()
+
+    @property
+    def residuals(self) -> list[np.ndarray] | None:
+        """The per-worker residuals carried to the next round (None before the first)."""
+        return self._residuals
+
+    def aggregate(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> AggregationResult:
+        d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        n = ctx.world_size
+
+        if self._residuals is None:
+            self._residuals = [np.zeros(d, dtype=np.float32) for _ in range(n)]
+        if self._residuals[0].size != d:
+            raise ValueError(
+                "gradient size changed between rounds; call reset_state() first"
+            )
+
+        adjusted = [
+            np.asarray(grad, dtype=np.float32) + residual
+            for grad, residual in zip(worker_gradients, self._residuals)
+        ]
+        result = self.scheme.aggregate(adjusted, ctx)
+
+        if result.per_worker_transmitted is not None:
+            self._residuals = [
+                (adj - transmitted).astype(np.float32) * self.decay
+                for adj, transmitted in zip(adjusted, result.per_worker_transmitted)
+            ]
+        else:
+            # Without a per-worker report, fall back to the aggregate-based
+            # residual (what PowerSGD's reference implementation does).
+            self._residuals = [
+                (adj - result.mean_estimate).astype(np.float32) * self.decay
+                for adj in adjusted
+            ]
+        return result

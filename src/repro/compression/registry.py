@@ -1,0 +1,91 @@
+"""Factory for aggregation schemes by name.
+
+The experiment drivers and example scripts construct schemes from short
+string specifications such as ``"topkc_b2"`` or ``"thc_q4_sat_partial"``;
+this module centralises that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.compression.base import AggregationScheme
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.compression.precision import PrecisionBaseline
+from repro.compression.qsgd import QSGDCompressor
+from repro.compression.signsgd import SignSGDCompressor
+from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
+from repro.compression.topk import TopKCompressor
+from repro.compression.topkc import TopKChunkedCompressor
+from repro.simulator.gpu import Precision
+
+_FACTORIES: dict[str, Callable[[], AggregationScheme]] = {
+    "baseline_fp32": lambda: PrecisionBaseline(Precision.FP32),
+    "baseline_fp16": lambda: PrecisionBaseline(Precision.FP16),
+    "topk_b0.5": lambda: TopKCompressor(0.5),
+    "topk_b2": lambda: TopKCompressor(2.0),
+    "topk_b8": lambda: TopKCompressor(8.0),
+    "topkc_b0.5": lambda: TopKChunkedCompressor(0.5),
+    "topkc_b2": lambda: TopKChunkedCompressor(2.0),
+    "topkc_b8": lambda: TopKChunkedCompressor(8.0),
+    "topkc_b2_perm": lambda: TopKChunkedCompressor(2.0, permute=True),
+    "thc_baseline": lambda: THCCompressor(
+        4, 8, rotation=RotationMode.FULL, aggregation=AggregationMode.WIDENED
+    ),
+    "thc_q4_sat": lambda: THCCompressor(
+        4, 4, rotation=RotationMode.FULL, aggregation=AggregationMode.SATURATION
+    ),
+    "thc_q4_sat_partial": lambda: THCCompressor(
+        4, 4, rotation=RotationMode.PARTIAL, aggregation=AggregationMode.SATURATION
+    ),
+    "thc_q2_sat_partial": lambda: THCCompressor(
+        2, 2, rotation=RotationMode.PARTIAL, aggregation=AggregationMode.SATURATION
+    ),
+    "qsgd_q4_sat": lambda: QSGDCompressor(4, aggregation=AggregationMode.SATURATION),
+    "qsgd_q8_widened": lambda: QSGDCompressor(8, aggregation=AggregationMode.WIDENED),
+    "signsgd_majority": lambda: SignSGDCompressor(),
+    "powersgd_r1": lambda: PowerSGDCompressor(1),
+    "powersgd_r4": lambda: PowerSGDCompressor(4),
+    "powersgd_r16": lambda: PowerSGDCompressor(16),
+    "powersgd_r64": lambda: PowerSGDCompressor(64),
+}
+
+
+def available_schemes() -> list[str]:
+    """Names accepted by :func:`make_scheme`, in a stable order."""
+    return sorted(_FACTORIES)
+
+
+def make_scheme(name: str, *, error_feedback: bool = False) -> AggregationScheme:
+    """Construct an aggregation scheme from its registry name.
+
+    Args:
+        name: One of :func:`available_schemes`.
+        error_feedback: Wrap the scheme in :class:`ErrorFeedback` (the paper
+            enables EF for the TopK and TopKC runs).
+
+    Raises:
+        KeyError: If the name is unknown.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
+        ) from None
+    scheme = factory()
+    if error_feedback:
+        return ErrorFeedback(scheme)
+    return scheme
+
+
+def register_scheme(name: str, factory: Callable[[], AggregationScheme]) -> None:
+    """Register a custom scheme factory (used by the extension example).
+
+    Raises:
+        ValueError: If the name is already taken.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"scheme {name!r} is already registered")
+    _FACTORIES[name] = factory

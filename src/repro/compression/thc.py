@@ -1,0 +1,311 @@
+"""THC quantization with the paper's all-reduce adaptations.
+
+THC (Tensor Homomorphic Compression) stochastically quantizes rotated
+gradients into ``q``-bit integers so they can be aggregated as integers.  It
+was designed for the parameter-server architecture; this module implements
+both the "simple adaptation" to all-reduce the THC paper suggests (widen the
+wire format to ``b > q`` bits so partial sums cannot overflow) and the two
+optimisations this paper proposes:
+
+* **Partial rotation** -- stop the randomized Hadamard transform after
+  ``l'`` passes chosen so the per-chunk working set fits in GPU shared
+  memory, and compute the quantization range per chunk.
+* **Saturation-based aggregation** -- keep ``b = q`` and replace the sum at
+  every all-reduce hop with the saturating operator
+  ``Sat(x, y) = clip(x + y, -(2^(b-1) - 1), 2^(b-1) - 1)``.  After rotation
+  and normalisation the coordinates are concentrated around zero and largely
+  cancel, so saturation events are rare.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.collectives.ops import MaxOp, SaturatingSumOp, SumOp
+from repro.compression.base import (
+    AggregationResult,
+    AggregationScheme,
+    CostEstimate,
+    SimContext,
+)
+from repro.compression.hadamard import (
+    HadamardRotation,
+    depth_for_shared_memory,
+    pad_to_power_of_two,
+)
+from repro.compression.quantization import StochasticQuantizer
+from repro.simulator.timeline import (
+    PHASE_COMMUNICATION,
+    PHASE_COMPRESSION,
+    PHASE_DECOMPRESSION,
+)
+
+
+class RotationMode(enum.Enum):
+    """How much of the randomized Hadamard transform to apply."""
+
+    FULL = "full"
+    PARTIAL = "partial"
+    NONE = "none"
+
+
+class AggregationMode(enum.Enum):
+    """How integer payloads are protected against overflow during all-reduce."""
+
+    #: Widen the wire format to ``b > q`` bits (THC's simple adaptation).
+    WIDENED = "widened"
+    #: Keep ``b = q`` and saturate at every hop (this paper's proposal).
+    SATURATION = "saturation"
+
+
+class THCCompressor(AggregationScheme):
+    """THC quantization aggregated over ring all-reduce.
+
+    Args:
+        quantization_bits: Integer width ``q`` each worker quantizes into.
+        wire_bits: Wire width ``b`` used during aggregation.  Defaults to
+            ``q`` for saturation mode and ``q + 4`` for widened mode (the
+            baseline configuration of Table 8 uses ``b = 8, q = 4``).
+        rotation: Full, partial, or no Hadamard rotation.
+        aggregation: Widened-wire or saturation-based aggregation.
+        rotation_seed: Shared seed of the random rotation signs.
+    """
+
+    def __init__(
+        self,
+        quantization_bits: int = 4,
+        wire_bits: int | None = None,
+        *,
+        rotation: RotationMode = RotationMode.PARTIAL,
+        aggregation: AggregationMode = AggregationMode.SATURATION,
+        rotation_seed: int = 7,
+    ):
+        if quantization_bits < 2:
+            raise ValueError("quantization_bits must be >= 2")
+        if wire_bits is None:
+            wire_bits = (
+                quantization_bits
+                if aggregation is AggregationMode.SATURATION
+                else quantization_bits + 4
+            )
+        if wire_bits < quantization_bits:
+            raise ValueError("wire_bits must be at least quantization_bits")
+        self.quantization_bits = quantization_bits
+        self.wire_bits = wire_bits
+        self.rotation = rotation
+        self.aggregation = aggregation
+        self.rotation_seed = rotation_seed
+        self.quantizer = StochasticQuantizer(bits=quantization_bits)
+        self.name = (
+            f"thc_b{wire_bits}_q{quantization_bits}_{rotation.value}rot_{aggregation.value}"
+        )
+
+    # ------------------------------------------------------------------ #
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        del num_coordinates, world_size
+        return float(self.wire_bits)
+
+    def _make_rotation(self, ctx: SimContext) -> HadamardRotation | None:
+        if self.rotation is RotationMode.NONE:
+            return None
+        depth = None
+        if self.rotation is RotationMode.PARTIAL:
+            depth = depth_for_shared_memory(
+                ctx.kernels.gpu.memory.shared_memory_bytes, bytes_per_value=4
+            )
+        return HadamardRotation(seed=self.rotation_seed, depth=depth)
+
+    def _chunk_ranges(
+        self, rotated: np.ndarray, chunk_elements: int
+    ) -> np.ndarray:
+        """Per-chunk max magnitude, used as the quantization range of each chunk."""
+        padded_size = rotated.size
+        num_chunks = padded_size // chunk_elements
+        shaped = np.abs(rotated.reshape(num_chunks, chunk_elements))
+        return shaped.max(axis=1)
+
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        if num_coordinates <= 0:
+            raise ValueError("num_coordinates must be positive")
+        compression = ctx.kernels.quantize_time(
+            num_coordinates, self.quantization_bits
+        ) + ctx.kernels.dequantize_time(num_coordinates, self.quantization_bits)
+
+        if self.rotation is RotationMode.NONE:
+            num_range_values = 1
+        else:
+            if self.rotation is RotationMode.PARTIAL:
+                depth = depth_for_shared_memory(
+                    ctx.kernels.gpu.memory.shared_memory_bytes, bytes_per_value=4
+                )
+            else:
+                depth = None
+            rotate = ctx.kernels.hadamard_time(num_coordinates, depth)
+            compression += 2 * rotate  # forward on the gradient, inverse on the aggregate
+            chunk_elements = (
+                1 << depth if depth is not None else num_coordinates
+            )
+            num_range_values = max(1, -(-num_coordinates // chunk_elements))
+
+        range_stage = ctx.backend.cost_model.ring_allreduce(num_range_values * 16.0)
+        value_stage = ctx.backend.cost_model.ring_allreduce(
+            num_coordinates * float(self.wire_bits)
+        )
+        return CostEstimate(
+            compression_seconds=compression,
+            communication_seconds=range_stage.seconds + value_stage.seconds,
+            bits_per_coordinate=float(self.wire_bits),
+        )
+
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> AggregationResult:
+        d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        n = ctx.world_size
+        rotation = self._make_rotation(ctx)
+
+        compression_seconds = 0.0
+        communication_seconds = 0.0
+
+        # --- Rotation ------------------------------------------------------ #
+        if rotation is None:
+            rotated_vectors = [pad_to_power_of_two(g) for g in worker_gradients]
+            padded_size = rotated_vectors[0].size
+            chunk_elements = padded_size
+        else:
+            rotated_vectors = []
+            for grad in worker_gradients:
+                rotated, _ = rotation.forward(grad)
+                rotated_vectors.append(rotated)
+            padded_size = rotated_vectors[0].size
+            chunk_elements = rotation.chunk_elements(padded_size)
+            depth = rotation.effective_depth(padded_size)
+            rotate_seconds = ctx.kernels.hadamard_time(d, depth)
+            compression_seconds += rotate_seconds
+            ctx.add_time(PHASE_COMPRESSION, f"{self.name}:rotate", rotate_seconds)
+
+        # --- Agree on a per-chunk quantization range ------------------------ #
+        # Workers all-reduce (max) the per-chunk magnitude so everyone
+        # quantizes with the same scale; this tiny exchange is priced but its
+        # bits-per-coordinate contribution is negligible (one FP16 per chunk).
+        per_worker_ranges = [
+            self._chunk_ranges(rot, chunk_elements) for rot in rotated_vectors
+        ]
+        range_reduce = ctx.backend.allreduce(
+            per_worker_ranges, wire_bits_per_value=16.0, op=MaxOp()
+        )
+        shared_ranges = np.asarray(range_reduce.aggregate)
+        communication_seconds += range_reduce.cost.seconds
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:range_allreduce", range_reduce.cost.seconds
+        )
+
+        # --- Quantize ------------------------------------------------------- #
+        quantize_seconds = ctx.kernels.quantize_time(d, self.quantization_bits)
+        compression_seconds += quantize_seconds
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:quantize", quantize_seconds)
+
+        scales = np.repeat(
+            shared_ranges / self.quantizer.max_level, chunk_elements
+        )
+        # Avoid division by zero for all-zero chunks.
+        safe_scales = np.where(scales > 0, scales, 1.0)
+
+        level_vectors = []
+        for rotated in rotated_vectors:
+            scaled = np.clip(
+                rotated / safe_scales, -self.quantizer.max_level, self.quantizer.max_level
+            )
+            lower = np.floor(scaled)
+            fraction = scaled - lower
+            round_up = ctx.rng.random(padded_size) < fraction
+            levels = np.clip(
+                (lower + round_up).astype(np.int64),
+                -self.quantizer.max_level,
+                self.quantizer.max_level,
+            )
+            level_vectors.append(levels)
+
+        # --- Integer all-reduce --------------------------------------------- #
+        if self.aggregation is AggregationMode.SATURATION:
+            op = SaturatingSumOp(bits=self.wire_bits)
+        else:
+            op = SumOp()
+        reduce_result = ctx.backend.allreduce(
+            [levels.astype(np.float64) for levels in level_vectors],
+            wire_bits_per_value=float(self.wire_bits),
+            op=op,
+        )
+        communication_seconds += reduce_result.cost.seconds
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:int_allreduce", reduce_result.cost.seconds
+        )
+        aggregated_levels = np.asarray(reduce_result.aggregate, dtype=np.float64)
+
+        # --- Dequantize and un-rotate --------------------------------------- #
+        dequantize_seconds = ctx.kernels.dequantize_time(d, self.quantization_bits)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:dequantize", dequantize_seconds)
+        rotated_mean = aggregated_levels * scales / n
+
+        if rotation is None:
+            mean = rotated_mean[:d].astype(np.float32)
+        else:
+            unrotate_seconds = ctx.kernels.hadamard_time(
+                d, rotation.effective_depth(padded_size)
+            )
+            ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:unrotate", unrotate_seconds)
+            dequantize_seconds += unrotate_seconds
+            mean = rotation.inverse(rotated_mean, d).astype(np.float32)
+
+        # Per-worker transmitted contribution (for error feedback): each
+        # worker's own dequantized, un-rotated payload.
+        transmitted = []
+        for levels in level_vectors:
+            own_rotated = levels.astype(np.float64) * scales
+            if rotation is None:
+                transmitted.append(own_rotated[:d].astype(np.float32))
+            else:
+                transmitted.append(rotation.inverse(own_rotated, d).astype(np.float32))
+
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=float(self.wire_bits),
+            per_worker_transmitted=transmitted,
+            communication_seconds=communication_seconds,
+            compression_seconds=compression_seconds + dequantize_seconds,
+        )
+
+    def saturation_probability(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> float:
+        """Fraction of coordinates that would saturate for these gradients.
+
+        A diagnostic used by the ablation benches: as the number of workers
+        grows, the paper notes saturation needs more wire bits.
+        """
+        if self.aggregation is not AggregationMode.SATURATION:
+            return 0.0
+        # Compute the exact (unsaturated) integer aggregate and count overflows.
+        rotation = self._make_rotation(ctx)
+        if rotation is None:
+            rotated = [pad_to_power_of_two(g) for g in worker_gradients]
+        else:
+            rotated = [rotation.forward(g)[0] for g in worker_gradients]
+        chunk_elements = (
+            rotated[0].size if rotation is None else rotation.chunk_elements(rotated[0].size)
+        )
+        ranges = np.max(
+            np.stack([self._chunk_ranges(r, chunk_elements) for r in rotated]), axis=0
+        )
+        scales = np.repeat(ranges / self.quantizer.max_level, chunk_elements)
+        safe_scales = np.where(scales > 0, scales, 1.0)
+        total_levels = np.zeros(rotated[0].size)
+        for vec in rotated:
+            total_levels += np.clip(
+                np.rint(vec / safe_scales), -self.quantizer.max_level, self.quantizer.max_level
+            )
+        limit = (1 << (self.wire_bits - 1)) - 1
+        return float(np.mean(np.abs(total_levels) > limit))

@@ -1,0 +1,223 @@
+"""Local TopK sparsification over an all-gather collective.
+
+This is the conventional TopK baseline of section 3.1: each worker selects its
+``K`` largest-magnitude coordinates, transmits them as FP16 values plus 32-bit
+indices (48 bits per selected coordinate), and the payloads are exchanged with
+an all-gather because different workers select different coordinates so the
+network cannot reduce them in flight.
+
+The module also provides :class:`GlobalTopKOracle`, the idealised "Global
+TopK" the paper describes as the target TopKC approximates: select the top
+``K`` coordinates of the *aggregated* gradient, which is not implementable
+without first aggregating but is useful as an error reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    AggregationResult,
+    AggregationScheme,
+    CostEstimate,
+    SimContext,
+)
+from repro.simulator.timeline import (
+    PHASE_COMMUNICATION,
+    PHASE_COMPRESSION,
+    PHASE_DECOMPRESSION,
+)
+
+#: Bits transmitted per selected coordinate: FP16 value + 32-bit index.
+BITS_PER_SELECTED_COORDINATE = 48.0
+
+
+def topk_indices(vector: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest-magnitude entries of ``vector`` (unsorted)."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    if k >= vector.size:
+        return np.arange(vector.size, dtype=np.int64)
+    # argpartition is the GPU-top-k stand-in: selection without a full sort.
+    return np.argpartition(np.abs(vector), -k)[-k:].astype(np.int64)
+
+
+def k_for_bits_per_coordinate(bits_per_coordinate: float, num_coordinates: int) -> int:
+    """The K achieving a target ``b`` given 48 bits per selected coordinate.
+
+    The paper's setup: ``b = 48 K / d``, so ``K = b d / 48``.
+    """
+    if bits_per_coordinate <= 0:
+        raise ValueError("bits_per_coordinate must be positive")
+    if num_coordinates <= 0:
+        raise ValueError("num_coordinates must be positive")
+    k = int(round(bits_per_coordinate * num_coordinates / BITS_PER_SELECTED_COORDINATE))
+    return max(1, min(num_coordinates, k))
+
+
+class TopKCompressor(AggregationScheme):
+    """Local TopK sparsification aggregated with all-gather.
+
+    Args:
+        bits_per_coordinate: Target communication volume ``b``; K is derived
+            as ``b * d / 48``.
+        value_dtype: Wire dtype of transmitted values (FP16 in the paper).
+    """
+
+    def __init__(self, bits_per_coordinate: float = 2.0, value_dtype: type = np.float16):
+        if bits_per_coordinate <= 0:
+            raise ValueError("bits_per_coordinate must be positive")
+        self.bits_per_coordinate = float(bits_per_coordinate)
+        self.value_dtype = value_dtype
+        self.name = f"topk_b{bits_per_coordinate:g}"
+
+    # ------------------------------------------------------------------ #
+    def select_k(self, num_coordinates: int) -> int:
+        """Number of coordinates each worker transmits for a ``d``-sized gradient."""
+        return k_for_bits_per_coordinate(self.bits_per_coordinate, num_coordinates)
+
+    def compress(self, gradient: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return (indices, FP16 values) of the worker's top-K coordinates."""
+        if gradient.ndim != 1:
+            raise ValueError("gradient must be a flat vector")
+        k = self.select_k(gradient.size)
+        indices = topk_indices(gradient, k)
+        values = gradient[indices].astype(self.value_dtype)
+        return indices, values
+
+    def decompress(
+        self, indices: np.ndarray, values: np.ndarray, num_coordinates: int
+    ) -> np.ndarray:
+        """Scatter (indices, values) back into a dense vector of length ``d``."""
+        dense = np.zeros(num_coordinates, dtype=np.float32)
+        dense[indices] = values.astype(np.float32)
+        return dense
+
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        del world_size
+        k = self.select_k(num_coordinates)
+        return BITS_PER_SELECTED_COORDINATE * k / num_coordinates
+
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        if num_coordinates <= 0:
+            raise ValueError("num_coordinates must be positive")
+        n = ctx.world_size
+        k = self.select_k(num_coordinates)
+        compression = (
+            ctx.kernels.topk_select_time(num_coordinates, k)
+            + ctx.kernels.rearrangement_time(k)
+            + n * ctx.kernels.scatter_time(k)
+            + (n - 1) * ctx.kernels.elementwise_sum_time(num_coordinates)
+        )
+        payload_bits = k * BITS_PER_SELECTED_COORDINATE
+        communication = ctx.backend.cost_model.allgather(payload_bits).seconds
+        return CostEstimate(
+            compression_seconds=compression,
+            communication_seconds=communication,
+            bits_per_coordinate=self.expected_bits_per_coordinate(num_coordinates, n),
+        )
+
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> AggregationResult:
+        d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        n = ctx.world_size
+        k = self.select_k(d)
+
+        compressed = [self.compress(g) for g in worker_gradients]
+
+        # Compression kernels: top-k selection + packing of (value, index) pairs.
+        select_seconds = ctx.kernels.topk_select_time(d, k)
+        pack_seconds = ctx.kernels.rearrangement_time(k)
+        compression_seconds = select_seconds + pack_seconds
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:select", select_seconds)
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:pack", pack_seconds)
+
+        # All-gather of the packed payloads (indices + values travel together).
+        payloads = [
+            np.concatenate([idx.astype(np.float64), val.astype(np.float64)])
+            for idx, val in compressed
+        ]
+        gather = ctx.backend.allgather(
+            payloads, wire_bits_per_value=BITS_PER_SELECTED_COORDINATE / 2.0
+        )
+        ctx.add_time(PHASE_COMMUNICATION, f"{self.name}:allgather", gather.cost.seconds)
+
+        # Every worker scatters all n payloads into dense vectors and sums.
+        scatter_seconds = n * ctx.kernels.scatter_time(k)
+        sum_seconds = (n - 1) * ctx.kernels.elementwise_sum_time(d)
+        decompression_seconds = scatter_seconds + sum_seconds
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:scatter", scatter_seconds)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:sum", sum_seconds)
+
+        transmitted = [self.decompress(idx, val, d) for idx, val in compressed]
+        total = np.zeros(d, dtype=np.float32)
+        for dense in transmitted:
+            total += dense
+        mean = total / n
+
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=self.expected_bits_per_coordinate(d, n),
+            per_worker_transmitted=transmitted,
+            communication_seconds=gather.cost.seconds,
+            compression_seconds=compression_seconds + decompression_seconds,
+        )
+
+
+class GlobalTopKOracle(AggregationScheme):
+    """Idealised Global TopK: keep the top-K coordinates of the true mean.
+
+    Not realisable as a distributed protocol (it needs the aggregate before
+    deciding what to send); used as a reference point for compression error.
+    """
+
+    def __init__(self, bits_per_coordinate: float = 2.0):
+        if bits_per_coordinate <= 0:
+            raise ValueError("bits_per_coordinate must be positive")
+        self.bits_per_coordinate = float(bits_per_coordinate)
+        self.name = f"global_topk_b{bits_per_coordinate:g}"
+
+    def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
+        del world_size
+        k = k_for_bits_per_coordinate(self.bits_per_coordinate, num_coordinates)
+        return BITS_PER_SELECTED_COORDINATE * k / num_coordinates
+
+    def estimate_costs(self, num_coordinates: int, ctx: SimContext) -> CostEstimate:
+        """The oracle is not a protocol; it is priced as free communication."""
+        if num_coordinates <= 0:
+            raise ValueError("num_coordinates must be positive")
+        return CostEstimate(
+            compression_seconds=0.0,
+            communication_seconds=0.0,
+            bits_per_coordinate=self.expected_bits_per_coordinate(
+                num_coordinates, ctx.world_size
+            ),
+        )
+
+    def aggregate(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext
+    ) -> AggregationResult:
+        d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        n = ctx.world_size
+        k = k_for_bits_per_coordinate(self.bits_per_coordinate, d)
+
+        true_mean = np.mean(np.stack(worker_gradients), axis=0)
+        indices = topk_indices(true_mean, k)
+        mean = np.zeros(d, dtype=np.float32)
+        mean[indices] = true_mean[indices]
+
+        transmitted = []
+        for grad in worker_gradients:
+            dense = np.zeros(d, dtype=np.float32)
+            dense[indices] = grad[indices]
+            transmitted.append(dense)
+
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=self.expected_bits_per_coordinate(d, n),
+            per_worker_transmitted=transmitted,
+        )

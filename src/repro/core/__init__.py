@@ -1,0 +1,67 @@
+"""The utility-centric evaluation framework -- the paper's core contribution.
+
+The paper's thesis is methodological: gradient compression must be designed
+for and evaluated by *end-to-end utility*, which it defines as the
+time-to-accuracy (TTA) improvement over the strong FP16 baseline, with the
+vector normalized mean squared error (vNMSE) as a cheap proxy during design.
+This package implements that framework:
+
+* :mod:`repro.core.metrics` -- vNMSE, compression ratio and related error
+  metrics;
+* :mod:`repro.core.tta` -- TTA curves: rolling averages, time-to-target
+  queries, curve crossings, and the comparison logic the paper advocates;
+* :mod:`repro.core.early_stopping` -- the convergence criterion used to
+  decide when a training run has converged;
+* :mod:`repro.core.utility` -- utility = TTA improvement over the FP16
+  baseline, the paper's headline quantity;
+* :mod:`repro.core.evaluation` -- an orchestrator that runs a scheme
+  end-to-end on a workload and produces its TTA curve;
+* :mod:`repro.core.assessment` -- the structured survey of prior systems
+  behind Table 1;
+* :mod:`repro.core.reporting` -- plain-text table and curve rendering used by
+  the experiment drivers and benchmarks.
+"""
+
+from repro.core.metrics import (
+    compression_ratio,
+    cosine_similarity,
+    normalized_mean_squared_error,
+    vnmse,
+)
+from repro.core.tta import TTACurve, rolling_average
+from repro.core.early_stopping import EarlyStopping
+from repro.core.resource_metrics import (
+    ResourceModel,
+    cost_to_accuracy,
+    cost_to_target,
+    energy_to_target_joules,
+    power_to_accuracy,
+)
+from repro.core.utility import UtilityReport, compute_utility
+from repro.core.evaluation import EndToEndResult, run_end_to_end
+from repro.core.assessment import PRIOR_SYSTEMS, PriorSystemAssessment, assessment_table
+from repro.core.reporting import format_table, render_curves
+
+__all__ = [
+    "compression_ratio",
+    "cosine_similarity",
+    "normalized_mean_squared_error",
+    "vnmse",
+    "TTACurve",
+    "rolling_average",
+    "EarlyStopping",
+    "ResourceModel",
+    "cost_to_accuracy",
+    "cost_to_target",
+    "energy_to_target_joules",
+    "power_to_accuracy",
+    "UtilityReport",
+    "compute_utility",
+    "EndToEndResult",
+    "run_end_to_end",
+    "PRIOR_SYSTEMS",
+    "PriorSystemAssessment",
+    "assessment_table",
+    "format_table",
+    "render_curves",
+]

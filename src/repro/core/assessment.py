@@ -1,0 +1,201 @@
+"""Structured survey of prior gradient-compression systems (Table 1).
+
+Table 1 of the paper assesses eight prior systems against five criteria:
+whether they compare with the stronger FP16 baseline, whether compression
+error informs the system design, how many of their tasks get an end-to-end
+evaluation, whether higher throughput translated to better time-to-accuracy,
+and whether new compression algorithms are all-reduce compatible.
+
+The data is encoded here so the table can be regenerated, filtered, and
+extended programmatically; the citation keys follow the paper's bibliography.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Criterion(enum.Enum):
+    """The five assessment criteria of Table 1."""
+
+    FP16_BASELINE = "Comparing with the stronger FP16 baseline"
+    ERROR_AWARE_DESIGN = "Considering compression error for system design"
+    END_TO_END_EVALUATION = "Evaluation on end-to-end performance (in how many tasks)"
+    THROUGHPUT_IMPLIES_TTA = "Higher throughput results in better time to accuracy"
+    ALLREDUCE_COMPATIBILITY = "All-reduce compatibility for new compression algorithms"
+
+
+class Verdict(enum.Enum):
+    """Possible cell values in the assessment table."""
+
+    YES = "yes"
+    NO = "no"
+    NOT_APPLICABLE = "n/a"
+
+    def symbol(self) -> str:
+        """The symbol used in the rendered table."""
+        return {"yes": "Y", "no": "X", "n/a": "N/A"}[self.value]
+
+
+@dataclass(frozen=True)
+class PriorSystemAssessment:
+    """One prior system's row in Table 1.
+
+    Attributes:
+        citation: The paper's reference number for the system.
+        name: A human-readable identifier of the system.
+        compression_family: Sparsification / quantization / low-rank / mixed.
+        fp16_baseline: Whether the system was compared against FP16.
+        error_aware_design: Whether compression error informed the design.
+        end_to_end_tasks: (evaluated, total) tasks with end-to-end results.
+        throughput_implies_tta: Whether higher throughput gave better TTA.
+        allreduce_compatible: Whether new algorithms are all-reduce compatible.
+    """
+
+    citation: str
+    name: str
+    compression_family: str
+    fp16_baseline: Verdict
+    error_aware_design: Verdict
+    end_to_end_tasks: tuple[int, int]
+    throughput_implies_tta: Verdict
+    allreduce_compatible: Verdict
+
+    def __post_init__(self) -> None:
+        evaluated, total = self.end_to_end_tasks
+        if evaluated < 0 or total < 0 or evaluated > total:
+            raise ValueError("end_to_end_tasks must satisfy 0 <= evaluated <= total")
+
+    def end_to_end_fraction(self) -> float:
+        """Fraction of the system's tasks that received end-to-end evaluation."""
+        evaluated, total = self.end_to_end_tasks
+        if total == 0:
+            return 0.0
+        return evaluated / total
+
+
+#: The eight systems assessed in Table 1, in the paper's column order.
+PRIOR_SYSTEMS: tuple[PriorSystemAssessment, ...] = (
+    PriorSystemAssessment(
+        citation="[11]",
+        name="Agarwal et al. (On the utility of gradient compression)",
+        compression_family="survey",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.NOT_APPLICABLE,
+        end_to_end_tasks=(0, 3),
+        throughput_implies_tta=Verdict.NOT_APPLICABLE,
+        allreduce_compatible=Verdict.NOT_APPLICABLE,
+    ),
+    PriorSystemAssessment(
+        citation="[14]",
+        name="HiPress / CaSync (Bai et al.)",
+        compression_family="mixed",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.NO,
+        end_to_end_tasks=(2, 8),
+        throughput_implies_tta=Verdict.YES,
+        allreduce_compatible=Verdict.NOT_APPLICABLE,
+    ),
+    PriorSystemAssessment(
+        citation="[23]",
+        name="OmniReduce (Fei et al.)",
+        compression_family="sparsification",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.YES,
+        end_to_end_tasks=(1, 6),
+        throughput_implies_tta=Verdict.YES,
+        allreduce_compatible=Verdict.NO,
+    ),
+    PriorSystemAssessment(
+        citation="[30]",
+        name="Parallax (Kim et al.)",
+        compression_family="sparsification",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.NOT_APPLICABLE,
+        end_to_end_tasks=(3, 4),
+        throughput_implies_tta=Verdict.YES,
+        allreduce_compatible=Verdict.YES,
+    ),
+    PriorSystemAssessment(
+        citation="[32]",
+        name="Lossless homomorphic compression (Li et al.)",
+        compression_family="sparsification",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.YES,
+        end_to_end_tasks=(4, 4),
+        throughput_implies_tta=Verdict.NO,
+        allreduce_compatible=Verdict.YES,
+    ),
+    PriorSystemAssessment(
+        citation="[34]",
+        name="THC (Li et al.)",
+        compression_family="quantization",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.YES,
+        end_to_end_tasks=(3, 7),
+        throughput_implies_tta=Verdict.YES,
+        allreduce_compatible=Verdict.NO,
+    ),
+    PriorSystemAssessment(
+        citation="[60]",
+        name="Espresso (Wang et al.)",
+        compression_family="mixed",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.NO,
+        end_to_end_tasks=(4, 4),
+        throughput_implies_tta=Verdict.YES,
+        allreduce_compatible=Verdict.NOT_APPLICABLE,
+    ),
+    PriorSystemAssessment(
+        citation="[62]",
+        name="CUPCAKE (Wang et al.)",
+        compression_family="mixed",
+        fp16_baseline=Verdict.NO,
+        error_aware_design=Verdict.NO,
+        end_to_end_tasks=(3, 3),
+        throughput_implies_tta=Verdict.NO,
+        allreduce_compatible=Verdict.NO,
+    ),
+)
+
+
+def assessment_table() -> list[list[str]]:
+    """Table 1 as rows of strings: criteria down the side, systems across."""
+    header = ["Criterion"] + [system.citation for system in PRIOR_SYSTEMS]
+    rows = [header]
+    rows.append(
+        [Criterion.FP16_BASELINE.value]
+        + [system.fp16_baseline.symbol() for system in PRIOR_SYSTEMS]
+    )
+    rows.append(
+        [Criterion.ERROR_AWARE_DESIGN.value]
+        + [system.error_aware_design.symbol() for system in PRIOR_SYSTEMS]
+    )
+    rows.append(
+        [Criterion.END_TO_END_EVALUATION.value]
+        + [f"{e}/{t}" for e, t in (system.end_to_end_tasks for system in PRIOR_SYSTEMS)]
+    )
+    rows.append(
+        [Criterion.THROUGHPUT_IMPLIES_TTA.value]
+        + [system.throughput_implies_tta.symbol() for system in PRIOR_SYSTEMS]
+    )
+    rows.append(
+        [Criterion.ALLREDUCE_COMPATIBILITY.value]
+        + [system.allreduce_compatible.symbol() for system in PRIOR_SYSTEMS]
+    )
+    return rows
+
+
+def systems_lacking(criterion: Criterion) -> list[PriorSystemAssessment]:
+    """Prior systems that fail a given criterion (verdict NO)."""
+    field_by_criterion = {
+        Criterion.FP16_BASELINE: "fp16_baseline",
+        Criterion.ERROR_AWARE_DESIGN: "error_aware_design",
+        Criterion.THROUGHPUT_IMPLIES_TTA: "throughput_implies_tta",
+        Criterion.ALLREDUCE_COMPATIBILITY: "allreduce_compatible",
+    }
+    if criterion not in field_by_criterion:
+        raise ValueError(f"criterion {criterion} is not a yes/no criterion")
+    field = field_by_criterion[criterion]
+    return [system for system in PRIOR_SYSTEMS if getattr(system, field) is Verdict.NO]

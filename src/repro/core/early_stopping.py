@@ -1,0 +1,71 @@
+"""Early stopping: the convergence criterion used to end training runs.
+
+The paper terminates each training run "upon model convergence" using an
+early-stopping rule and then reports the full TTA curve.  The criterion here
+is the standard patience-based one: stop when the goal metric has not
+improved by at least ``min_delta`` for ``patience`` consecutive evaluations.
+"""
+
+from __future__ import annotations
+
+
+class EarlyStopping:
+    """Patience-based early stopping on a stream of metric observations.
+
+    Args:
+        patience: Number of consecutive non-improving evaluations tolerated
+            before stopping.
+        min_delta: Minimum improvement that counts as progress.
+        mode: "up" if larger metric values are better, "down" otherwise.
+
+    The object is also a valid
+    :class:`~repro.training.ddp.StoppingCriterion` for the DDP trainer.
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0, mode: str = "up"):
+        if patience <= 0:
+            raise ValueError("patience must be positive")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        if mode not in ("up", "down"):
+            raise ValueError("mode must be 'up' or 'down'")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.mode = mode
+        self._best: float | None = None
+        self._stale_evaluations = 0
+        self._stopped = False
+
+    @property
+    def best(self) -> float | None:
+        """Best metric value observed so far (None before the first update)."""
+        return self._best
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the criterion has already fired."""
+        return self._stopped
+
+    def _improved(self, value: float) -> bool:
+        if self._best is None:
+            return True
+        if self.mode == "up":
+            return value > self._best + self.min_delta
+        return value < self._best - self.min_delta
+
+    def update(self, value: float) -> bool:
+        """Record one evaluation; return True if training should stop now."""
+        if self._improved(value):
+            self._best = value
+            self._stale_evaluations = 0
+        else:
+            self._stale_evaluations += 1
+            if self._stale_evaluations >= self.patience:
+                self._stopped = True
+        return self._stopped
+
+    def reset(self) -> None:
+        """Forget all observations (reuse the object for another run)."""
+        self._best = None
+        self._stale_evaluations = 0
+        self._stopped = False

@@ -1,0 +1,208 @@
+"""End-to-end evaluation orchestrator.
+
+This module wires the whole system together the way the paper's case study
+does: pick a workload (BERT-large-like or VGG19-like), pick an aggregation
+scheme by name, train to convergence on the simulated cluster, and come back
+with the TTA curve and the utility against the FP16 baseline.
+
+It is the highest-level entry point of the library; the examples and the
+figure benchmarks are thin wrappers around :func:`run_end_to_end` and
+:func:`compare_schemes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.base import AggregationScheme
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.compression.registry import make_scheme
+from repro.core.early_stopping import EarlyStopping
+from repro.core.tta import TTACurve
+from repro.core.utility import UtilityReport, compute_utility
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.training.data import SyntheticTeacherDataset
+from repro.training.ddp import DDPTrainer, TrainingHistory
+from repro.training.models import MLPClassifier
+from repro.training.optimizer import SGD, LearningRateSchedule
+from repro.training.workloads import WorkloadSpec
+
+#: Scheme families the paper runs with error feedback enabled.
+_ERROR_FEEDBACK_PREFIXES = ("topk", "topkc")
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    """Everything produced by one end-to-end run of one scheme."""
+
+    scheme_name: str
+    workload_name: str
+    history: TrainingHistory
+    curve: TTACurve
+    rounds_per_second: float
+    bits_per_coordinate: float
+
+
+def needs_error_feedback(scheme_name: str) -> bool:
+    """Whether the paper's configuration wraps this scheme in error feedback."""
+    return scheme_name.startswith(_ERROR_FEEDBACK_PREFIXES)
+
+
+def build_scheme_pair(
+    scheme_name: str, workload: WorkloadSpec, *, error_feedback: bool | None = None
+) -> tuple[AggregationScheme, AggregationScheme]:
+    """Construct the (functional, pricing) scheme instances for a workload.
+
+    The functional instance aggregates the small simulation model's gradients;
+    the pricing instance is configured with the paper-scale layer shapes so
+    per-round costs are evaluated at the real model size.  For most schemes
+    the two are configured identically; PowerSGD needs the layer-shape split.
+    """
+    if error_feedback is None:
+        error_feedback = needs_error_feedback(scheme_name)
+
+    functional = make_scheme(scheme_name, error_feedback=error_feedback)
+    pricing = make_scheme(scheme_name, error_feedback=error_feedback)
+
+    pricing_inner = pricing.scheme if isinstance(pricing, ErrorFeedback) else pricing
+    if isinstance(pricing_inner, PowerSGDCompressor):
+        pricing_inner.layer_shapes = list(workload.paper_layer_shapes)
+    return functional, pricing
+
+
+def build_trainer(
+    scheme_name: str,
+    workload: WorkloadSpec,
+    *,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    eval_every: int = 10,
+    error_feedback: bool | None = None,
+    total_rounds_hint: int | None = None,
+) -> DDPTrainer:
+    """Assemble dataset, model, optimizer, and trainer for one scheme."""
+    cluster = cluster or paper_testbed()
+    dataset = SyntheticTeacherDataset(
+        input_dim=workload.sim_input_dim,
+        num_classes=workload.sim_num_classes,
+        seed=seed,
+    )
+    model = MLPClassifier(
+        input_dim=workload.sim_input_dim,
+        hidden_dims=workload.sim_hidden_dims,
+        num_classes=workload.sim_num_classes,
+        seed=seed + 1,
+    )
+    functional, pricing = build_scheme_pair(
+        scheme_name, workload, error_feedback=error_feedback
+    )
+    schedule = LearningRateSchedule(
+        base_lr=workload.sim_base_lr, warmup_rounds=20, total_rounds=total_rounds_hint
+    )
+    optimizer = SGD(schedule, momentum=0.9)
+    return DDPTrainer(
+        model=model,
+        dataset=dataset,
+        scheme=functional,
+        workload=workload,
+        cluster=cluster,
+        optimizer=optimizer,
+        pricing_scheme=pricing,
+        eval_every=eval_every,
+        seed=seed,
+    )
+
+
+def run_end_to_end(
+    scheme_name: str,
+    workload: WorkloadSpec,
+    *,
+    num_rounds: int = 600,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    eval_every: int = 10,
+    error_feedback: bool | None = None,
+    early_stopping: EarlyStopping | None = None,
+    rolling_window: int = 5,
+) -> EndToEndResult:
+    """Train one scheme on one workload and return its TTA curve.
+
+    Args:
+        scheme_name: A registry name (see
+            :func:`repro.compression.available_schemes`).
+        workload: The workload preset to train.
+        num_rounds: Maximum number of training rounds.
+        cluster: Simulated cluster; defaults to the paper testbed.
+        seed: Seed shared by the dataset, model init, and batch sampling so
+            all schemes see identical data and initialisation.
+        eval_every: Rounds between held-out evaluations.
+        error_feedback: Force error feedback on/off; None uses the paper's
+            configuration for that scheme family.
+        early_stopping: Optional convergence criterion; defaults to the
+            paper's early-stopping practice.
+        rolling_window: Rolling-average window (in evaluation points) applied
+            to the TTA curve, mirroring the paper's smoothing.
+    """
+    trainer = build_trainer(
+        scheme_name,
+        workload,
+        cluster=cluster,
+        seed=seed,
+        eval_every=eval_every,
+        error_feedback=error_feedback,
+        total_rounds_hint=num_rounds,
+    )
+    if early_stopping is None:
+        early_stopping = EarlyStopping(
+            patience=15, min_delta=1e-4, mode=workload.metric_improves
+        )
+    history = trainer.run(num_rounds, stopping=early_stopping)
+    curve = TTACurve.from_history(history, window=rolling_window)
+    return EndToEndResult(
+        scheme_name=scheme_name,
+        workload_name=workload.name,
+        history=history,
+        curve=curve,
+        rounds_per_second=history.throughput_rounds_per_second(),
+        bits_per_coordinate=trainer.round_cost_estimate.bits_per_coordinate,
+    )
+
+
+def compare_schemes(
+    scheme_names: list[str],
+    workload: WorkloadSpec,
+    *,
+    baseline_name: str = "baseline_fp16",
+    num_rounds: int = 600,
+    cluster: ClusterSpec | None = None,
+    seed: int = 0,
+    eval_every: int = 10,
+    rolling_window: int = 5,
+) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
+    """Run several schemes plus the baseline and compute each one's utility.
+
+    Returns:
+        A dict of results keyed by scheme name (the baseline included) and a
+        dict of utility reports keyed by scheme name (baseline excluded).
+    """
+    all_names = list(dict.fromkeys([baseline_name, *scheme_names]))
+    results = {
+        name: run_end_to_end(
+            name,
+            workload,
+            num_rounds=num_rounds,
+            cluster=cluster,
+            seed=seed,
+            eval_every=eval_every,
+            rolling_window=rolling_window,
+        )
+        for name in all_names
+    }
+    baseline_curve = results[baseline_name].curve
+    utilities = {
+        name: compute_utility(results[name].curve, baseline_curve)
+        for name in scheme_names
+        if name != baseline_name
+    }
+    return results, utilities

@@ -1,0 +1,97 @@
+"""Plain-text rendering of tables and TTA curves.
+
+The benchmark harness prints the same rows and series the paper's tables and
+figures report; these helpers keep that output consistent and readable in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from repro.core.tta import TTACurve
+
+
+def format_table(rows: list[list[str]], *, title: str | None = None) -> str:
+    """Render rows of strings as an aligned plain-text table.
+
+    The first row is treated as the header.
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    num_columns = len(rows[0])
+    for row in rows:
+        if len(row) != num_columns:
+            raise ValueError("all rows must have the same number of columns")
+
+    widths = [max(len(str(row[col])) for row in rows) for col in range(num_columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(rows):
+        cells = [str(cell).ljust(width) for cell, width in zip(row, widths)]
+        lines.append(" | ".join(cells))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_float_table(
+    header: list[str], rows: list[list[object]], *, title: str | None = None, precision: int = 4
+) -> str:
+    """Like :func:`format_table` but formats numeric cells with fixed precision."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}g}"
+        return str(cell)
+
+    string_rows = [header] + [[render(cell) for cell in row] for row in rows]
+    return format_table(string_rows, title=title)
+
+
+def render_curves(
+    curves: list[TTACurve],
+    *,
+    width: int = 72,
+    height: int = 16,
+    title: str | None = None,
+) -> str:
+    """Render TTA curves as ASCII art (time on x, metric on y).
+
+    Intended for benchmark logs; each curve is drawn with a distinct marker
+    and listed in a legend.
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    if width < 16 or height < 4:
+        raise ValueError("plot area is too small")
+
+    markers = "*o+x#@%&"
+    min_time = min(float(curve.times.min()) for curve in curves)
+    max_time = max(float(curve.times.max()) for curve in curves)
+    min_value = min(float(curve.values.min()) for curve in curves)
+    max_value = max(float(curve.values.max()) for curve in curves)
+    time_span = max(max_time - min_time, 1e-12)
+    value_span = max(max_value - min_value, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_index, curve in enumerate(curves):
+        marker = markers[curve_index % len(markers)]
+        for time, value in zip(curve.times, curve.values):
+            col = int((time - min_time) / time_span * (width - 1))
+            row = int((value - min_value) / value_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{max_value:.4g}".rjust(10) + " +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{min_value:.4g}".rjust(10) + " +" + "".join(grid[-1]))
+    lines.append(
+        " " * 12 + f"{min_time:.3g}s".ljust(width // 2) + f"{max_time:.3g}s".rjust(width // 2)
+    )
+    for curve_index, curve in enumerate(curves):
+        lines.append(f"  {markers[curve_index % len(markers)]} {curve.label}")
+    return "\n".join(lines)

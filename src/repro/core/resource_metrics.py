@@ -1,0 +1,117 @@
+"""Cost-to-accuracy and power-to-accuracy: the paper's suggested future metrics.
+
+The paper's conclusion notes that time to accuracy "is itself not the only
+appropriate metric": the overall power drawn or the dollar cost of building
+the model may matter more in some settings, and leaves a framework that takes
+them into account as future work.  This module provides that extension: a
+resource model for a cluster (power draw and hourly price per node) and
+conversions from a TTA curve to cost-to-accuracy (CTA) and power-to-accuracy
+(PTA, energy) curves.
+
+Because both conversions multiply time by a per-second rate, a scheme's CTA
+and PTA orderings can differ from its TTA ordering only when schemes run on
+differently priced/powered clusters -- which is exactly the scenario the
+functions support (e.g. comparing a compression scheme on cheap
+low-bandwidth nodes against an uncompressed baseline on expensive
+high-bandwidth ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tta import TTACurve
+from repro.simulator.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """Per-node resource rates of a cluster.
+
+    Attributes:
+        node_power_watts: Average power draw of one node (GPUs + host + NIC)
+            while training.
+        node_cost_per_hour: Price of one node-hour (cloud list price or
+            amortised capex), in arbitrary currency units.
+    """
+
+    node_power_watts: float = 1300.0
+    node_cost_per_hour: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.node_power_watts <= 0:
+            raise ValueError("node_power_watts must be positive")
+        if self.node_cost_per_hour <= 0:
+            raise ValueError("node_cost_per_hour must be positive")
+
+    def cluster_power_watts(self, cluster: ClusterSpec) -> float:
+        """Total power draw of the cluster."""
+        return self.node_power_watts * cluster.num_nodes
+
+    def cluster_cost_per_second(self, cluster: ClusterSpec) -> float:
+        """Total price of running the cluster for one second."""
+        return self.node_cost_per_hour * cluster.num_nodes / 3600.0
+
+
+def cost_to_accuracy(
+    curve: TTACurve, cluster: ClusterSpec, resources: ResourceModel | None = None
+) -> TTACurve:
+    """Convert a time-to-accuracy curve into a cost-to-accuracy curve.
+
+    The returned curve's "times" axis is cumulative training cost (currency
+    units); all :class:`TTACurve` queries (cost to target, crossings, utility
+    via :func:`repro.core.utility.compute_utility`) apply unchanged.
+    """
+    resources = resources or ResourceModel()
+    rate = resources.cluster_cost_per_second(cluster)
+    return TTACurve(
+        label=f"{curve.label} (cost)",
+        times=curve.times * rate,
+        values=curve.values,
+        improves=curve.improves,
+    )
+
+
+def power_to_accuracy(
+    curve: TTACurve, cluster: ClusterSpec, resources: ResourceModel | None = None
+) -> TTACurve:
+    """Convert a time-to-accuracy curve into an energy-to-accuracy curve.
+
+    The returned curve's "times" axis is cumulative energy in joules.
+    """
+    resources = resources or ResourceModel()
+    watts = resources.cluster_power_watts(cluster)
+    return TTACurve(
+        label=f"{curve.label} (energy)",
+        times=curve.times * watts,
+        values=curve.values,
+        improves=curve.improves,
+    )
+
+
+def energy_to_target_joules(
+    curve: TTACurve,
+    target: float,
+    cluster: ClusterSpec,
+    resources: ResourceModel | None = None,
+) -> float | None:
+    """Energy needed to reach ``target``, or None if the run never reaches it."""
+    seconds = curve.time_to_target(target)
+    if seconds is None:
+        return None
+    resources = resources or ResourceModel()
+    return seconds * resources.cluster_power_watts(cluster)
+
+
+def cost_to_target(
+    curve: TTACurve,
+    target: float,
+    cluster: ClusterSpec,
+    resources: ResourceModel | None = None,
+) -> float | None:
+    """Training cost needed to reach ``target``, or None if never reached."""
+    seconds = curve.time_to_target(target)
+    if seconds is None:
+        return None
+    resources = resources or ResourceModel()
+    return seconds * resources.cluster_cost_per_second(cluster)

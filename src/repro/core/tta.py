@@ -1,0 +1,180 @@
+"""Time-to-accuracy (TTA) curves.
+
+The paper argues that TTA -- for every accuracy target, the training time
+needed to reach it -- is the end-to-end metric that gradient compression
+should be designed for and judged by.  Crucially it is a *curve*, not a
+number: curves of different schemes can cross, so a single arbitrarily chosen
+time or accuracy target can make either scheme look better.
+
+:class:`TTACurve` holds one scheme's metric-versus-time trajectory (after the
+rolling average the paper applies) and answers the questions the paper's
+figures answer: how long to a given target, what is reached by a given time,
+where do two curves cross, and which targets a scheme never reaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def rolling_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Trailing rolling average with a window of ``window`` samples.
+
+    The first ``window - 1`` outputs average over the shorter available
+    prefix, so the result has the same length as the input (matching how the
+    paper smooths its TTA plots over a fixed number of rounds).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("values must be 1-D")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if window == 1 or values.size == 0:
+        return values.copy()
+    cumulative = np.cumsum(values)
+    result = np.empty_like(values)
+    for index in range(values.size):
+        start = max(0, index - window + 1)
+        total = cumulative[index] - (cumulative[start - 1] if start > 0 else 0.0)
+        result[index] = total / (index - start + 1)
+    return result
+
+
+@dataclass(frozen=True)
+class TTACurve:
+    """One scheme's (time, metric) trajectory.
+
+    Attributes:
+        label: Scheme name shown in reports.
+        times: Simulated training time of each evaluation point, seconds,
+            strictly increasing.
+        values: Goal-metric value at each point (already smoothed if desired).
+        improves: "up" if larger values are better (accuracy), "down" if
+            smaller values are better (perplexity).
+    """
+
+    label: str
+    times: np.ndarray
+    values: np.ndarray
+    improves: str = "up"
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+        if times.ndim != 1 or values.ndim != 1 or times.size != values.size:
+            raise ValueError("times and values must be 1-D arrays of equal length")
+        if times.size == 0:
+            raise ValueError("a TTA curve needs at least one point")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if self.improves not in ("up", "down"):
+            raise ValueError("improves must be 'up' or 'down'")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_history(cls, history, *, window: int = 1) -> "TTACurve":
+        """Build a curve from a :class:`~repro.training.TrainingHistory`.
+
+        Args:
+            history: The training history to convert.
+            window: Rolling-average window, in evaluation points.
+        """
+        values = rolling_average(history.metric_values(), window)
+        return cls(
+            label=history.scheme_name,
+            times=history.times(),
+            values=values,
+            improves=history.metric_improves,
+        )
+
+    def smoothed(self, window: int) -> "TTACurve":
+        """A copy of this curve with a rolling average applied."""
+        return TTACurve(
+            label=self.label,
+            times=self.times,
+            values=rolling_average(self.values, window),
+            improves=self.improves,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _reached(self, target: float) -> np.ndarray:
+        if self.improves == "up":
+            return self.values >= target
+        return self.values <= target
+
+    def best_value(self) -> float:
+        """The best metric value the run ever reaches."""
+        return float(self.values.max() if self.improves == "up" else self.values.min())
+
+    def final_value(self) -> float:
+        """The metric value at the end of the run."""
+        return float(self.values[-1])
+
+    def time_to_target(self, target: float) -> float | None:
+        """Training time needed to first reach ``target``, or None if never.
+
+        This is the "TTA at target" lookup; the paper stresses that a scheme
+        may simply never reach targets close to the uncompressed baseline's
+        final accuracy, in which case the answer is None rather than a number.
+        """
+        reached = self._reached(target)
+        if not reached.any():
+            return None
+        return float(self.times[int(np.argmax(reached))])
+
+    def value_at_time(self, time_seconds: float) -> float:
+        """Metric value attained by ``time_seconds`` (step interpolation)."""
+        if time_seconds < self.times[0]:
+            return float(self.values[0])
+        index = int(np.searchsorted(self.times, time_seconds, side="right") - 1)
+        return float(self.values[index])
+
+    def speedup_over(self, other: "TTACurve", target: float) -> float | None:
+        """How much faster this curve reaches ``target`` than ``other``.
+
+        Returns ``other_time / self_time`` (>1 means this scheme is faster),
+        or None if either curve never reaches the target.
+        """
+        if self.improves != other.improves:
+            raise ValueError("cannot compare curves with different metric directions")
+        own_time = self.time_to_target(target)
+        other_time = other.time_to_target(target)
+        if own_time is None or other_time is None:
+            return None
+        if own_time == 0:
+            return float("inf")
+        return other_time / own_time
+
+    def crossings_with(self, other: "TTACurve") -> list[float]:
+        """Times at which this curve and ``other`` swap which one is ahead.
+
+        The paper highlights that TTA curves can intersect, making "which
+        scheme is better" target-dependent; this method finds those
+        intersection times on a merged time grid.
+        """
+        if self.improves != other.improves:
+            raise ValueError("cannot compare curves with different metric directions")
+        grid = np.unique(np.concatenate([self.times, other.times]))
+        if grid.size < 2:
+            return []
+        own = np.array([self.value_at_time(t) for t in grid])
+        theirs = np.array([other.value_at_time(t) for t in grid])
+        difference = own - theirs if self.improves == "up" else theirs - own
+        signs = np.sign(difference)
+        crossings = []
+        for index in range(1, grid.size):
+            if signs[index] != 0 and signs[index - 1] != 0 and signs[index] != signs[index - 1]:
+                crossings.append(float(grid[index]))
+        return crossings
+
+    def reachable_targets(self, targets: list[float]) -> dict[float, float | None]:
+        """Time-to-target for a list of targets (None where unreachable)."""
+        return {target: self.time_to_target(target) for target in targets}

@@ -1,0 +1,112 @@
+"""Utility: the paper's headline quantity.
+
+"We refer to the TTA improvement over this FP16 baseline as a method's
+*utility*."  A scheme has positive utility at a target only if it reaches
+that target faster than FP16 communication does; a scheme that beats FP32 but
+not FP16 -- the situation the paper repeatedly demonstrates -- has negative
+utility and should not be considered a win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tta import TTACurve
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Utility of one scheme against a baseline, across accuracy targets.
+
+    Attributes:
+        scheme_label: Name of the evaluated scheme.
+        baseline_label: Name of the baseline curve (normally the FP16 baseline).
+        targets: The accuracy/perplexity targets examined.
+        speedups: For each target, ``baseline_time / scheme_time`` (>1 means
+            the scheme is faster), or None where either curve never reaches it.
+        unreachable_targets: Targets the *scheme* never reaches even though
+            the baseline does -- the accuracy-degradation failure mode.
+    """
+
+    scheme_label: str
+    baseline_label: str
+    targets: tuple[float, ...]
+    speedups: tuple[float | None, ...]
+    unreachable_targets: tuple[float, ...]
+
+    @property
+    def has_positive_utility(self) -> bool:
+        """True if the scheme beats the baseline on at least one target and
+        never falls short of a target the baseline reaches."""
+        if self.unreachable_targets:
+            return False
+        achieved = [s for s in self.speedups if s is not None]
+        return bool(achieved) and max(achieved) > 1.0
+
+    def mean_speedup(self) -> float | None:
+        """Geometric-mean speedup over the targets both curves reach."""
+        achieved = [s for s in self.speedups if s is not None and s > 0]
+        if not achieved:
+            return None
+        return float(np.exp(np.mean(np.log(achieved))))
+
+
+def default_targets(baseline: TTACurve, count: int = 5, span: float = 0.9) -> list[float]:
+    """Accuracy targets spread between the baseline's early and final values.
+
+    The paper suggests focusing on "accuracies close to the accuracy attained
+    by an uncompressed baseline"; the returned targets cover the last
+    ``span`` fraction of the baseline's improvement, ending at its best value.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    if not 0.0 < span <= 1.0:
+        raise ValueError("span must be in (0, 1]")
+    start_value = float(baseline.values[0])
+    best = baseline.best_value()
+    low = best - span * (best - start_value)
+    return list(np.linspace(low, best, count))
+
+
+def compute_utility(
+    scheme: TTACurve,
+    baseline: TTACurve,
+    targets: list[float] | None = None,
+) -> UtilityReport:
+    """Compare a scheme's TTA curve against the (FP16) baseline curve.
+
+    Args:
+        scheme: The evaluated compression scheme's curve.
+        baseline: The baseline curve (the paper insists this be FP16, not FP32).
+        targets: Metric targets to evaluate at; defaults to
+            :func:`default_targets` derived from the baseline curve.
+    """
+    if scheme.improves != baseline.improves:
+        raise ValueError("scheme and baseline must use the same metric direction")
+    if targets is None:
+        targets = default_targets(baseline)
+
+    speedups: list[float | None] = []
+    unreachable: list[float] = []
+    for target in targets:
+        baseline_time = baseline.time_to_target(target)
+        scheme_time = scheme.time_to_target(target)
+        if baseline_time is not None and scheme_time is None:
+            unreachable.append(target)
+            speedups.append(None)
+        elif baseline_time is None or scheme_time is None:
+            speedups.append(None)
+        elif scheme_time == 0:
+            speedups.append(float("inf"))
+        else:
+            speedups.append(baseline_time / scheme_time)
+
+    return UtilityReport(
+        scheme_label=scheme.label,
+        baseline_label=baseline.label,
+        targets=tuple(targets),
+        speedups=tuple(speedups),
+        unreachable_targets=tuple(unreachable),
+    )

@@ -1,0 +1,97 @@
+"""Figure 1: TTA of TopKC vs TopK vs the FP16/FP32 baselines.
+
+The figure demonstrates the paper's two evaluation points at once: FP16 is a
+meaningfully stronger baseline than FP32, and training throughput is a
+misleading proxy -- the most aggressive sparsifier settings (b = 0.5) have the
+highest throughput but the worst time-to-accuracy and final accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.core.reporting import format_float_table, render_curves
+from repro.core.utility import UtilityReport
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
+
+#: The series plotted in Figure 1 (baselines plus both sparsifiers at each b).
+FIGURE1_SCHEMES: tuple[str, ...] = (
+    "topkc_b8",
+    "topk_b8",
+    "topkc_b2",
+    "topk_b2",
+    "topkc_b0.5",
+    "topk_b0.5",
+)
+
+BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+
+
+def run_figure1(
+    workload: WorkloadSpec | None = None,
+    *,
+    num_rounds: int = 500,
+    eval_every: int = 10,
+    seed: int = 0,
+    cluster: ClusterSpec | None = None,
+    schemes: tuple[str, ...] = FIGURE1_SCHEMES,
+) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
+    """Train every Figure 1 series and compute utility against FP16."""
+    workload = workload or vgg19_tinyimagenet()
+    return compare_schemes(
+        list(BASELINE_SCHEMES[1:]) + list(schemes),
+        workload,
+        baseline_name=BASELINE_SCHEMES[0],
+        num_rounds=num_rounds,
+        cluster=cluster,
+        seed=seed,
+        eval_every=eval_every,
+    )
+
+
+def summary_rows(results: dict[str, EndToEndResult]) -> list[list[object]]:
+    """Per-scheme summary: throughput, best metric, total simulated time."""
+    rows = []
+    for name, result in results.items():
+        rows.append(
+            [
+                name,
+                result.rounds_per_second,
+                result.bits_per_coordinate,
+                result.curve.best_value(),
+                float(result.curve.times[-1]) / 3600.0,
+            ]
+        )
+    return rows
+
+
+def render_figure1(
+    results: tuple[dict[str, EndToEndResult], dict[str, UtilityReport]] | None = None,
+    **kwargs,
+) -> str:
+    """Figure 1 rendered as ASCII TTA curves plus a summary table."""
+    if results is None:
+        results = run_figure1(**kwargs)
+    per_scheme, utilities = results
+    curves = [result.curve for result in per_scheme.values()]
+    plot = render_curves(
+        curves, title="Figure 1: TTA of TopKC vs TopK vs baselines (simulated time)"
+    )
+    table = format_float_table(
+        ["Scheme", "Rounds/s", "b", "Best metric", "Sim. time (h)"],
+        summary_rows(per_scheme),
+        precision=4,
+    )
+    utility_table = format_float_table(
+        ["Scheme", "Geomean speedup vs FP16", "Targets missed"],
+        [
+            [name, report.mean_speedup() or float("nan"), len(report.unreachable_targets)]
+            for name, report in utilities.items()
+        ],
+        precision=3,
+    )
+    return "\n\n".join([plot, table, utility_table])
+
+
+if __name__ == "__main__":
+    print(render_figure1(num_rounds=300))

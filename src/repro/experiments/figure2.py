@@ -1,0 +1,82 @@
+"""Figure 2: TTA of THC's all-reduce adaptations.
+
+Adding saturation and partial rotation to THC increases throughput without a
+measurable accuracy cost, so the TTA curve improves; dropping to b = q = 2
+increases throughput further but degrades TTA below even the FP16 baseline --
+the paper's "throughput alone is not utility" demonstration for quantization.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.core.reporting import format_float_table, render_curves
+from repro.core.utility import UtilityReport
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
+
+#: The series plotted in Figure 2.
+FIGURE2_SCHEMES: tuple[str, ...] = (
+    "thc_baseline",
+    "thc_q4_sat",
+    "thc_q4_sat_partial",
+    "thc_q2_sat_partial",
+)
+
+BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+
+
+def run_figure2(
+    workload: WorkloadSpec | None = None,
+    *,
+    num_rounds: int = 500,
+    eval_every: int = 10,
+    seed: int = 0,
+    cluster: ClusterSpec | None = None,
+    schemes: tuple[str, ...] = FIGURE2_SCHEMES,
+) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
+    """Train every Figure 2 series and compute utility against FP16."""
+    workload = workload or vgg19_tinyimagenet()
+    return compare_schemes(
+        list(BASELINE_SCHEMES[1:]) + list(schemes),
+        workload,
+        baseline_name=BASELINE_SCHEMES[0],
+        num_rounds=num_rounds,
+        cluster=cluster,
+        seed=seed,
+        eval_every=eval_every,
+    )
+
+
+def render_figure2(
+    results: tuple[dict[str, EndToEndResult], dict[str, UtilityReport]] | None = None,
+    **kwargs,
+) -> str:
+    """Figure 2 rendered as ASCII TTA curves plus a summary table."""
+    if results is None:
+        results = run_figure2(**kwargs)
+    per_scheme, utilities = results
+    plot = render_curves(
+        [result.curve for result in per_scheme.values()],
+        title="Figure 2: TTA of THC variants (simulated time)",
+    )
+    table = format_float_table(
+        ["Scheme", "Rounds/s", "b", "Best metric"],
+        [
+            [name, result.rounds_per_second, result.bits_per_coordinate, result.curve.best_value()]
+            for name, result in per_scheme.items()
+        ],
+        precision=4,
+    )
+    utility_table = format_float_table(
+        ["Scheme", "Geomean speedup vs FP16", "Targets missed"],
+        [
+            [name, report.mean_speedup() or float("nan"), len(report.unreachable_targets)]
+            for name, report in utilities.items()
+        ],
+        precision=3,
+    )
+    return "\n\n".join([plot, table, utility_table])
+
+
+if __name__ == "__main__":
+    print(render_figure2(num_rounds=300))

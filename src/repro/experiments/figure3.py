@@ -1,0 +1,81 @@
+"""Figure 3: TTA of PowerSGD across ranks.
+
+Rank 1 has the highest throughput but converges slower and to a lower
+accuracy; rank 4 beats FP32 comfortably yet offers only a modest gain over
+FP16 -- both of the paper's evaluation lessons in one sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.core.reporting import format_float_table, render_curves
+from repro.core.utility import UtilityReport
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
+
+#: The series plotted in Figure 3.
+FIGURE3_SCHEMES: tuple[str, ...] = (
+    "powersgd_r1",
+    "powersgd_r4",
+    "powersgd_r16",
+    "powersgd_r64",
+)
+
+BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+
+
+def run_figure3(
+    workload: WorkloadSpec | None = None,
+    *,
+    num_rounds: int = 500,
+    eval_every: int = 10,
+    seed: int = 0,
+    cluster: ClusterSpec | None = None,
+    schemes: tuple[str, ...] = FIGURE3_SCHEMES,
+) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
+    """Train every Figure 3 series and compute utility against FP16."""
+    workload = workload or vgg19_tinyimagenet()
+    return compare_schemes(
+        list(BASELINE_SCHEMES[1:]) + list(schemes),
+        workload,
+        baseline_name=BASELINE_SCHEMES[0],
+        num_rounds=num_rounds,
+        cluster=cluster,
+        seed=seed,
+        eval_every=eval_every,
+    )
+
+
+def render_figure3(
+    results: tuple[dict[str, EndToEndResult], dict[str, UtilityReport]] | None = None,
+    **kwargs,
+) -> str:
+    """Figure 3 rendered as ASCII TTA curves plus a summary table."""
+    if results is None:
+        results = run_figure3(**kwargs)
+    per_scheme, utilities = results
+    plot = render_curves(
+        [result.curve for result in per_scheme.values()],
+        title="Figure 3: TTA of PowerSGD by rank (simulated time)",
+    )
+    table = format_float_table(
+        ["Scheme", "Rounds/s", "b", "Best metric"],
+        [
+            [name, result.rounds_per_second, result.bits_per_coordinate, result.curve.best_value()]
+            for name, result in per_scheme.items()
+        ],
+        precision=4,
+    )
+    utility_table = format_float_table(
+        ["Scheme", "Geomean speedup vs FP16", "Targets missed"],
+        [
+            [name, report.mean_speedup() or float("nan"), len(report.unreachable_targets)]
+            for name, report in utilities.items()
+        ],
+        precision=3,
+    )
+    return "\n\n".join([plot, table, utility_table])
+
+
+if __name__ == "__main__":
+    print(render_figure3(num_rounds=300))

@@ -1,0 +1,33 @@
+"""Table 1: assessment of prior gradient compression systems."""
+
+from __future__ import annotations
+
+from repro.core.assessment import PRIOR_SYSTEMS, assessment_table
+from repro.core.reporting import format_table
+
+
+def run_table1() -> list[list[str]]:
+    """Return Table 1 as rows of strings (criteria x systems)."""
+    return assessment_table()
+
+
+def summary_statistics() -> dict[str, float]:
+    """Aggregate statistics the paper's prose draws from Table 1."""
+    fp16_count = sum(1 for s in PRIOR_SYSTEMS if s.fp16_baseline.value == "yes")
+    end_to_end_fractions = [s.end_to_end_fraction() for s in PRIOR_SYSTEMS]
+    return {
+        "num_systems": float(len(PRIOR_SYSTEMS)),
+        "fraction_with_fp16_baseline": fp16_count / len(PRIOR_SYSTEMS),
+        "mean_end_to_end_fraction": sum(end_to_end_fractions) / len(end_to_end_fractions),
+    }
+
+
+def render_table1() -> str:
+    """Table 1 formatted for the terminal."""
+    return format_table(
+        run_table1(), title="Table 1: Assessment of prior gradient compression systems"
+    )
+
+
+if __name__ == "__main__":
+    print(render_table1())

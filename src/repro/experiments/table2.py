@@ -1,0 +1,88 @@
+"""Table 2: baseline throughput varying training and communication precision.
+
+The paper's point: FP16 *communication* is a substantially stronger baseline
+than FP32 communication (and TF32 compute beats FP32 compute), so compression
+schemes must be compared against the TF32+FP16 configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.precision import PrecisionBaseline
+from repro.core.reporting import format_float_table
+from repro.experiments.common import estimate_throughput, paper_context
+from repro.simulator.cluster import ClusterSpec
+from repro.simulator.gpu import Precision
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+#: The four (training precision, communication precision) columns of Table 2.
+CONFIGURATIONS: tuple[tuple[Precision, Precision], ...] = (
+    (Precision.TF32, Precision.FP16),
+    (Precision.TF32, Precision.FP32),
+    (Precision.FP32, Precision.FP16),
+    (Precision.FP32, Precision.FP32),
+)
+
+
+@dataclass(frozen=True)
+class BaselineThroughputRow:
+    """One workload's row of Table 2."""
+
+    workload_name: str
+    rounds_per_second: dict[str, float]
+
+
+def configuration_label(training: Precision, communication: Precision) -> str:
+    """Column label in the paper's notation, e.g. "TF32+FP16"."""
+    return f"{training.value.upper()}+{communication.value.upper()}"
+
+
+def run_table2(
+    workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
+) -> list[BaselineThroughputRow]:
+    """Compute baseline rounds/s for every precision configuration."""
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    ctx = paper_context(cluster)
+    rows = []
+    for workload in workloads:
+        throughputs = {}
+        for training, communication in CONFIGURATIONS:
+            scheme = PrecisionBaseline(communication)
+            estimate = estimate_throughput(
+                scheme, workload, training_precision=training, ctx=ctx
+            )
+            throughputs[configuration_label(training, communication)] = (
+                estimate.rounds_per_second
+            )
+        rows.append(
+            BaselineThroughputRow(
+                workload_name=workload.name, rounds_per_second=throughputs
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[BaselineThroughputRow] | None = None) -> str:
+    """Table 2 formatted for the terminal (rounds per second)."""
+    rows = rows or run_table2()
+    labels = [configuration_label(t, c) for t, c in CONFIGURATIONS]
+    header = ["Task"] + labels
+    body = [
+        [row.workload_name] + [row.rounds_per_second[label] for label in labels]
+        for row in rows
+    ]
+    return format_float_table(
+        header,
+        body,
+        title="Table 2: Baseline throughput (rounds/s) by training+communication precision",
+        precision=3,
+    )
+
+
+if __name__ == "__main__":
+    print(render_table2())

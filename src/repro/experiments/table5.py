@@ -1,0 +1,89 @@
+"""Table 5: training throughput of TopK vs TopKC on both workloads.
+
+TopKC's advantage comes from two design changes: all-reduce (instead of
+all-gather) aggregation and a cheap, sequential-memory chunk-selection kernel
+(instead of a full top-k over all coordinates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.topk import TopKCompressor
+from repro.compression.topkc import TopKChunkedCompressor
+from repro.core.reporting import format_float_table
+from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
+from repro.experiments.table4 import BIT_BUDGETS
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+
+@dataclass(frozen=True)
+class SparsifierThroughputRow:
+    """Throughput of TopK and TopKC on one workload at one bit budget."""
+
+    workload_name: str
+    bits_per_coordinate: float
+    topk: ThroughputEstimate
+    topkc: ThroughputEstimate
+
+    @property
+    def speedup(self) -> float:
+        """TopKC throughput divided by TopK throughput (paper reports up to ~2x)."""
+        return self.topkc.rounds_per_second / self.topk.rounds_per_second
+
+
+def run_table5(
+    workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
+) -> list[SparsifierThroughputRow]:
+    """Price TopK and TopKC rounds at paper scale for every bit budget."""
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    ctx = paper_context(cluster)
+    rows = []
+    for workload in workloads:
+        for bits in BIT_BUDGETS:
+            topk = estimate_throughput(TopKCompressor(bits), workload, ctx=ctx)
+            topkc = estimate_throughput(TopKChunkedCompressor(bits), workload, ctx=ctx)
+            rows.append(
+                SparsifierThroughputRow(
+                    workload_name=workload.name,
+                    bits_per_coordinate=bits,
+                    topk=topk,
+                    topkc=topkc,
+                )
+            )
+    return rows
+
+
+def render_table5(rows: list[SparsifierThroughputRow] | None = None) -> str:
+    """Table 5 formatted for the terminal (rounds/s)."""
+    rows = rows or run_table5()
+    workload_names = list(dict.fromkeys(row.workload_name for row in rows))
+    header = ["Task", "Compression"] + [f"b = {bits:g}" for bits in BIT_BUDGETS]
+    body = []
+    for workload_name in workload_names:
+        workload_rows = {
+            row.bits_per_coordinate: row for row in rows if row.workload_name == workload_name
+        }
+        body.append(
+            [workload_name, "TopK"]
+            + [workload_rows[b].topk.rounds_per_second for b in BIT_BUDGETS]
+        )
+        body.append(
+            [workload_name, "TopKC"]
+            + [workload_rows[b].topkc.rounds_per_second for b in BIT_BUDGETS]
+        )
+    return format_float_table(
+        header,
+        body,
+        title="Table 5: Throughput (rounds/s) of TopK vs TopK Chunked (TopKC)",
+        precision=3,
+    )
+
+
+if __name__ == "__main__":
+    print(render_table5())

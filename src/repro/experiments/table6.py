@@ -1,0 +1,84 @@
+"""Table 6: compression overhead of TopK.
+
+The paper profiles the fraction of round time spent in TopK's
+computationally heavy components (top-k selection, packing, scattering,
+summation of gathered payloads) and finds ~9-13 % across bit budgets -- a
+major part of why the scheme's high compression ratio does not translate to
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.topk import TopKCompressor
+from repro.core.reporting import format_float_table
+from repro.experiments.common import estimate_throughput, paper_context
+from repro.experiments.table4 import BIT_BUDGETS
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+
+@dataclass(frozen=True)
+class CompressionOverheadRow:
+    """TopK compression overhead on one workload at one bit budget."""
+
+    workload_name: str
+    bits_per_coordinate: float
+    compression_seconds: float
+    round_seconds: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of round time spent in compression kernels."""
+        return self.compression_seconds / self.round_seconds
+
+
+def run_table6(
+    workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
+) -> list[CompressionOverheadRow]:
+    """Measure TopK's compression-time fraction at paper scale."""
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    ctx = paper_context(cluster)
+    rows = []
+    for workload in workloads:
+        for bits in BIT_BUDGETS:
+            estimate = estimate_throughput(TopKCompressor(bits), workload, ctx=ctx)
+            rows.append(
+                CompressionOverheadRow(
+                    workload_name=workload.name,
+                    bits_per_coordinate=bits,
+                    compression_seconds=estimate.cost.compression_seconds,
+                    round_seconds=estimate.round_seconds,
+                )
+            )
+    return rows
+
+
+def render_table6(rows: list[CompressionOverheadRow] | None = None) -> str:
+    """Table 6 formatted for the terminal (percent of round time)."""
+    rows = rows or run_table6()
+    workload_names = list(dict.fromkeys(row.workload_name for row in rows))
+    header = ["Task"] + [f"b = {bits:g}" for bits in BIT_BUDGETS]
+    body = []
+    for workload_name in workload_names:
+        per_budget = {
+            row.bits_per_coordinate: row for row in rows if row.workload_name == workload_name
+        }
+        body.append(
+            [workload_name]
+            + [f"{per_budget[b].overhead_fraction * 100:.1f}%" for b in BIT_BUDGETS]
+        )
+    return format_float_table(
+        header,
+        body,
+        title="Table 6: TopK compression overhead (percent of round time)",
+    )
+
+
+if __name__ == "__main__":
+    print(render_table6())

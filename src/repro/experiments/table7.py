@@ -1,0 +1,83 @@
+"""Table 7: vNMSE of TopK vs TopKC at equal bits per coordinate.
+
+At equal ``b`` TopKC aggregates more coordinates than TopK (it spends no bits
+on indices), which -- together with the spatial locality of large gradient
+coordinates -- gives it a lower compression error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.topk import TopKCompressor
+from repro.compression.topkc import TopKChunkedCompressor
+from repro.core.reporting import format_float_table
+from repro.experiments.common import bert_like_gradients, mean_vnmse, paper_context
+from repro.experiments.table4 import BIT_BUDGETS
+
+
+@dataclass(frozen=True)
+class SparsifierErrorRow:
+    """vNMSE of TopK and TopKC at one bit budget."""
+
+    bits_per_coordinate: float
+    topk_vnmse: float
+    topkc_vnmse: float
+
+    @property
+    def topkc_is_better(self) -> bool:
+        """Whether TopKC's aggregate is closer to the true mean."""
+        return self.topkc_vnmse <= self.topk_vnmse
+
+
+def run_table7(
+    *,
+    num_coordinates: int = 1 << 17,
+    num_rounds: int = 3,
+    num_workers: int = 4,
+    seed: int = 3,
+) -> list[SparsifierErrorRow]:
+    """Measure vNMSE of TopK vs TopKC on BERT-like gradients."""
+    ctx = paper_context(seed=seed)
+    rows = []
+    for bits in BIT_BUDGETS:
+        topk_error = mean_vnmse(
+            TopKCompressor(bits),
+            bert_like_gradients(num_coordinates, seed=seed),
+            num_rounds=num_rounds,
+            num_workers=num_workers,
+            ctx=ctx,
+        )
+        topkc_error = mean_vnmse(
+            TopKChunkedCompressor(bits),
+            bert_like_gradients(num_coordinates, seed=seed),
+            num_rounds=num_rounds,
+            num_workers=num_workers,
+            ctx=ctx,
+        )
+        rows.append(
+            SparsifierErrorRow(
+                bits_per_coordinate=bits, topk_vnmse=topk_error, topkc_vnmse=topkc_error
+            )
+        )
+    return rows
+
+
+def render_table7(rows: list[SparsifierErrorRow] | None = None) -> str:
+    """Table 7 formatted for the terminal."""
+    rows = rows or run_table7()
+    header = ["Compression"] + [f"b = {row.bits_per_coordinate:g}" for row in rows]
+    body = [
+        ["TopK"] + [row.topk_vnmse for row in rows],
+        ["TopKC"] + [row.topkc_vnmse for row in rows],
+    ]
+    return format_float_table(
+        header,
+        body,
+        title="Table 7: vNMSE of aggregated gradients, TopK vs TopKC (BERT-like gradients)",
+        precision=3,
+    )
+
+
+if __name__ == "__main__":
+    print(render_table7())

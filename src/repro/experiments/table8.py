@@ -1,0 +1,128 @@
+"""Table 8: throughput of THC with saturation and partial rotation.
+
+Three effects are measured against the baseline adaptation (full rotation,
+widened b=8 wire format):
+
+* saturation keeps ``b = q`` and halves the communication volume;
+* partial rotation removes the shared-memory spill of the full Hadamard
+  transform;
+* no rotation removes the transform entirely (fastest, but hurts accuracy --
+  the TTA figure, not this table, shows that side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
+from repro.core.reporting import format_float_table
+from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+#: The quantization widths the paper sweeps with saturation enabled.
+SATURATION_BITS: tuple[int, ...] = (2, 4)
+
+
+@dataclass(frozen=True)
+class THCThroughputRow:
+    """Throughput of the THC variants on one workload at one quantization width."""
+
+    workload_name: str
+    quantization_bits: int
+    full_rotation: ThroughputEstimate
+    partial_rotation: ThroughputEstimate
+    no_rotation: ThroughputEstimate
+
+
+@dataclass(frozen=True)
+class THCBaselineRow:
+    """Throughput of the widened-wire baseline (b=8, q=4, full rotation)."""
+
+    workload_name: str
+    baseline: ThroughputEstimate
+
+
+def run_table8(
+    workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
+) -> tuple[list[THCThroughputRow], list[THCBaselineRow]]:
+    """Price every THC variant of Table 8 at paper scale."""
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    ctx = paper_context(cluster)
+    saturation_rows = []
+    baseline_rows = []
+    for workload in workloads:
+        for bits in SATURATION_BITS:
+            variants = {}
+            for rotation in (RotationMode.FULL, RotationMode.PARTIAL, RotationMode.NONE):
+                scheme = THCCompressor(
+                    bits, bits, rotation=rotation, aggregation=AggregationMode.SATURATION
+                )
+                variants[rotation] = estimate_throughput(scheme, workload, ctx=ctx)
+            saturation_rows.append(
+                THCThroughputRow(
+                    workload_name=workload.name,
+                    quantization_bits=bits,
+                    full_rotation=variants[RotationMode.FULL],
+                    partial_rotation=variants[RotationMode.PARTIAL],
+                    no_rotation=variants[RotationMode.NONE],
+                )
+            )
+        baseline_scheme = THCCompressor(
+            4, 8, rotation=RotationMode.FULL, aggregation=AggregationMode.WIDENED
+        )
+        baseline_rows.append(
+            THCBaselineRow(
+                workload_name=workload.name,
+                baseline=estimate_throughput(baseline_scheme, workload, ctx=ctx),
+            )
+        )
+    return saturation_rows, baseline_rows
+
+
+def render_table8(
+    results: tuple[list[THCThroughputRow], list[THCBaselineRow]] | None = None,
+) -> str:
+    """Table 8 formatted for the terminal (rounds/s)."""
+    saturation_rows, baseline_rows = results or run_table8()
+    header = ["Task", "#bits", "Full Rotation", "Partial Rotation", "No Rotation"]
+    body = []
+    workload_names = list(dict.fromkeys(row.workload_name for row in saturation_rows))
+    baselines = {row.workload_name: row for row in baseline_rows}
+    for workload_name in workload_names:
+        for row in saturation_rows:
+            if row.workload_name != workload_name:
+                continue
+            body.append(
+                [
+                    workload_name,
+                    f"Sat, b=q={row.quantization_bits}",
+                    row.full_rotation.rounds_per_second,
+                    row.partial_rotation.rounds_per_second,
+                    row.no_rotation.rounds_per_second,
+                ]
+            )
+        baseline = baselines[workload_name]
+        body.append(
+            [
+                workload_name,
+                "BL b=8, q=4",
+                baseline.baseline.rounds_per_second,
+                "N/A",
+                "N/A",
+            ]
+        )
+    return format_float_table(
+        header,
+        body,
+        title="Table 8: Throughput (rounds/s) of THC with saturation vs the widened baseline",
+        precision=3,
+    )
+
+
+if __name__ == "__main__":
+    print(render_table8())

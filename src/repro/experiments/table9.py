@@ -1,0 +1,91 @@
+"""Table 9: bits-per-coordinate and throughput of PowerSGD across ranks.
+
+PowerSGD achieves very high compression ratios, yet increasing the rank from
+1 to 64 nearly halves the throughput while the communication stays negligible:
+the bottleneck is the orthogonalization compute, not the network -- the
+paper's example of why compression ratio alone is a poor design objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.core.reporting import format_float_table
+from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+#: The ranks the paper sweeps.
+RANKS: tuple[int, ...] = (1, 4, 16, 64)
+
+
+@dataclass(frozen=True)
+class PowerSGDRow:
+    """Bits-per-coordinate and throughput of PowerSGD at one rank."""
+
+    workload_name: str
+    rank: int
+    bits_per_coordinate: float
+    throughput: ThroughputEstimate
+
+    @property
+    def orthogonalization_bound(self) -> bool:
+        """Whether compression compute exceeds communication for this setting."""
+        return (
+            self.throughput.cost.compression_seconds
+            > self.throughput.cost.communication_seconds
+        )
+
+
+def run_table9(
+    workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
+) -> list[PowerSGDRow]:
+    """Price PowerSGD rounds at paper scale for every rank."""
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    ctx = paper_context(cluster)
+    rows = []
+    for workload in workloads:
+        for rank in RANKS:
+            scheme = PowerSGDCompressor(rank, list(workload.paper_layer_shapes))
+            estimate = estimate_throughput(scheme, workload, ctx=ctx)
+            rows.append(
+                PowerSGDRow(
+                    workload_name=workload.name,
+                    rank=rank,
+                    bits_per_coordinate=estimate.cost.bits_per_coordinate,
+                    throughput=estimate,
+                )
+            )
+    return rows
+
+
+def render_table9(rows: list[PowerSGDRow] | None = None) -> str:
+    """Table 9 formatted for the terminal (b and rounds/s per rank)."""
+    rows = rows or run_table9()
+    workload_names = list(dict.fromkeys(row.workload_name for row in rows))
+    header = ["Task"]
+    for rank in RANKS:
+        header.extend([f"r={rank} b", f"r={rank} Thr."])
+    body = []
+    for workload_name in workload_names:
+        per_rank = {row.rank: row for row in rows if row.workload_name == workload_name}
+        cells: list[object] = [workload_name]
+        for rank in RANKS:
+            row = per_rank[rank]
+            cells.extend([row.bits_per_coordinate, row.throughput.rounds_per_second])
+        body.append(cells)
+    return format_float_table(
+        header,
+        body,
+        title="Table 9: Bits-per-coordinate and throughput (rounds/s) of PowerSGD by rank",
+        precision=3,
+    )
+
+
+if __name__ == "__main__":
+    print(render_table9())

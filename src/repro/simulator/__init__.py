@@ -1,0 +1,34 @@
+"""Hardware and timing simulator substrate.
+
+The paper's prototypes run on a physical testbed (2 nodes x 2 NVIDIA A100
+GPUs, Mellanox ConnectX-6 100 Gbps NICs).  This package provides the analytic
+stand-in for that hardware: a GPU model with precision-dependent arithmetic
+rates and a shared/global memory hierarchy, a NIC model, per-kernel cost
+models for the computationally heavy components the paper profiles (top-k
+selection, randomized Hadamard transform, Gram-Schmidt orthogonalization,
+quantization), and a per-round :class:`Timeline` that adds everything up into
+simulated wall-clock time.
+
+All times are in seconds of *simulated* time.  Absolute values are calibrated
+against the paper's reported throughputs (Tables 2, 5, 8, 9) but only the
+relative behaviour -- which component dominates, how design changes shift the
+balance -- is claimed to reproduce.
+"""
+
+from repro.simulator.gpu import GpuModel, MemoryHierarchy, Precision
+from repro.simulator.nic import NicModel
+from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.timeline import RoundTimeline, TimelineEntry
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+
+__all__ = [
+    "GpuModel",
+    "MemoryHierarchy",
+    "Precision",
+    "NicModel",
+    "KernelCostModel",
+    "RoundTimeline",
+    "TimelineEntry",
+    "ClusterSpec",
+    "paper_testbed",
+]

@@ -1,0 +1,82 @@
+"""Cluster description: how many nodes, GPUs per node, and interconnects.
+
+The paper's testbed ("two nodes, each equipped with two NVIDIA A100 GPUs and a
+Mellanox ConnectX-6 100 Gbps NIC") is available as :func:`paper_testbed`.
+Larger synthetic clusters can be built for the scalability ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.gpu import GpuModel
+from repro.simulator.nic import NVLINK, NicModel
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous GPU cluster.
+
+    Attributes:
+        num_nodes: Number of physical machines.
+        gpus_per_node: GPUs (workers) per machine.
+        gpu: Performance model shared by all GPUs.
+        inter_node_nic: NIC connecting different machines.
+        intra_node_nic: Interconnect between GPUs in the same machine
+            (NVLink-like by default).
+    """
+
+    num_nodes: int = 2
+    gpus_per_node: int = 2
+    gpu: GpuModel = field(default_factory=GpuModel)
+    inter_node_nic: NicModel = field(default_factory=NicModel)
+    intra_node_nic: NicModel = NVLINK
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.gpus_per_node < 1:
+            raise ValueError("gpus_per_node must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of workers (GPUs) in the cluster."""
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting worker ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two workers share a machine (and thus the fast interconnect)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def link_between(self, rank_a: int, rank_b: int) -> NicModel:
+        """The interconnect model used for traffic between two workers."""
+        if rank_a == rank_b:
+            raise ValueError("no link between a worker and itself")
+        return self.intra_node_nic if self.same_node(rank_a, rank_b) else self.inter_node_nic
+
+    def bottleneck_bandwidth_gbps(self) -> float:
+        """Bandwidth of the slowest link class present in the cluster."""
+        if self.num_nodes > 1:
+            return self.inter_node_nic.bandwidth_gbps
+        return self.intra_node_nic.bandwidth_gbps
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+
+
+def paper_testbed() -> ClusterSpec:
+    """The testbed used throughout the paper's case study.
+
+    Two nodes, two A100s each, 100 Gbps inter-node NICs, NVLink intra-node.
+    """
+    return ClusterSpec(num_nodes=2, gpus_per_node=2)
+
+
+def scale_out_cluster(num_nodes: int, gpus_per_node: int = 8) -> ClusterSpec:
+    """A larger cluster preset for scalability ablations."""
+    return ClusterSpec(num_nodes=num_nodes, gpus_per_node=gpus_per_node)

@@ -1,0 +1,73 @@
+"""Network interface model.
+
+The paper's testbed uses Mellanox ConnectX-6 100 Gbps NICs; intra-node GPU
+pairs communicate over NVLink.  The model captures the two properties that
+matter for the communication argument:
+
+* a per-message latency term (the "alpha" in the alpha-beta model), and
+* a bandwidth term, in Gbit/s, which limits how fast gradient bytes move.
+
+The paper also cites SRNIC-style findings that RDMA NICs degrade when they
+maintain many connections (relevant to all-gather and parameter-server
+aggregation).  :meth:`NicModel.effective_bandwidth_gbps` models this as a mild
+per-connection degradation beyond a connection budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NicModel:
+    """A simple latency/bandwidth/connection-scalability NIC model.
+
+    Attributes:
+        bandwidth_gbps: Line rate in Gbit/s.
+        latency_s: One-way message latency in seconds (per hop / per message).
+        protocol_efficiency: Fraction of the line rate a collective actually
+            sustains (framing, congestion control, and NCCL protocol overhead;
+            ~0.6 matches the gap between the paper's FP16 and FP32 baseline
+            round times on 100 GbE).
+        connection_budget: Number of simultaneous reliable connections the NIC
+            can sustain at full rate.
+        per_connection_penalty: Fractional bandwidth loss per connection above
+            the budget (cumulative, floored at ``min_efficiency``).
+        min_efficiency: Lower bound on the connection-scaling efficiency factor.
+    """
+
+    name: str = "ConnectX-6"
+    bandwidth_gbps: float = 100.0
+    latency_s: float = 5e-6
+    protocol_efficiency: float = 0.6
+    connection_budget: int = 64
+    per_connection_penalty: float = 0.002
+    min_efficiency: float = 0.4
+
+    def effective_bandwidth_gbps(self, num_connections: int = 1) -> float:
+        """Bandwidth available when maintaining ``num_connections`` connections."""
+        if num_connections < 1:
+            raise ValueError("num_connections must be >= 1")
+        excess = max(0, num_connections - self.connection_budget)
+        efficiency = max(self.min_efficiency, 1.0 - excess * self.per_connection_penalty)
+        return self.bandwidth_gbps * self.protocol_efficiency * efficiency
+
+    def transfer_time(self, nbits: float, *, num_connections: int = 1) -> float:
+        """Time to push ``nbits`` through the NIC over ``num_connections`` connections."""
+        if nbits < 0:
+            raise ValueError("nbits must be non-negative")
+        if nbits == 0:
+            return 0.0
+        bandwidth_bps = self.effective_bandwidth_gbps(num_connections) * 1e9
+        return self.latency_s + nbits / bandwidth_bps
+
+
+#: NVLink-like intra-node interconnect: much higher bandwidth, lower latency.
+NVLINK = NicModel(
+    name="NVLink3",
+    bandwidth_gbps=600.0 * 8,
+    latency_s=1e-6,
+    protocol_efficiency=0.8,
+    connection_budget=256,
+    per_connection_penalty=0.0005,
+)

@@ -1,0 +1,45 @@
+"""Distributed data-parallel (DDP) training substrate.
+
+The paper's prototypes train BERT-large and VGG19 with PyTorch DDP on a GPU
+testbed.  This package provides the simulation stand-in:
+
+* real (small) trainable models implemented in NumPy
+  (:mod:`repro.training.models`) on synthetic teacher datasets
+  (:mod:`repro.training.data`), so that compression error genuinely affects
+  convergence and final accuracy;
+* synthetic gradient generators that match the statistical structure of deep
+  network gradients -- heavy tails, spatial locality, inter-worker similarity
+  (:mod:`repro.training.gradients`) -- for the compression-error studies;
+* workload descriptors that carry the paper-scale facts (345M / 144M
+  parameters, layer shapes, per-round compute time) used to price each round
+  (:mod:`repro.training.workloads`);
+* the DDP trainer that ties workers, an aggregation scheme, and the cost
+  models together into a time-to-accuracy run (:mod:`repro.training.ddp`).
+"""
+
+from repro.training.data import SyntheticTeacherDataset
+from repro.training.ddp import DDPTrainer, TrainingHistory
+from repro.training.gradients import SyntheticGradientModel
+from repro.training.models import MLPClassifier, SoftmaxRegression
+from repro.training.optimizer import SGD, LearningRateSchedule
+from repro.training.worker import DDPWorker
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_wikitext,
+    vgg19_tinyimagenet,
+)
+
+__all__ = [
+    "SyntheticTeacherDataset",
+    "DDPTrainer",
+    "TrainingHistory",
+    "SyntheticGradientModel",
+    "MLPClassifier",
+    "SoftmaxRegression",
+    "SGD",
+    "LearningRateSchedule",
+    "DDPWorker",
+    "WorkloadSpec",
+    "bert_large_wikitext",
+    "vgg19_tinyimagenet",
+]

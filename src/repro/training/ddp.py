@@ -1,0 +1,238 @@
+"""The distributed data-parallel trainer: where everything comes together.
+
+Each round the trainer
+
+1. lets every worker compute the gradient of the shared parameters on its own
+   mini-batch (functional NumPy compute),
+2. aggregates the per-worker gradients through the configured
+   :class:`~repro.compression.AggregationScheme` (which applies the real
+   compression math and records its cost),
+3. applies the aggregated gradient with the optimizer, and
+4. advances the *simulated clock* by the per-round time of the paper-scale
+   workload: testbed compute time plus the scheme's compression and
+   communication time priced at the real model size.
+
+The result is a :class:`TrainingHistory` whose metric-versus-simulated-time
+trajectory is exactly the raw material of the paper's TTA figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.collectives.api import CollectiveBackend
+from repro.compression.base import AggregationScheme, SimContext
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.gpu import Precision
+from repro.simulator.kernel_cost import KernelCostModel
+from repro.training.data import SyntheticTeacherDataset
+from repro.training.models import Model
+from repro.training.optimizer import SGD
+from repro.training.worker import DDPWorker
+from repro.training.workloads import WorkloadSpec
+
+
+class StoppingCriterion(Protocol):
+    """Anything that can decide when a metric trajectory has converged."""
+
+    def update(self, value: float) -> bool:
+        """Feed one metric observation; return True when training should stop."""
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One held-out evaluation point along the training trajectory."""
+
+    round_index: int
+    sim_time_seconds: float
+    metrics: dict[str, float]
+
+
+@dataclass
+class TrainingHistory:
+    """The full trajectory of one training run under one aggregation scheme.
+
+    Attributes:
+        workload_name: Which workload preset produced the run.
+        scheme_name: Name of the aggregation scheme.
+        metric_name: The goal metric ("perplexity" or "accuracy").
+        metric_improves: "up" or "down".
+        round_seconds: Simulated duration of one round (constant per run).
+        train_losses: Per-round training loss of worker 0's batch.
+        evaluations: Periodic held-out evaluations.
+    """
+
+    workload_name: str
+    scheme_name: str
+    metric_name: str
+    metric_improves: str
+    round_seconds: float
+    train_losses: list[float] = field(default_factory=list)
+    evaluations: list[EvaluationRecord] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of training rounds executed."""
+        return len(self.train_losses)
+
+    def times(self) -> np.ndarray:
+        """Simulated times (seconds) of the evaluation points."""
+        return np.array([record.sim_time_seconds for record in self.evaluations])
+
+    def metric_values(self) -> np.ndarray:
+        """Goal-metric values at the evaluation points."""
+        return np.array([record.metrics[self.metric_name] for record in self.evaluations])
+
+    def final_metric(self) -> float:
+        """Goal metric at the last evaluation point."""
+        if not self.evaluations:
+            raise ValueError("no evaluations recorded")
+        return self.evaluations[-1].metrics[self.metric_name]
+
+    def best_metric(self) -> float:
+        """Best goal-metric value seen at any evaluation point."""
+        values = self.metric_values()
+        if values.size == 0:
+            raise ValueError("no evaluations recorded")
+        return float(values.max() if self.metric_improves == "up" else values.min())
+
+    def throughput_rounds_per_second(self) -> float:
+        """Simulated training throughput implied by the per-round time."""
+        if self.round_seconds <= 0:
+            raise ValueError("round_seconds must be positive")
+        return 1.0 / self.round_seconds
+
+
+class DDPTrainer:
+    """Trains one model with one aggregation scheme on a simulated cluster.
+
+    Args:
+        model: The NumPy model being trained (shared by all workers).
+        dataset: Synthetic dataset providing per-worker shards and a test set.
+        scheme: Aggregation scheme applied to the per-worker gradients.
+        workload: Paper-scale workload facts used to price each round.
+        cluster: Simulated cluster (defaults to the paper testbed).
+        optimizer: Parameter update rule (defaults to SGD with momentum).
+        pricing_scheme: Optional second scheme instance used only to price
+            the round at ``workload.paper_num_coordinates`` (useful when the
+            functional scheme is configured for the small simulation model,
+            e.g. PowerSGD layer shapes).  Defaults to ``scheme``.
+        training_precision: Precision of the forward/backward compute used to
+            look up the workload's per-round compute time.
+        eval_every: Rounds between held-out evaluations.
+        seed: Seed for worker batch sampling and scheme randomness.
+        overlap_fraction: Fraction of communication hidden behind compute
+            (0 = fully exposed, as in a naive implementation).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        dataset: SyntheticTeacherDataset,
+        scheme: AggregationScheme,
+        workload: WorkloadSpec,
+        *,
+        cluster: ClusterSpec | None = None,
+        optimizer: SGD | None = None,
+        pricing_scheme: AggregationScheme | None = None,
+        training_precision: Precision = Precision.TF32,
+        eval_every: int = 10,
+        seed: int = 0,
+        overlap_fraction: float = 0.0,
+    ):
+        if eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        if not 0.0 <= overlap_fraction <= 1.0:
+            raise ValueError("overlap_fraction must be in [0, 1]")
+        self.model = model
+        self.dataset = dataset
+        self.scheme = scheme
+        self.workload = workload
+        self.cluster = cluster or paper_testbed()
+        self.optimizer = optimizer or SGD(workload.sim_base_lr)
+        self.training_precision = training_precision
+        self.eval_every = eval_every
+        self.seed = seed
+        self.overlap_fraction = overlap_fraction
+
+        backend = CollectiveBackend(self.cluster)
+        self._ctx = SimContext(
+            backend=backend,
+            kernels=KernelCostModel(gpu=self.cluster.gpu),
+            rng=np.random.default_rng(seed),
+        )
+        self.workers = [
+            DDPWorker(
+                rank=rank,
+                shard=dataset.worker_shard(rank, self.cluster.world_size),
+                batch_size=workload.sim_batch_size,
+                seed=seed,
+            )
+            for rank in range(self.cluster.world_size)
+        ]
+
+        pricing = pricing_scheme or scheme
+        compute_seconds = workload.compute_seconds_for(training_precision)
+        costs = pricing.estimate_costs(workload.paper_num_coordinates, self._ctx)
+        exposed_communication = costs.communication_seconds * (1.0 - overlap_fraction)
+        self.round_seconds = (
+            compute_seconds + costs.compression_seconds + exposed_communication
+        )
+        self.round_cost_estimate = costs
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, round_index: int, sim_time: float) -> EvaluationRecord:
+        metrics = self.model.evaluate(self.dataset.test_batch())
+        return EvaluationRecord(
+            round_index=round_index, sim_time_seconds=sim_time, metrics=metrics
+        )
+
+    def run(
+        self,
+        num_rounds: int,
+        *,
+        stopping: StoppingCriterion | None = None,
+    ) -> TrainingHistory:
+        """Train for up to ``num_rounds`` rounds (less if ``stopping`` fires).
+
+        Returns:
+            The metric-versus-simulated-time trajectory of the run.
+        """
+        if num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+
+        history = TrainingHistory(
+            workload_name=self.workload.name,
+            scheme_name=self.scheme.name,
+            metric_name=self.workload.metric,
+            metric_improves=self.workload.metric_improves,
+            round_seconds=self.round_seconds,
+        )
+        history.evaluations.append(self._evaluate(0, 0.0))
+
+        params = self.model.get_flat_params()
+        for round_index in range(1, num_rounds + 1):
+            losses = []
+            gradients = []
+            for worker in self.workers:
+                loss, gradient = worker.compute_gradient(self.model)
+                losses.append(loss)
+                gradients.append(gradient)
+            history.train_losses.append(float(losses[0]))
+
+            result = self.scheme.aggregate(gradients, self._ctx)
+            params = self.optimizer.step(params, result.mean_estimate)
+            self.model.set_flat_params(params)
+
+            sim_time = round_index * self.round_seconds
+            if round_index % self.eval_every == 0 or round_index == num_rounds:
+                record = self._evaluate(round_index, sim_time)
+                history.evaluations.append(record)
+                if stopping is not None and stopping.update(
+                    record.metrics[self.workload.metric]
+                ):
+                    break
+        return history

@@ -1,0 +1,221 @@
+"""NumPy models trained by the DDP substrate.
+
+Two model families are provided:
+
+* :class:`SoftmaxRegression` -- a linear classifier, useful for fast tests.
+* :class:`MLPClassifier` -- a multi-layer perceptron with tanh activations;
+  large enough (tens of thousands to millions of parameters, depending on
+  the configured widths) for compression error to matter, and structured in
+  named layers so PowerSGD can operate per layer matrix.
+
+Both expose the flat-parameter-vector interface the DDP trainer works with:
+``get_flat_params`` / ``set_flat_params`` / ``gradient(batch)`` returning a
+flat gradient, plus ``layer_shapes`` describing the 2-D weight matrices.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.training.data import Batch
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy of predicted probabilities against integer labels."""
+    if probabilities.shape[0] != labels.shape[0]:
+        raise ValueError("batch sizes do not match")
+    clipped = np.clip(probabilities[np.arange(labels.shape[0]), labels], 1e-12, 1.0)
+    return float(-np.mean(np.log(clipped)))
+
+
+class Model(abc.ABC):
+    """A trainable model with a flat-parameter interface."""
+
+    @property
+    @abc.abstractmethod
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+
+    @property
+    @abc.abstractmethod
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        """Shapes of the 2-D weight matrices (excluding biases)."""
+
+    @abc.abstractmethod
+    def get_flat_params(self) -> np.ndarray:
+        """The current parameters as one flat float32 vector."""
+
+    @abc.abstractmethod
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Overwrite the parameters from a flat vector."""
+
+    @abc.abstractmethod
+    def loss_and_gradient(self, batch: Batch) -> tuple[float, np.ndarray]:
+        """Mean loss on the batch and the flat gradient of that loss."""
+
+    @abc.abstractmethod
+    def evaluate(self, batch: Batch) -> dict[str, float]:
+        """Evaluation metrics on a held-out batch (loss, accuracy, perplexity)."""
+
+
+class SoftmaxRegression(Model):
+    """A linear softmax classifier (weights + bias)."""
+
+    def __init__(self, input_dim: int, num_classes: int, seed: int = 0):
+        if input_dim <= 0 or num_classes < 2:
+            raise ValueError("invalid model geometry")
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.num_classes = num_classes
+        self.weights = (rng.standard_normal((input_dim, num_classes)) * 0.01).astype(
+            np.float64
+        )
+        self.bias = np.zeros(num_classes, dtype=np.float64)
+
+    @property
+    def num_parameters(self) -> int:
+        return self.weights.size + self.bias.size
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        return [(self.input_dim, self.num_classes)]
+
+    def get_flat_params(self) -> np.ndarray:
+        return np.concatenate([self.weights.ravel(), self.bias]).astype(np.float32)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        if flat.size != self.num_parameters:
+            raise ValueError("flat parameter vector has the wrong size")
+        split = self.weights.size
+        self.weights = flat[:split].reshape(self.weights.shape).astype(np.float64)
+        self.bias = flat[split:].astype(np.float64)
+
+    def _forward(self, inputs: np.ndarray) -> np.ndarray:
+        return softmax(inputs @ self.weights + self.bias)
+
+    def loss_and_gradient(self, batch: Batch) -> tuple[float, np.ndarray]:
+        probabilities = self._forward(batch.inputs)
+        loss = cross_entropy(probabilities, batch.labels)
+        delta = probabilities.copy()
+        delta[np.arange(batch.size), batch.labels] -= 1.0
+        delta /= batch.size
+        grad_w = batch.inputs.T @ delta
+        grad_b = delta.sum(axis=0)
+        gradient = np.concatenate([grad_w.ravel(), grad_b]).astype(np.float32)
+        return loss, gradient
+
+    def evaluate(self, batch: Batch) -> dict[str, float]:
+        probabilities = self._forward(batch.inputs)
+        loss = cross_entropy(probabilities, batch.labels)
+        accuracy = float(np.mean(np.argmax(probabilities, axis=1) == batch.labels))
+        return {"loss": loss, "accuracy": accuracy, "perplexity": float(np.exp(loss))}
+
+
+class MLPClassifier(Model):
+    """A tanh MLP classifier with an arbitrary stack of hidden layers.
+
+    Args:
+        input_dim: Feature dimensionality.
+        hidden_dims: Width of each hidden layer, in order.
+        num_classes: Output classes.
+        seed: Initialisation seed.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: tuple[int, ...] = (128, 128),
+        num_classes: int = 16,
+        seed: int = 0,
+    ):
+        if input_dim <= 0 or num_classes < 2:
+            raise ValueError("invalid model geometry")
+        if not hidden_dims or any(h <= 0 for h in hidden_dims):
+            raise ValueError("hidden_dims must be a non-empty tuple of positive widths")
+        self.input_dim = input_dim
+        self.hidden_dims = tuple(hidden_dims)
+        self.num_classes = num_classes
+
+        rng = np.random.default_rng(seed)
+        dims = [input_dim, *hidden_dims, num_classes]
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(dims[:-1], dims[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(
+                (rng.standard_normal((fan_in, fan_out)) * scale).astype(np.float64)
+            )
+            self.biases.append(np.zeros(fan_out, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_parameters(self) -> int:
+        return sum(w.size for w in self.weights) + sum(b.size for b in self.biases)
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, int]]:
+        return [w.shape for w in self.weights]
+
+    def get_flat_params(self) -> np.ndarray:
+        pieces = [w.ravel() for w in self.weights] + [b for b in self.biases]
+        return np.concatenate(pieces).astype(np.float32)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        if flat.size != self.num_parameters:
+            raise ValueError("flat parameter vector has the wrong size")
+        offset = 0
+        for index, weight in enumerate(self.weights):
+            size = weight.size
+            self.weights[index] = (
+                flat[offset : offset + size].reshape(weight.shape).astype(np.float64)
+            )
+            offset += size
+        for index, bias in enumerate(self.biases):
+            size = bias.size
+            self.biases[index] = flat[offset : offset + size].astype(np.float64)
+            offset += size
+
+    # ------------------------------------------------------------------ #
+    def _forward(self, inputs: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        activations = [inputs.astype(np.float64)]
+        current = activations[0]
+        for weight, bias in zip(self.weights[:-1], self.biases[:-1]):
+            current = np.tanh(current @ weight + bias)
+            activations.append(current)
+        logits = current @ self.weights[-1] + self.biases[-1]
+        return activations, softmax(logits)
+
+    def loss_and_gradient(self, batch: Batch) -> tuple[float, np.ndarray]:
+        activations, probabilities = self._forward(batch.inputs)
+        loss = cross_entropy(probabilities, batch.labels)
+
+        delta = probabilities.copy()
+        delta[np.arange(batch.size), batch.labels] -= 1.0
+        delta /= batch.size
+
+        weight_grads: list[np.ndarray] = [np.empty(0)] * len(self.weights)
+        bias_grads: list[np.ndarray] = [np.empty(0)] * len(self.biases)
+        for layer in reversed(range(len(self.weights))):
+            weight_grads[layer] = activations[layer].T @ delta
+            bias_grads[layer] = delta.sum(axis=0)
+            if layer > 0:
+                upstream = delta @ self.weights[layer].T
+                delta = upstream * (1.0 - activations[layer] ** 2)
+
+        pieces = [g.ravel() for g in weight_grads] + list(bias_grads)
+        return loss, np.concatenate(pieces).astype(np.float32)
+
+    def evaluate(self, batch: Batch) -> dict[str, float]:
+        _, probabilities = self._forward(batch.inputs)
+        loss = cross_entropy(probabilities, batch.labels)
+        accuracy = float(np.mean(np.argmax(probabilities, axis=1) == batch.labels))
+        return {"loss": loss, "accuracy": accuracy, "perplexity": float(np.exp(loss))}

@@ -1,0 +1,93 @@
+"""Optimizers and learning-rate schedules for the training substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LearningRateSchedule:
+    """Constant learning rate with optional linear warm-up and cosine decay.
+
+    Args:
+        base_lr: Learning rate after warm-up.
+        warmup_rounds: Number of rounds to ramp linearly from 0 to ``base_lr``.
+        total_rounds: Horizon of the cosine decay; ``None`` disables decay.
+        min_lr_fraction: Floor of the decayed learning rate as a fraction of
+            ``base_lr``.
+    """
+
+    base_lr: float = 0.1
+    warmup_rounds: int = 0
+    total_rounds: int | None = None
+    min_lr_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        if self.warmup_rounds < 0:
+            raise ValueError("warmup_rounds must be non-negative")
+        if self.total_rounds is not None and self.total_rounds <= 0:
+            raise ValueError("total_rounds must be positive when set")
+        if not 0.0 <= self.min_lr_fraction <= 1.0:
+            raise ValueError("min_lr_fraction must be in [0, 1]")
+
+    def learning_rate(self, round_index: int) -> float:
+        """Learning rate to use at the given (zero-based) round."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        if self.warmup_rounds and round_index < self.warmup_rounds:
+            return self.base_lr * (round_index + 1) / self.warmup_rounds
+        if self.total_rounds is None:
+            return self.base_lr
+        progress = min(1.0, round_index / self.total_rounds)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        floor = self.base_lr * self.min_lr_fraction
+        return floor + (self.base_lr - floor) * cosine
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Operates on flat parameter vectors, matching the model interface used by
+    the DDP trainer.
+    """
+
+    def __init__(
+        self,
+        schedule: LearningRateSchedule | float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if isinstance(schedule, (int, float)):
+            schedule = LearningRateSchedule(base_lr=float(schedule))
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.schedule = schedule
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: np.ndarray | None = None
+        self._round = 0
+
+    def reset_state(self) -> None:
+        """Clear the momentum buffer and the round counter."""
+        self._velocity = None
+        self._round = 0
+
+    def step(self, params: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Return the updated parameter vector (inputs are not modified)."""
+        if params.shape != gradient.shape:
+            raise ValueError("params and gradient must have the same shape")
+        gradient = gradient.astype(np.float64)
+        if self.weight_decay:
+            gradient = gradient + self.weight_decay * params.astype(np.float64)
+        if self._velocity is None:
+            self._velocity = np.zeros_like(gradient)
+        self._velocity = self.momentum * self._velocity + gradient
+        lr = self.schedule.learning_rate(self._round)
+        self._round += 1
+        return (params.astype(np.float64) - lr * self._velocity).astype(np.float32)

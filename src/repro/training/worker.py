@@ -1,0 +1,44 @@
+"""A single DDP worker: one GPU's slice of the data and its gradient compute.
+
+In data-parallel training every worker holds a full model replica and a shard
+of the data; each round it samples a mini-batch from its shard and computes
+the gradient of the shared parameters on that batch.  The trainer then
+aggregates the per-worker gradients through the configured scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.training.data import DatasetShard
+from repro.training.models import Model
+
+
+class DDPWorker:
+    """One data-parallel worker.
+
+    Args:
+        rank: Worker index (0-based).
+        shard: The worker's slice of the training data.
+        batch_size: Mini-batch size sampled each round.
+        seed: Seed of the worker's private sampling stream.
+    """
+
+    def __init__(self, rank: int, shard: DatasetShard, batch_size: int, seed: int = 0):
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.rank = rank
+        self.shard = shard
+        self.batch_size = batch_size
+        self._rng = np.random.default_rng((seed, rank))
+
+    def compute_gradient(self, model: Model) -> tuple[float, np.ndarray]:
+        """Sample a mini-batch and return (loss, flat gradient) on it.
+
+        The model's parameters are read but not modified; the trainer owns
+        the parameter update.
+        """
+        batch = self.shard.sample_batch(self.batch_size, self._rng)
+        return model.loss_and_gradient(batch)

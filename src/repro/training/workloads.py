@@ -1,0 +1,171 @@
+"""Workload descriptors: the paper-scale facts about each training job.
+
+The TTA and throughput experiments need two kinds of information:
+
+* the *paper-scale* facts used to price a round -- how many gradient
+  coordinates the real model has (345M for BERT-large, 144M for VGG19), its
+  layer shapes (for PowerSGD's factor sizes), and how long the forward/
+  backward compute of one round takes on the testbed at each training
+  precision (calibrated against the paper's Table 2 baselines);
+* the *simulation-scale* configuration of the NumPy model that is actually
+  trained so compression error has a real effect on convergence.
+
+Both live in a :class:`WorkloadSpec`; the two presets correspond to the
+paper's two tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulator.gpu import Precision
+
+
+def bert_large_layer_shapes() -> list[tuple[int, int]]:
+    """Weight-matrix shapes of BERT-large (345M parameters).
+
+    24 transformer layers x (4 attention projections of 1024x1024 + the two
+    4096-wide FFN matrices), the 30522x1024 token embedding, position/segment
+    embeddings, and the pooler.  Biases and LayerNorm parameters (~0.6M) are
+    not matrices and travel uncompressed.
+    """
+    layers: list[tuple[int, int]] = []
+    for _ in range(24):
+        layers.extend([(1024, 1024)] * 4)
+        layers.append((1024, 4096))
+        layers.append((4096, 1024))
+    layers.append((30522, 1024))  # token embedding (tied with the MLM decoder)
+    layers.append((512, 1024))  # position embedding
+    layers.append((2, 1024))  # segment embedding
+    layers.append((1024, 1024))  # pooler
+    layers.append((1024, 1024))  # MLM transform
+    return layers
+
+
+def vgg19_layer_shapes(num_classes: int = 200) -> list[tuple[int, int]]:
+    """Weight-matrix shapes of VGG19 with a ``num_classes``-way classifier.
+
+    Convolutional kernels are reshaped to (out_channels, in_channels * 3 * 3)
+    as PowerSGD does; TinyImageNet's 200-way head replaces the ImageNet one.
+    """
+    conv_plan = [
+        (64, 3), (64, 64),
+        (128, 64), (128, 128),
+        (256, 128), (256, 256), (256, 256), (256, 256),
+        (512, 256), (512, 512), (512, 512), (512, 512),
+        (512, 512), (512, 512), (512, 512), (512, 512),
+    ]
+    layers = [(out_ch, in_ch * 9) for out_ch, in_ch in conv_plan]
+    layers.append((4096, 512 * 7 * 7))
+    layers.append((4096, 4096))
+    layers.append((num_classes, 4096))
+    return layers
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the experiments need to know about one training job.
+
+    Attributes:
+        name: Short identifier ("bert_large", "vgg19").
+        metric: The goal metric the paper reports ("perplexity" or "accuracy").
+        metric_improves: "down" if smaller is better (perplexity), "up" otherwise.
+        paper_num_coordinates: Gradient size of the real model.
+        paper_layer_shapes: Weight-matrix shapes of the real model.
+        compute_seconds: Per-round forward+backward+optimizer time on the
+            testbed, keyed by training precision (calibrated to Table 2).
+        per_worker_batch_size: The paper's per-worker batch size.
+        rolling_window_rounds: Window of the rolling average applied to the
+            paper's TTA curves.
+        sim_input_dim / sim_hidden_dims / sim_num_classes: Geometry of the
+            NumPy stand-in model used for functional training.
+        sim_batch_size: Per-worker batch size of the stand-in model.
+        sim_base_lr: Learning rate used by the stand-in training runs.
+    """
+
+    name: str
+    metric: str
+    metric_improves: str
+    paper_num_coordinates: int
+    paper_layer_shapes: list[tuple[int, int]] = field(default_factory=list)
+    compute_seconds: dict[Precision, float] = field(default_factory=dict)
+    per_worker_batch_size: int = 32
+    rolling_window_rounds: int = 100
+    sim_input_dim: int = 64
+    sim_hidden_dims: tuple[int, ...] = (128, 128)
+    sim_num_classes: int = 16
+    sim_batch_size: int = 32
+    sim_base_lr: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.paper_num_coordinates <= 0:
+            raise ValueError("paper_num_coordinates must be positive")
+        if self.metric not in ("perplexity", "accuracy"):
+            raise ValueError("metric must be 'perplexity' or 'accuracy'")
+        if self.metric_improves not in ("up", "down"):
+            raise ValueError("metric_improves must be 'up' or 'down'")
+
+    def compute_seconds_for(self, precision: Precision = Precision.TF32) -> float:
+        """Per-round compute time at the given training precision."""
+        if precision not in self.compute_seconds:
+            raise KeyError(
+                f"workload {self.name} has no compute time for {precision}; "
+                f"available: {sorted(p.value for p in self.compute_seconds)}"
+            )
+        return self.compute_seconds[precision]
+
+    def covered_coordinates(self) -> int:
+        """How many coordinates the layer matrices cover (rest are 1-D params)."""
+        return sum(rows * cols for rows, cols in self.paper_layer_shapes)
+
+
+def bert_large_wikitext() -> WorkloadSpec:
+    """BERT-large masked language modeling on WikiText-103 (paper task 1).
+
+    Compute times are calibrated so that the uncompressed baselines match
+    Table 2 (TF32+FP16 at 3.32 rounds/s, FP32+FP16 at 3.17 rounds/s) once the
+    simulated FP16 all-reduce time of a 345M-coordinate gradient (~138 ms on
+    the testbed model) is added.
+    """
+    shapes = bert_large_layer_shapes()
+    # Matrices plus ~0.8M one-dimensional parameters (biases, LayerNorm);
+    # within a few percent of the 345M the paper quotes.
+    num_coordinates = sum(rows * cols for rows, cols in shapes) + 800_000
+    return WorkloadSpec(
+        name="bert_large",
+        metric="perplexity",
+        metric_improves="down",
+        paper_num_coordinates=num_coordinates,
+        paper_layer_shapes=shapes,
+        compute_seconds={Precision.TF32: 0.160, Precision.FP32: 0.175},
+        per_worker_batch_size=4,
+        rolling_window_rounds=3750,
+        sim_input_dim=96,
+        sim_hidden_dims=(192, 192),
+        sim_num_classes=64,
+        sim_batch_size=4,
+        sim_base_lr=0.25,
+    )
+
+
+def vgg19_tinyimagenet() -> WorkloadSpec:
+    """VGG19 classification on TinyImageNet (paper task 2)."""
+    shapes = vgg19_layer_shapes(num_classes=200)
+    # Matrices plus ~60k one-dimensional parameters (biases); within a few
+    # percent of the 144M the paper quotes.
+    num_coordinates = sum(rows * cols for rows, cols in shapes) + 60_000
+    return WorkloadSpec(
+        name="vgg19",
+        metric="accuracy",
+        metric_improves="up",
+        paper_num_coordinates=num_coordinates,
+        paper_layer_shapes=shapes,
+        compute_seconds={Precision.TF32: 0.047, Precision.FP32: 0.056},
+        per_worker_batch_size=32,
+        rolling_window_rounds=7810,
+        sim_input_dim=64,
+        sim_hidden_dims=(160, 160),
+        sim_num_classes=32,
+        sim_batch_size=32,
+        sim_base_lr=0.2,
+    )

@@ -1,0 +1,125 @@
+"""Unit tests for the alpha-beta collective cost model."""
+
+import pytest
+
+from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
+from repro.simulator.cluster import ClusterSpec, paper_testbed, scale_out_cluster
+
+
+@pytest.fixture
+def cost_model() -> CollectiveCostModel:
+    return CollectiveCostModel(paper_testbed())
+
+
+PAYLOAD_BITS = 1e9  # ~ a 62M-coordinate FP16 payload
+
+
+class TestCollectiveCost:
+    def test_rejects_negative_components(self):
+        with pytest.raises(ValueError):
+            CollectiveCost(-1.0, 0.0, 0.0, 0)
+        with pytest.raises(ValueError):
+            CollectiveCost(0.0, 0.0, 0.0, -1)
+
+
+class TestRingAllReduce:
+    def test_zero_payload(self, cost_model):
+        assert cost_model.ring_allreduce(0.0).seconds == 0.0
+
+    def test_single_worker_free(self):
+        model = CollectiveCostModel(ClusterSpec(num_nodes=1, gpus_per_node=1))
+        assert model.ring_allreduce(PAYLOAD_BITS).seconds == 0.0
+
+    def test_steps_are_2n_minus_2(self, cost_model):
+        assert cost_model.ring_allreduce(PAYLOAD_BITS).steps == 6
+
+    def test_bits_sent_approx_2x_payload(self, cost_model):
+        cost = cost_model.ring_allreduce(PAYLOAD_BITS)
+        expected = 2 * (4 - 1) / 4 * PAYLOAD_BITS
+        assert cost.bits_sent_per_worker == pytest.approx(expected)
+
+    def test_time_scales_with_payload(self, cost_model):
+        assert (
+            cost_model.ring_allreduce(2 * PAYLOAD_BITS).seconds
+            > cost_model.ring_allreduce(PAYLOAD_BITS).seconds
+        )
+
+    def test_rejects_negative_payload(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.ring_allreduce(-1.0)
+
+    def test_nearly_flat_in_worker_count(self):
+        # The per-worker traffic of ring all-reduce converges to 2x payload,
+        # so the completion time barely grows with the cluster size.
+        small = CollectiveCostModel(scale_out_cluster(2, 4)).ring_allreduce(PAYLOAD_BITS)
+        large = CollectiveCostModel(scale_out_cluster(16, 4)).ring_allreduce(PAYLOAD_BITS)
+        assert large.seconds < 1.5 * small.seconds
+
+
+class TestTreeAllReduce:
+    def test_steps_logarithmic(self, cost_model):
+        assert cost_model.tree_allreduce(PAYLOAD_BITS).steps == 4  # 2 * ceil(log2 4)
+
+    def test_slower_than_ring_for_large_payloads(self, cost_model):
+        ring = cost_model.ring_allreduce(PAYLOAD_BITS)
+        tree = cost_model.tree_allreduce(PAYLOAD_BITS)
+        assert tree.seconds > ring.seconds
+
+
+class TestReduceScatter:
+    def test_half_of_allreduce(self, cost_model):
+        scatter = cost_model.reduce_scatter(PAYLOAD_BITS)
+        allreduce = cost_model.ring_allreduce(PAYLOAD_BITS)
+        assert scatter.seconds == pytest.approx(allreduce.seconds / 2)
+
+
+class TestAllGather:
+    def test_traffic_linear_in_workers(self):
+        small = CollectiveCostModel(scale_out_cluster(2, 4)).allgather(PAYLOAD_BITS)
+        large = CollectiveCostModel(scale_out_cluster(8, 4)).allgather(PAYLOAD_BITS)
+        assert large.bits_sent_per_worker > 3 * small.bits_sent_per_worker
+
+    def test_slower_than_ring_allreduce(self, cost_model):
+        assert (
+            cost_model.allgather(PAYLOAD_BITS).seconds
+            > cost_model.ring_allreduce(PAYLOAD_BITS).seconds
+        )
+
+
+class TestParameterServer:
+    def test_bottleneck_carries_n_times_payload(self, cost_model):
+        cost = cost_model.parameter_server(PAYLOAD_BITS)
+        assert cost.bits_on_bottleneck == pytest.approx(2 * 4 * PAYLOAD_BITS)
+
+    def test_sharding_reduces_time(self, cost_model):
+        single = cost_model.parameter_server(PAYLOAD_BITS, num_servers=1)
+        sharded = cost_model.parameter_server(PAYLOAD_BITS, num_servers=4)
+        assert sharded.seconds < single.seconds
+
+    def test_asymmetric_downlink(self, cost_model):
+        symmetric = cost_model.parameter_server(PAYLOAD_BITS)
+        small_downlink = cost_model.parameter_server(
+            PAYLOAD_BITS, downlink_bits=PAYLOAD_BITS / 10
+        )
+        assert small_downlink.seconds < symmetric.seconds
+
+    def test_rejects_bad_servers(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.parameter_server(PAYLOAD_BITS, num_servers=0)
+
+    def test_slower_than_ring_allreduce(self, cost_model):
+        assert (
+            cost_model.parameter_server(PAYLOAD_BITS).seconds
+            > cost_model.ring_allreduce(PAYLOAD_BITS).seconds
+        )
+
+
+class TestBitsPerCoordinate:
+    def test_basic(self):
+        assert CollectiveCostModel.bits_per_coordinate(3200, 100) == pytest.approx(32.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            CollectiveCostModel.bits_per_coordinate(100, 0)
+        with pytest.raises(ValueError):
+            CollectiveCostModel.bits_per_coordinate(-1, 10)

@@ -1,0 +1,90 @@
+"""Unit tests for the reduction operators."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.ops import MaxOp, MeanOp, SaturatingSumOp, SumOp
+
+
+class TestSumOp:
+    def test_combine(self):
+        op = SumOp()
+        result = op.combine(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(result, [4.0, 6.0])
+
+    def test_identity(self):
+        op = SumOp()
+        np.testing.assert_allclose(op.identity_like(np.ones(3)), np.zeros(3))
+
+    def test_finalize_is_identity(self):
+        op = SumOp()
+        values = np.array([1.0, 2.0])
+        np.testing.assert_allclose(op.finalize(values, 4), values)
+
+    def test_is_associative(self):
+        assert SumOp().associative
+
+
+class TestMeanOp:
+    def test_finalize_divides_by_world_size(self):
+        op = MeanOp()
+        np.testing.assert_allclose(op.finalize(np.array([8.0, 4.0]), 4), [2.0, 1.0])
+
+    def test_finalize_rejects_bad_world_size(self):
+        with pytest.raises(ValueError):
+            MeanOp().finalize(np.ones(2), 0)
+
+
+class TestMaxOp:
+    def test_combine(self):
+        op = MaxOp()
+        result = op.combine(np.array([1.0, 5.0]), np.array([3.0, 2.0]))
+        np.testing.assert_allclose(result, [3.0, 5.0])
+
+    def test_identity_is_minus_inf(self):
+        op = MaxOp()
+        assert np.all(np.isneginf(op.identity_like(np.ones(4))))
+
+
+class TestSaturatingSumOp:
+    def test_max_value(self):
+        assert SaturatingSumOp(bits=4).max_value == 7
+        assert SaturatingSumOp(bits=8).max_value == 127
+
+    def test_rejects_one_bit(self):
+        with pytest.raises(ValueError):
+            SaturatingSumOp(bits=1)
+
+    def test_no_saturation_when_in_range(self):
+        op = SaturatingSumOp(bits=8)
+        result = op.combine(np.array([10, -20]), np.array([15, 5]))
+        np.testing.assert_array_equal(result, [25, -15])
+
+    def test_positive_saturation(self):
+        op = SaturatingSumOp(bits=4)
+        result = op.combine(np.array([6]), np.array([5]))
+        assert result[0] == 7
+
+    def test_negative_saturation(self):
+        op = SaturatingSumOp(bits=4)
+        result = op.combine(np.array([-6]), np.array([-5]))
+        assert result[0] == -7
+
+    def test_not_associative_flag(self):
+        assert not SaturatingSumOp(bits=4).associative
+
+    def test_saturation_changes_with_order(self):
+        # (7 + 7) - 7 saturates to 0 at 4 bits, while 7 + (7 - 7) stays 7:
+        # this order dependence is why collectives apply the operator per hop.
+        op = SaturatingSumOp(bits=4)
+        left_first = op.combine(op.combine(np.array([7]), np.array([7])), np.array([-7]))
+        right_first = op.combine(np.array([7]), op.combine(np.array([7]), np.array([-7])))
+        assert left_first[0] != right_first[0]
+
+    def test_saturation_fraction(self):
+        op = SaturatingSumOp(bits=4)
+        aggregate = np.array([7, 0, -7, 3])
+        assert op.saturation_fraction(aggregate) == pytest.approx(0.5)
+
+    def test_saturation_fraction_empty(self):
+        assert SaturatingSumOp(bits=4).saturation_fraction(np.array([])) == 0.0

@@ -1,0 +1,114 @@
+"""Unit tests for the error-feedback wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.precision import PrecisionBaseline
+from repro.compression.topk import TopKCompressor
+from repro.compression.topkc import TopKChunkedCompressor
+from repro.simulator.gpu import Precision
+
+
+class TestConstruction:
+    def test_name_wraps_inner_name(self):
+        wrapped = ErrorFeedback(TopKCompressor(2.0))
+        assert wrapped.name.startswith("ef(") and "topk" in wrapped.name
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError):
+            ErrorFeedback(TopKCompressor(2.0), decay=1.5)
+
+    def test_bits_delegated(self):
+        inner = TopKCompressor(2.0)
+        wrapped = ErrorFeedback(inner)
+        assert wrapped.expected_bits_per_coordinate(10_000, 4) == pytest.approx(
+            inner.expected_bits_per_coordinate(10_000, 4)
+        )
+
+
+class TestResidualBehaviour:
+    def test_residuals_zero_before_first_round(self):
+        assert ErrorFeedback(TopKCompressor(2.0)).residuals is None
+
+    def test_residuals_track_dropped_mass(self, worker_gradients, ctx):
+        wrapped = ErrorFeedback(TopKCompressor(0.5))
+        wrapped.aggregate(worker_gradients, ctx)
+        assert wrapped.residuals is not None
+        for gradient, residual in zip(worker_gradients, wrapped.residuals):
+            # The residual is exactly the part of the gradient that was not
+            # transmitted, so its norm is below the gradient's norm.
+            assert 0 < np.linalg.norm(residual) < np.linalg.norm(gradient) + 1e-6
+
+    def test_lossless_scheme_leaves_tiny_residual(self, worker_gradients, ctx):
+        wrapped = ErrorFeedback(PrecisionBaseline(Precision.FP16))
+        wrapped.aggregate(worker_gradients, ctx)
+        for residual in wrapped.residuals:
+            assert np.max(np.abs(residual)) < 1e-2
+
+    def test_dropped_coordinates_eventually_transmitted(self, ctx):
+        # A coordinate too small to be selected in round 1 accumulates in the
+        # residual and is eventually sent -- the defining property of EF.
+        d = 4800
+        base = np.zeros(d, dtype=np.float32)
+        base[:100] = 10.0     # always selected
+        base[200] = 1.0       # never selected on its own
+        grads = [base.copy() for _ in range(ctx.world_size)]
+        wrapped = ErrorFeedback(TopKCompressor(0.5))
+        transmitted_small = False
+        for _ in range(60):
+            result = wrapped.aggregate(grads, ctx)
+            if result.mean_estimate[200] > 0:
+                transmitted_small = True
+                break
+        assert transmitted_small
+
+    def test_decay_shrinks_residuals(self, worker_gradients, ctx):
+        plain = ErrorFeedback(TopKCompressor(0.5), decay=1.0)
+        decayed = ErrorFeedback(TopKCompressor(0.5), decay=0.5)
+        plain.aggregate(worker_gradients, ctx)
+        decayed.aggregate(worker_gradients, ctx)
+        plain_norm = sum(np.linalg.norm(r) for r in plain.residuals)
+        decayed_norm = sum(np.linalg.norm(r) for r in decayed.residuals)
+        assert decayed_norm < plain_norm
+
+    def test_size_change_rejected(self, worker_gradients, ctx):
+        wrapped = ErrorFeedback(TopKChunkedCompressor(2.0))
+        wrapped.aggregate(worker_gradients, ctx)
+        smaller = [g[:128] for g in worker_gradients]
+        with pytest.raises(ValueError):
+            wrapped.aggregate(smaller, ctx)
+
+    def test_reset_state(self, worker_gradients, ctx):
+        wrapped = ErrorFeedback(TopKChunkedCompressor(2.0))
+        wrapped.aggregate(worker_gradients, ctx)
+        wrapped.reset_state()
+        assert wrapped.residuals is None
+
+    def test_improves_long_run_error_for_aggressive_sparsifier(self, ctx):
+        from repro.training.gradients import SyntheticGradientModel
+
+        generator = SyntheticGradientModel(1 << 13, seed=11)
+        with_ef = ErrorFeedback(TopKChunkedCompressor(0.5))
+        without_ef = TopKChunkedCompressor(0.5)
+        accumulated_with = np.zeros(1 << 13)
+        accumulated_without = np.zeros(1 << 13)
+        accumulated_true = np.zeros(1 << 13)
+        for _ in range(12):
+            grads = generator.next_round(ctx.world_size)
+            accumulated_true += generator.true_mean(grads)
+            accumulated_with += with_ef.aggregate(grads, ctx).mean_estimate
+            accumulated_without += without_ef.aggregate(grads, ctx).mean_estimate
+        # Over many rounds, EF keeps the *accumulated* update close to the
+        # accumulated true gradient even though each round is very sparse.
+        error_with = np.linalg.norm(accumulated_with - accumulated_true)
+        error_without = np.linalg.norm(accumulated_without - accumulated_true)
+        assert error_with < error_without
+
+    def test_estimate_costs_adds_residual_update(self, ctx):
+        inner = TopKChunkedCompressor(2.0)
+        wrapped = ErrorFeedback(inner)
+        assert (
+            wrapped.estimate_costs(10_000_000, ctx).compression_seconds
+            > inner.estimate_costs(10_000_000, ctx).compression_seconds
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for the FP16/FP32 precision baselines."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.api import Collective
+from repro.compression.precision import PrecisionBaseline
+from repro.simulator.gpu import Precision
+
+
+class TestConstruction:
+    def test_rejects_int8(self):
+        with pytest.raises(ValueError):
+            PrecisionBaseline(Precision.INT8)
+
+    def test_rejects_non_allreduce_collective(self):
+        with pytest.raises(ValueError):
+            PrecisionBaseline(Precision.FP16, collective=Collective.ALLGATHER)
+
+    def test_name_encodes_precision(self):
+        assert PrecisionBaseline(Precision.FP16).name == "baseline_fp16"
+
+
+class TestAggregation:
+    def test_fp32_is_exact(self, worker_gradients, true_mean, ctx):
+        result = PrecisionBaseline(Precision.FP32).aggregate(worker_gradients, ctx)
+        np.testing.assert_allclose(result.mean_estimate, true_mean, rtol=1e-5, atol=1e-6)
+        assert result.bits_per_coordinate == 32.0
+
+    def test_fp16_is_nearly_exact(self, worker_gradients, true_mean, ctx):
+        result = PrecisionBaseline(Precision.FP16).aggregate(worker_gradients, ctx)
+        error = np.linalg.norm(result.mean_estimate - true_mean) / np.linalg.norm(true_mean)
+        assert error < 1e-3
+        assert result.bits_per_coordinate == 16.0
+
+    def test_fp16_transmitted_reported(self, worker_gradients, ctx):
+        result = PrecisionBaseline(Precision.FP16).aggregate(worker_gradients, ctx)
+        assert result.per_worker_transmitted is not None
+        assert len(result.per_worker_transmitted) == len(worker_gradients)
+
+    def test_fp16_faster_than_fp32(self, worker_gradients, ctx):
+        fp16 = PrecisionBaseline(Precision.FP16).aggregate(worker_gradients, ctx)
+        fp32 = PrecisionBaseline(Precision.FP32).aggregate(worker_gradients, ctx)
+        assert fp16.communication_seconds < fp32.communication_seconds
+
+    def test_inputs_unmodified(self, worker_gradients, ctx):
+        copies = [g.copy() for g in worker_gradients]
+        PrecisionBaseline(Precision.FP16).aggregate(worker_gradients, ctx)
+        for original, copy in zip(worker_gradients, copies):
+            np.testing.assert_array_equal(original, copy)
+
+    def test_timeline_records_phases(self, worker_gradients, ctx):
+        PrecisionBaseline(Precision.FP16).aggregate(worker_gradients, ctx)
+        assert ctx.timeline.phase_time("communication") > 0
+
+    def test_wrong_worker_count_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            PrecisionBaseline(Precision.FP16).aggregate([np.ones(8)], ctx)
+
+    def test_rejects_2d_gradients(self, ctx):
+        grads = [np.ones((4, 4)) for _ in range(4)]
+        with pytest.raises(ValueError):
+            PrecisionBaseline(Precision.FP16).aggregate(grads, ctx)
+
+
+class TestCostEstimates:
+    def test_fp16_half_the_bits(self, ctx):
+        fp16 = PrecisionBaseline(Precision.FP16).estimate_costs(1_000_000, ctx)
+        fp32 = PrecisionBaseline(Precision.FP32).estimate_costs(1_000_000, ctx)
+        assert fp16.bits_per_coordinate == 16.0
+        assert fp32.bits_per_coordinate == 32.0
+        assert fp16.communication_seconds < fp32.communication_seconds
+
+    def test_expected_bits(self):
+        assert PrecisionBaseline(Precision.FP16).expected_bits_per_coordinate(100, 4) == 16.0
+
+    def test_estimate_rejects_nonpositive(self, ctx):
+        with pytest.raises(ValueError):
+            PrecisionBaseline(Precision.FP16).estimate_costs(0, ctx)
+
+    def test_tree_collective_estimate(self, ctx):
+        ring = PrecisionBaseline(Precision.FP16).estimate_costs(10_000_000, ctx)
+        tree = PrecisionBaseline(
+            Precision.FP16, collective=Collective.TREE_ALLREDUCE
+        ).estimate_costs(10_000_000, ctx)
+        assert tree.communication_seconds > ring.communication_seconds

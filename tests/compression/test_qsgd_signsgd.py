@@ -1,0 +1,110 @@
+"""Unit tests for the generalization schemes: QSGD and majority-vote signSGD."""
+
+import numpy as np
+import pytest
+
+from repro.compression.qsgd import QSGDCompressor
+from repro.compression.signsgd import SignSGDCompressor
+from repro.compression.thc import AggregationMode
+
+
+class TestQSGD:
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            QSGDCompressor(1)
+        with pytest.raises(ValueError):
+            QSGDCompressor(4, 2)
+
+    def test_default_wire_bits(self):
+        assert QSGDCompressor(4).wire_bits == 4
+        assert QSGDCompressor(4, aggregation=AggregationMode.WIDENED).wire_bits == 8
+
+    def test_estimate_close_to_true_mean_at_high_bits(self, worker_gradients, true_mean, ctx):
+        result = QSGDCompressor(8, 12, aggregation=AggregationMode.WIDENED).aggregate(
+            worker_gradients, ctx
+        )
+        error = np.linalg.norm(result.mean_estimate - true_mean) / np.linalg.norm(true_mean)
+        assert error < 0.2
+
+    def test_more_bits_less_error(self, worker_gradients, true_mean, ctx):
+        def error(bits):
+            scheme = QSGDCompressor(bits, bits + 4, aggregation=AggregationMode.WIDENED)
+            return np.linalg.norm(
+                scheme.aggregate(worker_gradients, ctx).mean_estimate - true_mean
+            )
+
+        assert error(8) < error(4) < error(2)
+
+    def test_zero_gradients(self, ctx):
+        grads = [np.zeros(256, dtype=np.float32) for _ in range(ctx.world_size)]
+        result = QSGDCompressor(4).aggregate(grads, ctx)
+        np.testing.assert_array_equal(result.mean_estimate, np.zeros(256))
+
+    def test_transmitted_reported(self, worker_gradients, ctx):
+        result = QSGDCompressor(4).aggregate(worker_gradients, ctx)
+        assert result.per_worker_transmitted is not None
+        assert len(result.per_worker_transmitted) == ctx.world_size
+
+    def test_bits_per_coordinate_close_to_q(self, worker_gradients, ctx):
+        result = QSGDCompressor(4).aggregate(worker_gradients, ctx)
+        assert result.bits_per_coordinate == pytest.approx(4.0, abs=0.1)
+
+    def test_estimate_costs(self, ctx):
+        estimate = QSGDCompressor(4).estimate_costs(10_000_000, ctx)
+        assert estimate.compression_seconds > 0
+        assert estimate.communication_seconds > 0
+        with pytest.raises(ValueError):
+            QSGDCompressor(4).estimate_costs(0, ctx)
+
+    def test_cheaper_wire_than_fp16(self, ctx):
+        from repro.compression.precision import PrecisionBaseline
+
+        qsgd = QSGDCompressor(4).estimate_costs(50_000_000, ctx)
+        fp16 = PrecisionBaseline().estimate_costs(50_000_000, ctx)
+        assert qsgd.communication_seconds < fp16.communication_seconds
+
+
+class TestSignSGD:
+    def test_wire_bits_grow_with_workers(self):
+        scheme = SignSGDCompressor()
+        assert scheme.wire_bits_for(4) >= 3
+        assert scheme.wire_bits_for(64) > scheme.wire_bits_for(4)
+        with pytest.raises(ValueError):
+            scheme.wire_bits_for(0)
+
+    def test_majority_vote_sign(self, ctx):
+        d = 128
+        positive = np.ones(d, dtype=np.float32)
+        negative = -np.ones(d, dtype=np.float32)
+        grads = [positive, positive, positive, negative]
+        result = SignSGDCompressor(scale_by_mean_magnitude=False).aggregate(grads, ctx)
+        np.testing.assert_array_equal(np.sign(result.mean_estimate), np.ones(d))
+
+    def test_scaled_variant_uses_mean_magnitude(self, ctx):
+        d = 64
+        grads = [np.full(d, 2.0, dtype=np.float32) for _ in range(ctx.world_size)]
+        result = SignSGDCompressor().aggregate(grads, ctx)
+        np.testing.assert_allclose(result.mean_estimate, np.full(d, 2.0), rtol=1e-5)
+
+    def test_estimate_direction_correlates_with_true_mean(self, worker_gradients, true_mean, ctx):
+        result = SignSGDCompressor().aggregate(worker_gradients, ctx)
+        cosine = float(
+            np.dot(result.mean_estimate, true_mean)
+            / (np.linalg.norm(result.mean_estimate) * np.linalg.norm(true_mean))
+        )
+        assert cosine > 0.5
+
+    def test_one_bit_of_information_per_coordinate(self, worker_gradients, ctx):
+        result = SignSGDCompressor(scale_by_mean_magnitude=False).aggregate(
+            worker_gradients, ctx
+        )
+        assert set(np.unique(np.sign(result.mean_estimate))).issubset({-1.0, 0.0, 1.0})
+
+    def test_estimate_costs_cheaper_than_fp16(self, ctx):
+        from repro.compression.precision import PrecisionBaseline
+
+        sign = SignSGDCompressor().estimate_costs(50_000_000, ctx)
+        fp16 = PrecisionBaseline().estimate_costs(50_000_000, ctx)
+        assert sign.communication_seconds < fp16.communication_seconds
+        with pytest.raises(ValueError):
+            SignSGDCompressor().estimate_costs(0, ctx)

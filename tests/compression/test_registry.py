@@ -1,0 +1,84 @@
+"""Unit tests for the scheme registry and the shared aggregation contract."""
+
+import numpy as np
+import pytest
+
+from repro.compression import available_schemes, make_scheme, register_scheme
+from repro.compression.base import AggregationResult, CostEstimate
+from repro.compression.error_feedback import ErrorFeedback
+
+
+class TestRegistry:
+    def test_available_schemes_sorted_and_nonempty(self):
+        names = available_schemes()
+        assert names == sorted(names)
+        assert "baseline_fp16" in names
+        assert "topkc_b2" in names
+        assert "thc_q4_sat_partial" in names
+        assert "powersgd_r4" in names
+
+    def test_make_scheme_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_scheme("definitely_not_a_scheme")
+
+    def test_make_scheme_with_error_feedback(self):
+        scheme = make_scheme("topkc_b2", error_feedback=True)
+        assert isinstance(scheme, ErrorFeedback)
+
+    def test_register_scheme_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            register_scheme("baseline_fp16", lambda: None)
+
+    def test_register_and_construct_custom_scheme(self):
+        from repro.compression.topkc import TopKChunkedCompressor
+
+        name = "custom_topkc_for_test"
+        if name not in available_schemes():
+            register_scheme(name, lambda: TopKChunkedCompressor(4.0))
+        scheme = make_scheme(name)
+        assert scheme.bits_per_coordinate == 4.0
+
+
+class TestAggregationContract:
+    """Every registered scheme obeys the AggregationScheme contract."""
+
+    @pytest.fixture(params=sorted(set(available_schemes())))
+    def scheme_name(self, request):
+        return request.param
+
+    def test_aggregate_returns_valid_result(self, scheme_name, worker_gradients, ctx):
+        scheme = make_scheme(scheme_name)
+        result = scheme.aggregate(worker_gradients, ctx)
+        assert isinstance(result, AggregationResult)
+        assert result.mean_estimate.shape == worker_gradients[0].shape
+        assert np.all(np.isfinite(result.mean_estimate))
+        assert result.bits_per_coordinate > 0
+
+    def test_estimate_costs_at_paper_scale(self, scheme_name, ctx):
+        scheme = make_scheme(scheme_name)
+        estimate = scheme.estimate_costs(10_000_000, ctx)
+        assert isinstance(estimate, CostEstimate)
+        assert estimate.compression_seconds >= 0
+        assert estimate.communication_seconds >= 0
+        assert estimate.bits_per_coordinate > 0
+
+    def test_expected_bits_consistent_with_aggregate(
+        self, scheme_name, worker_gradients, ctx
+    ):
+        scheme = make_scheme(scheme_name)
+        declared = scheme.expected_bits_per_coordinate(
+            worker_gradients[0].size, ctx.world_size
+        )
+        result = scheme.aggregate(worker_gradients, ctx)
+        assert result.bits_per_coordinate == pytest.approx(declared, rel=0.2)
+
+    def test_inputs_not_modified(self, scheme_name, worker_gradients, ctx):
+        copies = [g.copy() for g in worker_gradients]
+        make_scheme(scheme_name).aggregate(worker_gradients, ctx)
+        for original, copy in zip(worker_gradients, copies):
+            np.testing.assert_array_equal(original, copy)
+
+    def test_wrong_world_size_rejected(self, scheme_name, ctx):
+        scheme = make_scheme(scheme_name)
+        with pytest.raises(ValueError):
+            scheme.aggregate([np.ones(64, dtype=np.float32)], ctx)

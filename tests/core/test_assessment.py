@@ -1,0 +1,77 @@
+"""Unit tests for the prior-system assessment (Table 1 data)."""
+
+import pytest
+
+from repro.core.assessment import (
+    PRIOR_SYSTEMS,
+    Criterion,
+    PriorSystemAssessment,
+    Verdict,
+    assessment_table,
+    systems_lacking,
+)
+
+
+class TestData:
+    def test_eight_systems_assessed(self):
+        assert len(PRIOR_SYSTEMS) == 8
+
+    def test_no_prior_system_uses_fp16_baseline(self):
+        # The paper's headline finding from Table 1.
+        assert all(system.fp16_baseline is not Verdict.YES for system in PRIOR_SYSTEMS)
+
+    def test_citations_match_paper(self):
+        citations = [system.citation for system in PRIOR_SYSTEMS]
+        assert citations == ["[11]", "[14]", "[23]", "[30]", "[32]", "[34]", "[60]", "[62]"]
+
+    def test_end_to_end_tasks_match_paper(self):
+        fractions = {s.citation: s.end_to_end_tasks for s in PRIOR_SYSTEMS}
+        assert fractions["[11]"] == (0, 3)
+        assert fractions["[14]"] == (2, 8)
+        assert fractions["[34]"] == (3, 7)
+        assert fractions["[62]"] == (3, 3)
+
+    def test_end_to_end_fraction(self):
+        system = PRIOR_SYSTEMS[1]
+        assert system.end_to_end_fraction() == pytest.approx(2 / 8)
+
+    def test_validation_of_task_counts(self):
+        with pytest.raises(ValueError):
+            PriorSystemAssessment(
+                citation="[x]",
+                name="bad",
+                compression_family="mixed",
+                fp16_baseline=Verdict.NO,
+                error_aware_design=Verdict.NO,
+                end_to_end_tasks=(5, 3),
+                throughput_implies_tta=Verdict.NO,
+                allreduce_compatible=Verdict.NO,
+            )
+
+
+class TestTableAndQueries:
+    def test_table_shape(self):
+        rows = assessment_table()
+        assert len(rows) == 6  # header + 5 criteria
+        assert all(len(row) == 9 for row in rows)  # criterion + 8 systems
+
+    def test_table_contains_task_fractions(self):
+        rows = assessment_table()
+        end_to_end_row = rows[3]
+        assert "0/3" in end_to_end_row and "3/7" in end_to_end_row
+
+    def test_systems_lacking_fp16(self):
+        assert len(systems_lacking(Criterion.FP16_BASELINE)) == 8
+
+    def test_systems_lacking_throughput_tta(self):
+        lacking = systems_lacking(Criterion.THROUGHPUT_IMPLIES_TTA)
+        assert {system.citation for system in lacking} == {"[32]", "[62]"}
+
+    def test_systems_lacking_rejects_count_criterion(self):
+        with pytest.raises(ValueError):
+            systems_lacking(Criterion.END_TO_END_EVALUATION)
+
+    def test_verdict_symbols(self):
+        assert Verdict.YES.symbol() == "Y"
+        assert Verdict.NO.symbol() == "X"
+        assert Verdict.NOT_APPLICABLE.symbol() == "N/A"

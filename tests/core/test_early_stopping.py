@@ -1,0 +1,60 @@
+"""Unit tests for early stopping."""
+
+import pytest
+
+from repro.core.early_stopping import EarlyStopping
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopping = EarlyStopping(patience=3, mode="up")
+        assert not stopping.update(0.5)
+        assert not stopping.update(0.5)
+        assert not stopping.update(0.5)
+        assert stopping.update(0.5)
+        assert stopping.stopped
+
+    def test_improvement_resets_patience(self):
+        stopping = EarlyStopping(patience=2, mode="up")
+        stopping.update(0.5)
+        stopping.update(0.4)
+        assert not stopping.update(0.6)  # improvement
+        assert not stopping.update(0.6)
+        assert stopping.update(0.6)
+
+    def test_down_mode(self):
+        stopping = EarlyStopping(patience=2, mode="down")
+        stopping.update(5.0)
+        assert not stopping.update(4.0)
+        assert not stopping.update(4.5)
+        assert stopping.update(4.5)
+
+    def test_min_delta_requires_meaningful_improvement(self):
+        stopping = EarlyStopping(patience=1, min_delta=0.1, mode="up")
+        stopping.update(0.5)
+        # +0.05 is not enough improvement given min_delta=0.1.
+        assert stopping.update(0.55)
+
+    def test_best_tracked(self):
+        stopping = EarlyStopping(patience=5, mode="up")
+        stopping.update(0.3)
+        stopping.update(0.7)
+        stopping.update(0.5)
+        assert stopping.best == pytest.approx(0.7)
+
+    def test_reset(self):
+        stopping = EarlyStopping(patience=1, mode="up")
+        stopping.update(0.5)
+        stopping.update(0.5)
+        assert stopping.stopped
+        stopping.reset()
+        assert not stopping.stopped
+        assert stopping.best is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-1.0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")

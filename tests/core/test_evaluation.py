@@ -1,0 +1,94 @@
+"""Tests for the end-to-end evaluation orchestrator."""
+
+import pytest
+
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.core.evaluation import (
+    EndToEndResult,
+    build_scheme_pair,
+    build_trainer,
+    compare_schemes,
+    needs_error_feedback,
+    run_end_to_end,
+)
+from repro.training.workloads import vgg19_tinyimagenet
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return vgg19_tinyimagenet()
+
+
+class TestSchemeConfiguration:
+    def test_error_feedback_defaults(self):
+        assert needs_error_feedback("topk_b2")
+        assert needs_error_feedback("topkc_b0.5")
+        assert not needs_error_feedback("baseline_fp16")
+        assert not needs_error_feedback("thc_q4_sat")
+
+    def test_build_scheme_pair_wraps_sparsifiers(self, workload):
+        functional, pricing = build_scheme_pair("topkc_b2", workload)
+        assert isinstance(functional, ErrorFeedback)
+        assert isinstance(pricing, ErrorFeedback)
+
+    def test_build_scheme_pair_powersgd_pricing_uses_paper_shapes(self, workload):
+        functional, pricing = build_scheme_pair("powersgd_r4", workload)
+        assert isinstance(pricing, PowerSGDCompressor)
+        assert pricing.layer_shapes == workload.paper_layer_shapes
+        # The functional instance keeps the default (small-model) shapes.
+        assert functional.layer_shapes is None
+
+    def test_build_trainer_round_time_positive(self, workload):
+        trainer = build_trainer("baseline_fp16", workload, seed=0)
+        assert trainer.round_seconds > workload.compute_seconds_for()
+
+
+class TestRunEndToEnd:
+    def test_short_run_structure(self, workload):
+        result = run_end_to_end(
+            "baseline_fp16", workload, num_rounds=40, eval_every=10, seed=0
+        )
+        assert isinstance(result, EndToEndResult)
+        assert result.curve.times.size >= 4
+        assert result.rounds_per_second > 0
+        assert result.bits_per_coordinate == 16.0
+
+    def test_early_stopping_limits_rounds(self, workload):
+        from repro.core.early_stopping import EarlyStopping
+
+        result = run_end_to_end(
+            "baseline_fp16",
+            workload,
+            num_rounds=200,
+            eval_every=5,
+            seed=0,
+            early_stopping=EarlyStopping(patience=1, min_delta=1.0, mode="up"),
+        )
+        assert result.history.num_rounds < 200
+
+    def test_same_seed_reproducible(self, workload):
+        first = run_end_to_end("topkc_b2", workload, num_rounds=30, eval_every=10, seed=3)
+        second = run_end_to_end("topkc_b2", workload, num_rounds=30, eval_every=10, seed=3)
+        assert first.curve.values.tolist() == second.curve.values.tolist()
+
+
+class TestCompareSchemes:
+    def test_compare_returns_results_and_utilities(self, workload):
+        results, utilities = compare_schemes(
+            ["topkc_b2"], workload, num_rounds=40, eval_every=10, seed=0
+        )
+        assert set(results) == {"baseline_fp16", "topkc_b2"}
+        assert set(utilities) == {"topkc_b2"}
+        assert utilities["topkc_b2"].baseline_label == "ef(topkc_b2)" or utilities[
+            "topkc_b2"
+        ].baseline_label.startswith("baseline")
+
+    def test_compressed_scheme_has_higher_throughput(self, workload):
+        results, _ = compare_schemes(
+            ["topkc_b2"], workload, num_rounds=30, eval_every=10, seed=0
+        )
+        assert (
+            results["topkc_b2"].rounds_per_second
+            > results["baseline_fp16"].rounds_per_second
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for the compression-error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    aggregate_vnmse_over_rounds,
+    compression_ratio,
+    cosine_similarity,
+    normalized_mean_squared_error,
+    vnmse,
+)
+
+
+class TestVnmse:
+    def test_perfect_estimate_is_zero(self, rng):
+        vector = rng.standard_normal(100)
+        assert vnmse(vector, vector) == pytest.approx(0.0)
+
+    def test_zero_estimate_is_one(self, rng):
+        vector = rng.standard_normal(100)
+        assert vnmse(np.zeros(100), vector) == pytest.approx(1.0)
+
+    def test_scaling_invariance_of_reference(self, rng):
+        reference = rng.standard_normal(50)
+        estimate = reference * 0.5
+        # Error is 0.5^2 of the reference energy.
+        assert vnmse(estimate, reference) == pytest.approx(0.25)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            vnmse(np.ones(3), np.ones(4))
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            vnmse(np.ones(3), np.zeros(3))
+
+    def test_alias(self, rng):
+        vector = rng.standard_normal(20)
+        estimate = vector + 0.1
+        assert normalized_mean_squared_error(estimate, vector) == vnmse(estimate, vector)
+
+    def test_aggregate_over_rounds(self, rng):
+        references = [rng.standard_normal(10) for _ in range(3)]
+        estimates = [r * 0.5 for r in references]
+        assert aggregate_vnmse_over_rounds(estimates, references) == pytest.approx(0.25)
+
+    def test_aggregate_rejects_mismatched_lists(self):
+        with pytest.raises(ValueError):
+            aggregate_vnmse_over_rounds([np.ones(3)], [])
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self, rng):
+        vector = rng.standard_normal(30)
+        assert cosine_similarity(vector, vector) == pytest.approx(1.0)
+
+    def test_opposite_vectors(self, rng):
+        vector = rng.standard_normal(30)
+        assert cosine_similarity(-vector, vector) == pytest.approx(-1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(
+            0.0
+        )
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(3), np.ones(3))
+
+
+class TestCompressionRatio:
+    def test_fp32_baseline(self):
+        assert compression_ratio(2.0) == pytest.approx(16.0)
+
+    def test_fp16_baseline(self):
+        assert compression_ratio(2.0, baseline_bits=16.0) == pytest.approx(8.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            compression_ratio(0.0)
+        with pytest.raises(ValueError):
+            compression_ratio(2.0, baseline_bits=0.0)

@@ -1,0 +1,67 @@
+"""Unit tests for plain-text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.reporting import format_float_table, format_table, render_curves
+from repro.core.tta import TTACurve
+
+
+class TestFormatTable:
+    def test_alignment_and_header_separator(self):
+        rows = [["name", "value"], ["alpha", "1"], ["beta", "22"]]
+        rendered = format_table(rows, title="Title")
+        lines = rendered.splitlines()
+        assert lines[0] == "Title"
+        assert "-+-" in lines[2]
+        assert lines[1].startswith("name ")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_table([])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table([["a", "b"], ["only one"]])
+
+    def test_float_table_precision(self):
+        rendered = format_float_table(["x"], [[0.123456]], precision=3)
+        assert "0.123" in rendered
+        assert "0.123456" not in rendered
+
+    def test_float_table_mixes_strings(self):
+        rendered = format_float_table(["a", "b"], [["name", 1.5]])
+        assert "name" in rendered and "1.5" in rendered
+
+
+class TestRenderCurves:
+    def _curve(self, label="scheme"):
+        return TTACurve(
+            label=label,
+            times=np.linspace(0, 100, 20),
+            values=np.linspace(0.1, 0.8, 20),
+            improves="up",
+        )
+
+    def test_contains_legend_and_axes(self):
+        rendered = render_curves([self._curve("topkc")], title="TTA")
+        assert "TTA" in rendered
+        assert "topkc" in rendered
+        assert "0.8" in rendered
+
+    def test_multiple_curves_distinct_markers(self):
+        rendered = render_curves([self._curve("a"), self._curve("b")])
+        assert "* a" in rendered
+        assert "o b" in rendered
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_curves([])
+
+    def test_rejects_tiny_plot(self):
+        with pytest.raises(ValueError):
+            render_curves([self._curve()], width=4, height=2)
+
+    def test_flat_curve_does_not_crash(self):
+        flat = TTACurve(label="flat", times=np.array([0.0, 1.0]), values=np.array([0.5, 0.5]))
+        assert "flat" in render_curves([flat])

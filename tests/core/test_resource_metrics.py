@@ -1,0 +1,85 @@
+"""Unit tests for cost-to-accuracy and power-to-accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.core.resource_metrics import (
+    ResourceModel,
+    cost_to_accuracy,
+    cost_to_target,
+    energy_to_target_joules,
+    power_to_accuracy,
+)
+from repro.core.tta import TTACurve
+from repro.core.utility import compute_utility
+from repro.simulator.cluster import paper_testbed, scale_out_cluster
+
+
+def make_curve(times, values, label="scheme"):
+    return TTACurve(label=label, times=np.array(times), values=np.array(values), improves="up")
+
+
+class TestResourceModel:
+    def test_cluster_power_scales_with_nodes(self):
+        model = ResourceModel(node_power_watts=1000.0)
+        assert model.cluster_power_watts(paper_testbed()) == pytest.approx(2000.0)
+        assert model.cluster_power_watts(scale_out_cluster(8, 4)) == pytest.approx(8000.0)
+
+    def test_cost_per_second(self):
+        model = ResourceModel(node_cost_per_hour=36.0)
+        assert model.cluster_cost_per_second(paper_testbed()) == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceModel(node_power_watts=0.0)
+        with pytest.raises(ValueError):
+            ResourceModel(node_cost_per_hour=-1.0)
+
+
+class TestConversions:
+    def test_cost_curve_scales_time_axis(self):
+        curve = make_curve([0, 3600], [0.1, 0.6])
+        cost_curve = cost_to_accuracy(curve, paper_testbed(), ResourceModel(node_cost_per_hour=9.0))
+        # 2 nodes x 9/hour = 18/hour -> the 3600 s point costs 18 units.
+        assert cost_curve.times[-1] == pytest.approx(18.0)
+        np.testing.assert_array_equal(cost_curve.values, curve.values)
+
+    def test_power_curve_scales_time_axis(self):
+        curve = make_curve([0, 10], [0.1, 0.6])
+        energy_curve = power_to_accuracy(
+            curve, paper_testbed(), ResourceModel(node_power_watts=500.0)
+        )
+        assert energy_curve.times[-1] == pytest.approx(10 * 2 * 500.0)
+
+    def test_point_queries(self):
+        curve = make_curve([0, 100], [0.1, 0.6])
+        resources = ResourceModel(node_power_watts=1000.0, node_cost_per_hour=36.0)
+        assert energy_to_target_joules(curve, 0.6, paper_testbed(), resources) == pytest.approx(
+            100 * 2000.0
+        )
+        assert cost_to_target(curve, 0.6, paper_testbed(), resources) == pytest.approx(2.0)
+        assert energy_to_target_joules(curve, 0.9, paper_testbed(), resources) is None
+        assert cost_to_target(curve, 0.9, paper_testbed(), resources) is None
+
+    def test_same_cluster_preserves_utility_ordering(self):
+        baseline = make_curve([0, 20, 40], [0.1, 0.4, 0.6], label="fp16")
+        faster = make_curve([0, 10, 20], [0.1, 0.4, 0.6], label="topkc")
+        cluster = paper_testbed()
+        time_report = compute_utility(faster, baseline)
+        cost_report = compute_utility(
+            cost_to_accuracy(faster, cluster), cost_to_accuracy(baseline, cluster)
+        )
+        assert time_report.mean_speedup() == pytest.approx(cost_report.mean_speedup())
+
+    def test_different_cluster_prices_can_flip_the_winner(self):
+        # A compression scheme on a cheap cluster can beat a faster baseline
+        # on an expensive one in cost-to-accuracy even if it loses in TTA.
+        expensive = ResourceModel(node_cost_per_hour=32.0)
+        cheap = ResourceModel(node_cost_per_hour=4.0)
+        baseline = make_curve([0, 10, 20], [0.1, 0.4, 0.6], label="fast-expensive")
+        slower = make_curve([0, 30, 60], [0.1, 0.4, 0.6], label="slow-cheap")
+        cluster = paper_testbed()
+        assert slower.speedup_over(baseline, 0.6) < 1.0
+        cost_slower = cost_to_accuracy(slower, cluster, cheap)
+        cost_baseline = cost_to_accuracy(baseline, cluster, expensive)
+        assert cost_slower.speedup_over(cost_baseline, 0.6) > 1.0

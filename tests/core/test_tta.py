@@ -1,0 +1,145 @@
+"""Unit tests for TTA curves and the rolling average."""
+
+import numpy as np
+import pytest
+
+from repro.core.tta import TTACurve, rolling_average
+
+
+class TestRollingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(rolling_average(values, 1), values)
+
+    def test_trailing_window(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        smoothed = rolling_average(values, 2)
+        np.testing.assert_allclose(smoothed, [1.0, 1.5, 2.5, 3.5])
+
+    def test_window_larger_than_input(self):
+        values = np.array([2.0, 4.0])
+        smoothed = rolling_average(values, 10)
+        np.testing.assert_allclose(smoothed, [2.0, 3.0])
+
+    def test_preserves_length(self, rng):
+        values = rng.standard_normal(37)
+        assert rolling_average(values, 5).size == 37
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            rolling_average(np.ones(3), 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            rolling_average(np.ones((2, 2)), 2)
+
+
+def make_curve(times, values, improves="up", label="test"):
+    return TTACurve(label=label, times=np.array(times), values=np.array(values), improves=improves)
+
+
+class TestTTACurveValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_curve([], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            make_curve([1, 2], [1])
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            make_curve([2, 1], [0.1, 0.2])
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            make_curve([1], [1], improves="left")
+
+
+class TestTTACurveQueries:
+    def test_time_to_target_accuracy(self):
+        curve = make_curve([0, 10, 20, 30], [0.1, 0.3, 0.5, 0.6])
+        assert curve.time_to_target(0.5) == 20
+        assert curve.time_to_target(0.05) == 0
+        assert curve.time_to_target(0.9) is None
+
+    def test_time_to_target_perplexity(self):
+        curve = make_curve([0, 10, 20], [5.0, 4.0, 3.5], improves="down")
+        assert curve.time_to_target(4.0) == 10
+        assert curve.time_to_target(2.0) is None
+
+    def test_best_and_final_value(self):
+        curve = make_curve([0, 10, 20], [0.1, 0.6, 0.5])
+        assert curve.best_value() == pytest.approx(0.6)
+        assert curve.final_value() == pytest.approx(0.5)
+
+    def test_best_value_down(self):
+        curve = make_curve([0, 10], [5.0, 3.0], improves="down")
+        assert curve.best_value() == pytest.approx(3.0)
+
+    def test_value_at_time_step_interpolation(self):
+        curve = make_curve([0, 10, 20], [0.1, 0.4, 0.7])
+        assert curve.value_at_time(15) == pytest.approx(0.4)
+        assert curve.value_at_time(-5) == pytest.approx(0.1)
+        assert curve.value_at_time(100) == pytest.approx(0.7)
+
+    def test_speedup_over(self):
+        fast = make_curve([0, 10, 20], [0.1, 0.5, 0.7])
+        slow = make_curve([0, 20, 40], [0.1, 0.5, 0.7])
+        assert fast.speedup_over(slow, 0.5) == pytest.approx(2.0)
+        assert slow.speedup_over(fast, 0.5) == pytest.approx(0.5)
+
+    def test_speedup_none_when_unreachable(self):
+        fast = make_curve([0, 10], [0.1, 0.3])
+        slow = make_curve([0, 10], [0.1, 0.6])
+        assert fast.speedup_over(slow, 0.5) is None
+
+    def test_speedup_rejects_direction_mismatch(self):
+        up = make_curve([0], [1.0])
+        down = make_curve([0], [1.0], improves="down")
+        with pytest.raises(ValueError):
+            up.speedup_over(down, 0.5)
+
+    def test_crossings_detected(self):
+        # Curve A starts ahead then falls behind B -> exactly one crossing.
+        a = make_curve([0, 10, 20, 30], [0.3, 0.4, 0.45, 0.46], label="a")
+        b = make_curve([0, 10, 20, 30], [0.1, 0.3, 0.5, 0.6], label="b")
+        crossings = a.crossings_with(b)
+        assert len(crossings) == 1
+        assert 10 < crossings[0] <= 20
+
+    def test_no_crossings_when_dominated(self):
+        a = make_curve([0, 10], [0.5, 0.6], label="a")
+        b = make_curve([0, 10], [0.1, 0.2], label="b")
+        assert a.crossings_with(b) == []
+
+    def test_reachable_targets(self):
+        curve = make_curve([0, 10], [0.2, 0.6])
+        lookup = curve.reachable_targets([0.5, 0.9])
+        assert lookup[0.5] == 10
+        assert lookup[0.9] is None
+
+    def test_smoothed_returns_new_curve(self):
+        curve = make_curve([0, 10, 20], [0.0, 1.0, 0.0])
+        smoothed = curve.smoothed(3)
+        assert smoothed.values[2] == pytest.approx(1.0 / 3.0)
+        # original untouched
+        assert curve.values[2] == 0.0
+
+    def test_from_history(self):
+        from repro.training.ddp import EvaluationRecord, TrainingHistory
+
+        history = TrainingHistory(
+            workload_name="w",
+            scheme_name="s",
+            metric_name="accuracy",
+            metric_improves="up",
+            round_seconds=1.0,
+            evaluations=[
+                EvaluationRecord(0, 0.0, {"accuracy": 0.1}),
+                EvaluationRecord(10, 10.0, {"accuracy": 0.5}),
+            ],
+        )
+        curve = TTACurve.from_history(history)
+        assert curve.label == "s"
+        assert curve.time_to_target(0.5) == 10.0

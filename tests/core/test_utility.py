@@ -1,0 +1,83 @@
+"""Unit tests for the utility computation."""
+
+import numpy as np
+import pytest
+
+from repro.core.tta import TTACurve
+from repro.core.utility import UtilityReport, compute_utility, default_targets
+
+
+def make_curve(times, values, improves="up", label="curve"):
+    return TTACurve(label=label, times=np.array(times), values=np.array(values), improves=improves)
+
+
+class TestDefaultTargets:
+    def test_targets_end_at_baseline_best(self):
+        baseline = make_curve([0, 10, 20], [0.1, 0.4, 0.6])
+        targets = default_targets(baseline, count=4)
+        assert targets[-1] == pytest.approx(0.6)
+        assert len(targets) == 4
+
+    def test_rejects_bad_parameters(self):
+        baseline = make_curve([0], [0.1])
+        with pytest.raises(ValueError):
+            default_targets(baseline, count=0)
+        with pytest.raises(ValueError):
+            default_targets(baseline, span=0.0)
+
+
+class TestComputeUtility:
+    def test_faster_scheme_has_positive_utility(self):
+        baseline = make_curve([0, 20, 40, 60], [0.1, 0.3, 0.5, 0.6], label="fp16")
+        scheme = make_curve([0, 10, 20, 30], [0.1, 0.3, 0.5, 0.6], label="fast")
+        report = compute_utility(scheme, baseline)
+        assert report.has_positive_utility
+        assert report.mean_speedup() == pytest.approx(2.0, rel=0.01)
+        assert not report.unreachable_targets
+
+    def test_scheme_missing_final_target_has_no_positive_utility(self):
+        baseline = make_curve([0, 20, 40], [0.1, 0.4, 0.6], label="fp16")
+        scheme = make_curve([0, 10, 20], [0.1, 0.3, 0.45], label="aggressive")
+        report = compute_utility(scheme, baseline)
+        assert report.unreachable_targets
+        assert not report.has_positive_utility
+
+    def test_slower_scheme_negative_utility(self):
+        baseline = make_curve([0, 10, 20], [0.1, 0.4, 0.6], label="fp16")
+        scheme = make_curve([0, 30, 60], [0.1, 0.4, 0.6], label="fp32")
+        report = compute_utility(scheme, baseline)
+        speedups = [s for s in report.speedups if s is not None]
+        assert all(s <= 1.0 for s in speedups)
+        assert not report.has_positive_utility
+
+    def test_explicit_targets(self):
+        baseline = make_curve([0, 10], [0.0, 1.0], label="b")
+        scheme = make_curve([0, 5], [0.0, 1.0], label="s")
+        report = compute_utility(scheme, baseline, targets=[0.5, 1.0])
+        assert report.targets == (0.5, 1.0)
+        assert report.speedups[1] == pytest.approx(2.0)
+
+    def test_perplexity_direction(self):
+        baseline = make_curve([0, 20, 40], [5.0, 4.0, 3.5], improves="down", label="fp16")
+        scheme = make_curve([0, 10, 20], [5.0, 4.0, 3.5], improves="down", label="thc")
+        report = compute_utility(scheme, baseline)
+        assert report.has_positive_utility
+
+    def test_direction_mismatch_rejected(self):
+        up = make_curve([0], [1.0])
+        down = make_curve([0], [1.0], improves="down")
+        with pytest.raises(ValueError):
+            compute_utility(up, down)
+
+    def test_report_is_frozen_dataclass(self):
+        baseline = make_curve([0, 10], [0.0, 1.0], label="b")
+        report = compute_utility(baseline, baseline)
+        assert isinstance(report, UtilityReport)
+        with pytest.raises(AttributeError):
+            report.scheme_label = "other"
+
+    def test_mean_speedup_none_when_nothing_reached(self):
+        baseline = make_curve([0, 10], [0.1, 0.9], label="b")
+        scheme = make_curve([0, 10], [0.05, 0.08], label="s")
+        report = compute_utility(scheme, baseline, targets=[0.5, 0.9])
+        assert report.mean_speedup() is None

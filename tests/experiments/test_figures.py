@@ -1,0 +1,74 @@
+"""Smoke tests for the figure experiment drivers (short training runs)."""
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure3
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Short run: two sparsifier settings plus the baselines.
+        return figure1.run_figure1(
+            num_rounds=60, eval_every=15, schemes=("topkc_b2", "topk_b2")
+        )
+
+    def test_all_series_present(self, results):
+        per_scheme, utilities = results
+        assert set(per_scheme) == {"baseline_fp16", "baseline_fp32", "topkc_b2", "topk_b2"}
+        assert set(utilities) == {"baseline_fp32", "topkc_b2", "topk_b2"}
+
+    def test_fp16_faster_than_fp32(self, results):
+        per_scheme, _ = results
+        assert (
+            per_scheme["baseline_fp16"].rounds_per_second
+            > per_scheme["baseline_fp32"].rounds_per_second
+        )
+
+    def test_topkc_higher_throughput_than_topk(self, results):
+        per_scheme, _ = results
+        assert (
+            per_scheme["topkc_b2"].rounds_per_second
+            > per_scheme["topk_b2"].rounds_per_second
+        )
+
+    def test_render(self, results):
+        rendered = figure1.render_figure1(results)
+        assert "Figure 1" in rendered
+        assert "topkc_b2" in rendered
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure2.run_figure2(
+            num_rounds=60, eval_every=15, schemes=("thc_baseline", "thc_q4_sat_partial")
+        )
+
+    def test_optimised_thc_faster_than_baseline_adaptation(self, results):
+        per_scheme, _ = results
+        assert (
+            per_scheme["thc_q4_sat_partial"].rounds_per_second
+            > per_scheme["thc_baseline"].rounds_per_second
+        )
+
+    def test_render(self, results):
+        assert "Figure 2" in figure2.render_figure2(results)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return figure3.run_figure3(
+            num_rounds=60, eval_every=15, schemes=("powersgd_r1", "powersgd_r16")
+        )
+
+    def test_rank1_higher_throughput_than_rank16(self, results):
+        per_scheme, _ = results
+        assert (
+            per_scheme["powersgd_r1"].rounds_per_second
+            > per_scheme["powersgd_r16"].rounds_per_second
+        )
+
+    def test_render(self, results):
+        assert "Figure 3" in figure3.render_figure3(results)

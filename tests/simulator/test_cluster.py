@@ -1,0 +1,63 @@
+"""Unit tests for the cluster description."""
+
+import pytest
+
+from repro.simulator.cluster import ClusterSpec, paper_testbed, scale_out_cluster
+
+
+class TestClusterSpec:
+    def test_world_size(self):
+        assert ClusterSpec(num_nodes=3, gpus_per_node=4).world_size == 12
+
+    def test_paper_testbed_matches_paper(self):
+        cluster = paper_testbed()
+        assert cluster.num_nodes == 2
+        assert cluster.gpus_per_node == 2
+        assert cluster.world_size == 4
+        assert cluster.inter_node_nic.bandwidth_gbps == pytest.approx(100.0)
+
+    def test_node_of(self):
+        cluster = paper_testbed()
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(1) == 0
+        assert cluster.node_of(2) == 1
+        assert cluster.node_of(3) == 1
+
+    def test_node_of_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            paper_testbed().node_of(4)
+
+    def test_same_node(self):
+        cluster = paper_testbed()
+        assert cluster.same_node(0, 1)
+        assert not cluster.same_node(1, 2)
+
+    def test_link_between_intra_node_is_nvlink(self):
+        cluster = paper_testbed()
+        assert cluster.link_between(0, 1) is cluster.intra_node_nic
+
+    def test_link_between_inter_node_is_nic(self):
+        cluster = paper_testbed()
+        assert cluster.link_between(0, 2) is cluster.inter_node_nic
+
+    def test_link_between_self_rejected(self):
+        with pytest.raises(ValueError):
+            paper_testbed().link_between(1, 1)
+
+    def test_bottleneck_is_internode_when_multinode(self):
+        cluster = paper_testbed()
+        assert cluster.bottleneck_bandwidth_gbps() == cluster.inter_node_nic.bandwidth_gbps
+
+    def test_bottleneck_is_intranode_when_single_node(self):
+        cluster = ClusterSpec(num_nodes=1, gpus_per_node=4)
+        assert cluster.bottleneck_bandwidth_gbps() == cluster.intra_node_nic.bandwidth_gbps
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(num_nodes=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(gpus_per_node=0)
+
+    def test_scale_out_cluster(self):
+        cluster = scale_out_cluster(num_nodes=8, gpus_per_node=8)
+        assert cluster.world_size == 64

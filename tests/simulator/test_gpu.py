@@ -1,0 +1,101 @@
+"""Unit tests for the GPU performance model."""
+
+import pytest
+
+from repro.simulator.gpu import GpuModel, MemoryHierarchy, Precision
+
+
+class TestPrecision:
+    def test_bits_fp32(self):
+        assert Precision.FP32.bits == 32
+
+    def test_bits_fp16(self):
+        assert Precision.FP16.bits == 16
+
+    def test_bits_tf32_storage_is_32(self):
+        assert Precision.TF32.bits == 32
+
+    def test_bits_int8(self):
+        assert Precision.INT8.bits == 8
+
+
+class TestMemoryHierarchy:
+    def test_fits_in_shared_small(self):
+        memory = MemoryHierarchy()
+        assert memory.fits_in_shared(1024)
+
+    def test_does_not_fit_in_shared_large(self):
+        memory = MemoryHierarchy()
+        assert not memory.fits_in_shared(memory.shared_memory_bytes + 1)
+
+    def test_fits_exactly_at_capacity(self):
+        memory = MemoryHierarchy()
+        assert memory.fits_in_shared(memory.shared_memory_bytes)
+
+    def test_max_shared_elements(self):
+        memory = MemoryHierarchy(shared_memory_bytes=1024)
+        assert memory.max_shared_elements(4) == 256
+
+    def test_max_shared_elements_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy().max_shared_elements(0)
+
+
+class TestGpuModel:
+    def test_fp16_faster_than_fp32(self):
+        gpu = GpuModel()
+        assert gpu.flops_per_second(Precision.FP16) > gpu.flops_per_second(Precision.FP32)
+
+    def test_tf32_faster_than_fp32(self):
+        gpu = GpuModel()
+        assert gpu.flops_per_second(Precision.TF32) > gpu.flops_per_second(Precision.FP32)
+
+    def test_compute_time_zero_flops(self):
+        assert GpuModel().compute_time(0.0) == 0.0
+
+    def test_compute_time_monotone_in_flops(self):
+        gpu = GpuModel()
+        assert gpu.compute_time(2e9) > gpu.compute_time(1e9)
+
+    def test_compute_time_includes_launch_overhead(self):
+        gpu = GpuModel()
+        assert gpu.compute_time(1.0) >= gpu.kernel_launch_overhead_s
+
+    def test_compute_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GpuModel().compute_time(-1.0)
+
+    def test_memory_time_zero_bytes(self):
+        assert GpuModel().memory_time(0.0) == 0.0
+
+    def test_memory_time_random_access_penalty(self):
+        gpu = GpuModel()
+        sequential = gpu.memory_time(1e8, sequential=True)
+        random = gpu.memory_time(1e8, sequential=False)
+        assert random > sequential
+
+    def test_memory_time_shared_faster_than_global(self):
+        gpu = GpuModel()
+        shared = gpu.memory_time(1e8, in_shared=True)
+        global_mem = gpu.memory_time(1e8, in_shared=False)
+        assert shared < global_mem
+
+    def test_memory_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            GpuModel().memory_time(-1.0)
+
+    def test_elementwise_time_is_roofline_max(self):
+        gpu = GpuModel()
+        n = 10_000_000
+        combined = gpu.elementwise_time(n, flops_per_element=1.0, bytes_per_element=8.0)
+        compute = gpu.compute_time(n * 1.0)
+        memory = gpu.memory_time(n * 8.0)
+        assert combined == pytest.approx(max(compute, memory))
+
+    def test_elementwise_time_rejects_negative_elements(self):
+        with pytest.raises(ValueError):
+            GpuModel().elementwise_time(-1)
+
+    def test_elementwise_zero_elements(self):
+        # Zero work still pays at most a launch overhead.
+        assert GpuModel().elementwise_time(0) <= 2 * GpuModel().kernel_launch_overhead_s

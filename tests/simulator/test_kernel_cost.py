@@ -1,0 +1,129 @@
+"""Unit tests for the compression-kernel cost models."""
+
+import pytest
+
+from repro.simulator.gpu import GpuModel, MemoryHierarchy
+from repro.simulator.kernel_cost import KernelCostModel
+
+
+@pytest.fixture
+def kernels() -> KernelCostModel:
+    return KernelCostModel()
+
+
+class TestTopKKernels:
+    def test_select_time_zero_inputs(self, kernels):
+        assert kernels.topk_select_time(0, 0) == 0.0
+
+    def test_select_time_grows_with_d(self, kernels):
+        assert kernels.topk_select_time(2_000_000, 100) > kernels.topk_select_time(
+            1_000_000, 100
+        )
+
+    def test_select_rejects_negative(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.topk_select_time(-1, 10)
+
+    def test_rearrangement_grows_with_k(self, kernels):
+        assert kernels.rearrangement_time(1_000_000) > kernels.rearrangement_time(1_000)
+
+    def test_scatter_equals_rearrangement(self, kernels):
+        assert kernels.scatter_time(5000) == kernels.rearrangement_time(5000)
+
+    def test_chunk_norm_cheaper_than_topk_select(self, kernels):
+        # The whole point of TopKC: sequential chunk norms beat top-k selection.
+        d = 100_000_000
+        assert kernels.chunk_norm_time(d, 64) < kernels.topk_select_time(d, d // 100)
+
+    def test_chunk_norm_rejects_bad_chunk(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.chunk_norm_time(1000, 0)
+
+    def test_chunk_gather_zero(self, kernels):
+        assert kernels.chunk_gather_time(0) == 0.0
+
+
+class TestHadamardKernel:
+    def test_zero_size(self, kernels):
+        assert kernels.hadamard_time(0) == 0.0
+
+    def test_partial_cheaper_than_full_when_spilling(self, kernels):
+        d = 345_000_000
+        full = kernels.hadamard_time(d, depth=None)
+        partial = kernels.hadamard_time(d, depth=14)
+        assert partial < full
+
+    def test_depth_zero_is_free(self, kernels):
+        assert kernels.hadamard_time(1 << 20, depth=0) == 0.0
+
+    def test_depth_clamped_to_full(self, kernels):
+        d = 1 << 16
+        assert kernels.hadamard_time(d, depth=1000) == kernels.hadamard_time(d, depth=None)
+
+    def test_rejects_negative_depth(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.hadamard_time(1024, depth=-1)
+
+    def test_small_vector_fits_in_shared(self):
+        # A vector that fits entirely in shared memory needs one kernel group,
+        # so its cost matches a single sequential pass over the data.
+        kernels = KernelCostModel(gpu=GpuModel(memory=MemoryHierarchy()))
+        small = kernels.hadamard_time(1 << 12)
+        assert small < kernels.hadamard_time(1 << 22)
+
+
+class TestQuantizeKernels:
+    def test_quantize_zero(self, kernels):
+        assert kernels.quantize_time(0, 4) == 0.0
+
+    def test_quantize_rejects_bad_bits(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.quantize_time(100, 0)
+
+    def test_dequantize_matches_quantize(self, kernels):
+        assert kernels.dequantize_time(10_000, 4) == kernels.quantize_time(10_000, 4)
+
+
+class TestPowerSGDKernels:
+    def test_orthogonalization_grows_with_rank(self, kernels):
+        d = 1_000_000
+        assert kernels.orthogonalization_time(d, 64) > kernels.orthogonalization_time(d, 4)
+
+    def test_orthogonalization_launch_dominated(self, kernels):
+        # At realistic shapes the serial launch chain dominates, so doubling
+        # the rank roughly doubles the time.
+        d = 1 << 20
+        time_32 = kernels.orthogonalization_time(d, 32)
+        time_64 = kernels.orthogonalization_time(d, 64)
+        assert 1.5 < time_64 / time_32 < 3.0
+
+    def test_powersgd_includes_orthogonalization(self, kernels):
+        d = 1 << 20
+        assert kernels.powersgd_time(d, 16) > kernels.orthogonalization_time(d, 16)
+
+    def test_rejects_bad_rank(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.powersgd_time(1000, 0)
+
+    def test_rows_parameter_changes_cost(self, kernels):
+        d = 1 << 20
+        tall = kernels.powersgd_time(d, 8, rows=1 << 15)
+        square = kernels.powersgd_time(d, 8, rows=1 << 10)
+        assert tall != square
+
+
+class TestGenericKernels:
+    def test_cast_zero(self, kernels):
+        assert kernels.cast_time(0) == 0.0
+
+    def test_cast_rejects_bad_bits(self, kernels):
+        with pytest.raises(ValueError):
+            kernels.cast_time(100, 0, 16)
+
+    def test_elementwise_sum_scales_with_precision(self, kernels):
+        from repro.simulator.gpu import Precision
+
+        d = 50_000_000
+        fp32 = kernels.elementwise_sum_time(d, Precision.FP32)
+        fp16 = kernels.elementwise_sum_time(d, Precision.FP16)
+        assert fp16 < fp32

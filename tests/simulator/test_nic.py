@@ -1,0 +1,51 @@
+"""Unit tests for the NIC model."""
+
+import pytest
+
+from repro.simulator.nic import NVLINK, NicModel
+
+
+class TestNicModel:
+    def test_effective_bandwidth_below_line_rate(self):
+        nic = NicModel()
+        assert nic.effective_bandwidth_gbps(1) < nic.bandwidth_gbps
+
+    def test_effective_bandwidth_protocol_efficiency(self):
+        nic = NicModel(bandwidth_gbps=100.0, protocol_efficiency=0.5)
+        assert nic.effective_bandwidth_gbps(1) == pytest.approx(50.0)
+
+    def test_connection_scaling_penalty(self):
+        nic = NicModel(connection_budget=4, per_connection_penalty=0.01)
+        few = nic.effective_bandwidth_gbps(4)
+        many = nic.effective_bandwidth_gbps(200)
+        assert many < few
+
+    def test_connection_penalty_floor(self):
+        nic = NicModel(connection_budget=1, per_connection_penalty=0.5, min_efficiency=0.4)
+        assert nic.effective_bandwidth_gbps(1000) == pytest.approx(
+            nic.bandwidth_gbps * nic.protocol_efficiency * 0.4
+        )
+
+    def test_effective_bandwidth_rejects_zero_connections(self):
+        with pytest.raises(ValueError):
+            NicModel().effective_bandwidth_gbps(0)
+
+    def test_transfer_time_zero_bits(self):
+        assert NicModel().transfer_time(0.0) == 0.0
+
+    def test_transfer_time_includes_latency(self):
+        nic = NicModel()
+        assert nic.transfer_time(1.0) >= nic.latency_s
+
+    def test_transfer_time_monotone(self):
+        nic = NicModel()
+        assert nic.transfer_time(2e9) > nic.transfer_time(1e9)
+
+    def test_transfer_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NicModel().transfer_time(-1.0)
+
+    def test_nvlink_faster_than_ethernet(self):
+        ethernet = NicModel()
+        assert NVLINK.effective_bandwidth_gbps(1) > ethernet.effective_bandwidth_gbps(1)
+        assert NVLINK.latency_s < ethernet.latency_s

@@ -1,0 +1,80 @@
+"""Unit tests for the synthetic teacher dataset."""
+
+import numpy as np
+import pytest
+
+from repro.training.data import Batch, SyntheticTeacherDataset
+
+
+class TestBatch:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Batch(inputs=np.ones((4, 3)), labels=np.zeros(5, dtype=np.int64))
+        with pytest.raises(ValueError):
+            Batch(inputs=np.ones(4), labels=np.zeros(4, dtype=np.int64))
+
+    def test_size(self):
+        batch = Batch(inputs=np.ones((7, 3)), labels=np.zeros(7, dtype=np.int64))
+        assert batch.size == 7
+
+
+class TestSyntheticTeacherDataset:
+    def test_deterministic_given_seed(self):
+        first = SyntheticTeacherDataset(num_examples=128, num_test_examples=32, seed=5)
+        second = SyntheticTeacherDataset(num_examples=128, num_test_examples=32, seed=5)
+        np.testing.assert_array_equal(first.train_inputs, second.train_inputs)
+        np.testing.assert_array_equal(first.train_labels, second.train_labels)
+
+    def test_different_seed_different_data(self):
+        first = SyntheticTeacherDataset(num_examples=128, num_test_examples=32, seed=5)
+        second = SyntheticTeacherDataset(num_examples=128, num_test_examples=32, seed=6)
+        assert not np.array_equal(first.train_inputs, second.train_inputs)
+
+    def test_labels_in_range(self):
+        dataset = SyntheticTeacherDataset(num_examples=256, num_classes=10, seed=0)
+        assert dataset.train_labels.min() >= 0
+        assert dataset.train_labels.max() < 10
+
+    def test_labels_learnable_not_uniform(self):
+        # The teacher makes some classes more likely than chance; a dataset of
+        # pure noise would have near-uniform label marginals.
+        dataset = SyntheticTeacherDataset(num_examples=4096, num_classes=8, seed=1)
+        counts = np.bincount(dataset.train_labels, minlength=8)
+        assert counts.max() > 2 * counts.min()
+
+    def test_shards_partition_training_pool(self):
+        dataset = SyntheticTeacherDataset(num_examples=1000, seed=0)
+        shards = [dataset.worker_shard(rank, 4) for rank in range(4)]
+        assert sum(shard.size for shard in shards) == dataset.num_train
+
+    def test_shard_rank_validation(self):
+        dataset = SyntheticTeacherDataset(num_examples=100, seed=0)
+        with pytest.raises(ValueError):
+            dataset.worker_shard(4, 4)
+        with pytest.raises(ValueError):
+            dataset.worker_shard(0, 0)
+
+    def test_sample_batch_size_and_determinism(self):
+        dataset = SyntheticTeacherDataset(num_examples=512, seed=0)
+        shard = dataset.worker_shard(0, 2)
+        batch_a = shard.sample_batch(16, np.random.default_rng(3))
+        batch_b = shard.sample_batch(16, np.random.default_rng(3))
+        assert batch_a.size == 16
+        np.testing.assert_array_equal(batch_a.inputs, batch_b.inputs)
+
+    def test_sample_batch_rejects_nonpositive(self):
+        dataset = SyntheticTeacherDataset(num_examples=64, seed=0)
+        with pytest.raises(ValueError):
+            dataset.worker_shard(0, 1).sample_batch(0, np.random.default_rng(0))
+
+    def test_test_batch_uses_heldout_examples(self):
+        dataset = SyntheticTeacherDataset(num_examples=64, num_test_examples=32, seed=0)
+        assert dataset.test_batch().size == 32
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticTeacherDataset(num_examples=0)
+        with pytest.raises(ValueError):
+            SyntheticTeacherDataset(label_noise=1.5)
+        with pytest.raises(ValueError):
+            SyntheticTeacherDataset(num_classes=1)

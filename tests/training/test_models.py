@@ -1,0 +1,118 @@
+"""Unit tests for the NumPy models."""
+
+import numpy as np
+import pytest
+
+from repro.training.data import Batch
+from repro.training.models import MLPClassifier, SoftmaxRegression, cross_entropy, softmax
+
+
+@pytest.fixture
+def batch(rng):
+    inputs = rng.standard_normal((32, 10)).astype(np.float32)
+    labels = rng.integers(0, 4, size=32).astype(np.int64)
+    return Batch(inputs=inputs, labels=labels)
+
+
+class TestActivations:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probabilities = softmax(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(probabilities.sum(axis=1), np.ones(5), rtol=1e-10)
+
+    def test_softmax_stable_for_large_logits(self):
+        probabilities = softmax(np.array([[1e4, 0.0]]))
+        assert np.isfinite(probabilities).all()
+
+    def test_cross_entropy_perfect_prediction(self):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert cross_entropy(probabilities, labels) == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.ones((2, 2)), np.zeros(3, dtype=np.int64))
+
+
+class TestParameterInterface:
+    @pytest.mark.parametrize(
+        "model",
+        [
+            SoftmaxRegression(10, 4, seed=0),
+            MLPClassifier(10, (16,), 4, seed=0),
+            MLPClassifier(10, (16, 8), 4, seed=0),
+        ],
+        ids=["softmax", "mlp1", "mlp2"],
+    )
+    def test_flat_roundtrip(self, model):
+        flat = model.get_flat_params()
+        assert flat.size == model.num_parameters
+        perturbed = flat + 1.0
+        model.set_flat_params(perturbed)
+        np.testing.assert_allclose(model.get_flat_params(), perturbed, rtol=1e-6)
+
+    def test_set_flat_params_wrong_size(self):
+        model = SoftmaxRegression(10, 4)
+        with pytest.raises(ValueError):
+            model.set_flat_params(np.zeros(7, dtype=np.float32))
+
+    def test_layer_shapes_cover_weights(self):
+        model = MLPClassifier(10, (16, 8), 4)
+        covered = sum(rows * cols for rows, cols in model.layer_shapes)
+        biases = 16 + 8 + 4
+        assert covered + biases == model.num_parameters
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(0, (16,), 4)
+        with pytest.raises(ValueError):
+            MLPClassifier(10, (), 4)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(10, 1)
+
+
+class TestGradients:
+    @pytest.mark.parametrize(
+        "make_model",
+        [
+            lambda: SoftmaxRegression(10, 4, seed=0),
+            lambda: MLPClassifier(10, (12,), 4, seed=0),
+        ],
+        ids=["softmax", "mlp"],
+    )
+    def test_gradient_matches_finite_differences(self, make_model, batch):
+        model = make_model()
+        params = model.get_flat_params().astype(np.float64)
+        _, gradient = model.loss_and_gradient(batch)
+
+        rng = np.random.default_rng(0)
+        for index in rng.choice(params.size, size=10, replace=False):
+            epsilon = 1e-4
+            for sign, store in ((1, "plus"), (-1, "minus")):
+                shifted = params.copy()
+                shifted[index] += sign * epsilon
+                model.set_flat_params(shifted.astype(np.float32))
+                loss, _ = model.loss_and_gradient(batch)
+                if store == "plus":
+                    loss_plus = loss
+                else:
+                    loss_minus = loss
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert gradient[index] == pytest.approx(numeric, rel=0.05, abs=1e-4)
+            model.set_flat_params(params.astype(np.float32))
+
+    def test_gradient_descent_reduces_loss(self, batch):
+        model = MLPClassifier(10, (16,), 4, seed=1)
+        initial_loss, gradient = model.loss_and_gradient(batch)
+        params = model.get_flat_params()
+        for _ in range(50):
+            _, gradient = model.loss_and_gradient(batch)
+            params = params - 0.5 * gradient
+            model.set_flat_params(params)
+        final_loss, _ = model.loss_and_gradient(batch)
+        assert final_loss < initial_loss
+
+    def test_evaluate_returns_all_metrics(self, batch):
+        metrics = MLPClassifier(10, (16,), 4, seed=0).evaluate(batch)
+        assert set(metrics) == {"loss", "accuracy", "perplexity"}
+        assert 0.0 <= metrics["accuracy"] <= 1.0
+        assert metrics["perplexity"] == pytest.approx(np.exp(metrics["loss"]), rel=1e-6)

@@ -1,0 +1,103 @@
+"""Unit tests for SGD and the learning-rate schedule."""
+
+import numpy as np
+import pytest
+
+from repro.training.optimizer import SGD, LearningRateSchedule
+
+
+class TestLearningRateSchedule:
+    def test_constant_without_decay(self):
+        schedule = LearningRateSchedule(base_lr=0.1)
+        assert schedule.learning_rate(0) == pytest.approx(0.1)
+        assert schedule.learning_rate(1000) == pytest.approx(0.1)
+
+    def test_warmup_ramps_linearly(self):
+        schedule = LearningRateSchedule(base_lr=1.0, warmup_rounds=10)
+        assert schedule.learning_rate(0) == pytest.approx(0.1)
+        assert schedule.learning_rate(4) == pytest.approx(0.5)
+        assert schedule.learning_rate(9) == pytest.approx(1.0)
+
+    def test_cosine_decay_reaches_floor(self):
+        schedule = LearningRateSchedule(base_lr=1.0, total_rounds=100, min_lr_fraction=0.1)
+        assert schedule.learning_rate(100) == pytest.approx(0.1)
+
+    def test_cosine_decay_monotone(self):
+        schedule = LearningRateSchedule(base_lr=1.0, total_rounds=100)
+        rates = [schedule.learning_rate(r) for r in range(0, 101, 10)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LearningRateSchedule(base_lr=0.0)
+        with pytest.raises(ValueError):
+            LearningRateSchedule(warmup_rounds=-1)
+        with pytest.raises(ValueError):
+            LearningRateSchedule(min_lr_fraction=2.0)
+
+    def test_rejects_negative_round(self):
+        with pytest.raises(ValueError):
+            LearningRateSchedule().learning_rate(-1)
+
+
+class TestSGD:
+    def test_plain_sgd_step(self):
+        optimizer = SGD(0.1, momentum=0.0)
+        params = np.zeros(3, dtype=np.float32)
+        updated = optimizer.step(params, np.array([1.0, -2.0, 0.0], dtype=np.float32))
+        np.testing.assert_allclose(updated, [-0.1, 0.2, 0.0], atol=1e-7)
+
+    def test_momentum_accumulates(self):
+        optimizer = SGD(0.1, momentum=0.9)
+        params = np.zeros(1, dtype=np.float32)
+        gradient = np.ones(1, dtype=np.float32)
+        first = optimizer.step(params, gradient)
+        second = optimizer.step(first, gradient)
+        # Second step is larger than the first because of the velocity term.
+        assert abs(second[0] - first[0]) > abs(first[0])
+
+    def test_weight_decay_shrinks_params(self):
+        optimizer = SGD(0.1, momentum=0.0, weight_decay=0.1)
+        params = np.full(4, 10.0, dtype=np.float32)
+        updated = optimizer.step(params, np.zeros(4, dtype=np.float32))
+        assert np.all(updated < params)
+
+    def test_inputs_not_modified(self):
+        optimizer = SGD(0.1)
+        params = np.ones(3, dtype=np.float32)
+        gradient = np.ones(3, dtype=np.float32)
+        optimizer.step(params, gradient)
+        np.testing.assert_array_equal(params, np.ones(3))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(0.1).step(np.ones(3), np.ones(4))
+
+    def test_reset_state(self):
+        optimizer = SGD(0.1, momentum=0.9)
+        optimizer.step(np.zeros(2, dtype=np.float32), np.ones(2, dtype=np.float32))
+        optimizer.reset_state()
+        assert optimizer._velocity is None
+
+    def test_schedule_used_per_round(self):
+        schedule = LearningRateSchedule(base_lr=1.0, warmup_rounds=2)
+        optimizer = SGD(schedule, momentum=0.0)
+        params = np.zeros(1, dtype=np.float32)
+        first = optimizer.step(params, np.ones(1, dtype=np.float32))
+        assert first[0] == pytest.approx(-0.5)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD(0.1, weight_decay=-1.0)
+
+    def test_converges_on_quadratic(self):
+        # Minimise ||x - target||^2 with momentum SGD.
+        target = np.array([1.0, -2.0, 3.0])
+        optimizer = SGD(0.1, momentum=0.9)
+        x = np.zeros(3, dtype=np.float32)
+        for _ in range(200):
+            gradient = 2 * (x - target)
+            x = optimizer.step(x, gradient.astype(np.float32))
+        np.testing.assert_allclose(x, target, atol=1e-3)

@@ -1,0 +1,73 @@
+"""Unit tests for the workload descriptors."""
+
+import pytest
+
+from repro.simulator.gpu import Precision
+from repro.training.workloads import (
+    WorkloadSpec,
+    bert_large_layer_shapes,
+    bert_large_wikitext,
+    vgg19_layer_shapes,
+    vgg19_tinyimagenet,
+)
+
+
+class TestLayerShapes:
+    def test_bert_total_parameters_close_to_paper(self):
+        total = sum(r * c for r, c in bert_large_layer_shapes())
+        assert 300_000_000 < total < 360_000_000
+
+    def test_vgg_total_parameters_close_to_paper(self):
+        total = sum(r * c for r, c in vgg19_layer_shapes())
+        assert 130_000_000 < total < 150_000_000
+
+    def test_vgg_head_matches_num_classes(self):
+        shapes = vgg19_layer_shapes(num_classes=10)
+        assert shapes[-1][0] == 10
+
+
+class TestWorkloadSpec:
+    def test_bert_preset(self):
+        workload = bert_large_wikitext()
+        assert workload.metric == "perplexity"
+        assert workload.metric_improves == "down"
+        assert workload.paper_num_coordinates > 3e8
+        assert workload.per_worker_batch_size == 4
+        assert workload.rolling_window_rounds == 3750
+
+    def test_vgg_preset(self):
+        workload = vgg19_tinyimagenet()
+        assert workload.metric == "accuracy"
+        assert workload.metric_improves == "up"
+        assert workload.per_worker_batch_size == 32
+        assert workload.rolling_window_rounds == 7810
+
+    def test_compute_seconds_by_precision(self):
+        workload = bert_large_wikitext()
+        tf32 = workload.compute_seconds_for(Precision.TF32)
+        fp32 = workload.compute_seconds_for(Precision.FP32)
+        assert tf32 < fp32
+
+    def test_compute_seconds_missing_precision(self):
+        workload = bert_large_wikitext()
+        with pytest.raises(KeyError):
+            workload.compute_seconds_for(Precision.INT8)
+
+    def test_covered_coordinates_below_total(self):
+        for workload in (bert_large_wikitext(), vgg19_tinyimagenet()):
+            assert workload.covered_coordinates() < workload.paper_num_coordinates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="bad", metric="bleu", metric_improves="up", paper_num_coordinates=10
+            )
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="bad", metric="accuracy", metric_improves="sideways",
+                paper_num_coordinates=10,
+            )
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="bad", metric="accuracy", metric_improves="up", paper_num_coordinates=0
+            )
