@@ -1,28 +1,29 @@
 """Ablation: error feedback on/off for aggressive sparsification.
 
 The paper applies error feedback to both TopK and TopKC.  This ablation
-trains the VGG19-like workload with TopKC b = 0.5 with and without EF and
-shows that EF recovers most of the accuracy an aggressive sparsifier would
-otherwise lose.
+trains the VGG19-like workload with TopKC b = 0.5 with and without EF --
+expressed as spec composition, ``ef(topkc(b=0.5))`` vs ``topkc(b=0.5)`` --
+and shows that EF recovers most of the accuracy an aggressive sparsifier
+would otherwise lose.
 """
 
-from repro.core.evaluation import run_end_to_end
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
 from repro.training.workloads import vgg19_tinyimagenet
 
 NUM_ROUNDS = 200
-SCHEME = "topkc_b0.5"
+WITH_EF = "ef(topkc(b=0.5))"
+WITHOUT_EF = "topkc(b=0.5)"
 
 
 def run_error_feedback_ablation():
+    session = ExperimentSession(seed=0)
     workload = vgg19_tinyimagenet()
-    with_ef = run_end_to_end(
-        SCHEME, workload, num_rounds=NUM_ROUNDS, eval_every=20, seed=0, error_feedback=True
+    with_ef = session.tta(WITH_EF, workload, num_rounds=NUM_ROUNDS, eval_every=20)
+    without_ef = session.tta(
+        WITHOUT_EF, workload, num_rounds=NUM_ROUNDS, eval_every=20, error_feedback=False
     )
-    without_ef = run_end_to_end(
-        SCHEME, workload, num_rounds=NUM_ROUNDS, eval_every=20, seed=0, error_feedback=False
-    )
-    baseline = run_end_to_end(
-        "baseline_fp16", workload, num_rounds=NUM_ROUNDS, eval_every=20, seed=0
+    baseline = session.tta(
+        DEFAULT_BASELINE_SPEC, workload, num_rounds=NUM_ROUNDS, eval_every=20
     )
     return with_ef, without_ef, baseline
 

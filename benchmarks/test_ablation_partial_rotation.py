@@ -8,34 +8,31 @@ more global-memory traffic for diminishing error gains.
 
 import numpy as np
 
-from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
+from repro.api import ExperimentSession, bert_like_gradients
 from repro.compression.hadamard import HadamardRotation, depth_for_shared_memory
 from repro.core.metrics import vnmse
-from repro.experiments.common import bert_like_gradients, paper_context
 
 DEPTHS = (0, 4, 8, 15, None)  # None = full rotation
 
 
 def run_partial_rotation_sweep():
-    ctx = paper_context(seed=1)
+    session = ExperimentSession(seed=1)
+    ctx = session.context(seed=1)
     generator = bert_like_gradients(1 << 15, seed=5)
     gradients = generator.next_round(4)
     true_mean = generator.true_mean(gradients)
 
     results = {}
     for depth in DEPTHS:
-        scheme = THCCompressor(
-            4,
-            rotation=RotationMode.FULL if depth is None else RotationMode.PARTIAL,
-            aggregation=AggregationMode.SATURATION,
-        )
+        rotation = "full" if depth is None else "partial"
+        scheme = session.scheme(f"thc(q=4, rot={rotation}, agg=sat)")
         # Override the automatic shared-memory depth with the sweep value.
         if depth is not None:
-            scheme._make_rotation = (  # type: ignore[method-assign]
-                lambda ctx, _depth=depth: HadamardRotation(seed=7, depth=_depth)
-                if _depth > 0
-                else None
-            )
+
+            def fixed_depth_rotation(ctx, _depth=depth):
+                return HadamardRotation(seed=7, depth=_depth) if _depth > 0 else None
+
+            scheme._make_rotation = fixed_depth_rotation  # type: ignore[method-assign]
         result = scheme.aggregate(gradients, ctx)
         kernel_time = ctx.kernels.hadamard_time(345_000_000, depth)
         results[depth] = (vnmse(result.mean_estimate, true_mean), kernel_time)

@@ -3,28 +3,36 @@
 DESIGN.md calls out the chunk size as the scheme's central hyperparameter:
 small chunks localise the selection (lower error per aggregated coordinate)
 but spend more of the budget on the chunk-norm consensus stage; large chunks
-waste budget on uninteresting coordinates inside energetic chunks.
+waste budget on uninteresting coordinates inside energetic chunks.  With the
+spec language the sweep is pure data: ``topkc(b=2, c=C)`` for each C.
 """
 
 import pytest
 
-from repro.compression.topkc import TopKChunkedCompressor
-from repro.experiments.common import bert_like_gradients, mean_vnmse, paper_context
+from repro.api import ExperimentSession
 
 CHUNK_SIZES = (32, 64, 128, 512)
 BUDGET = 2.0
 
 
+def spec_for(chunk_size: int) -> str:
+    return f"topkc(b={BUDGET:g}, c={chunk_size})"
+
+
 def run_chunk_size_sweep():
-    ctx = paper_context(seed=0)
+    session = ExperimentSession(seed=0)
+    grid = session.sweep(
+        [spec_for(chunk_size) for chunk_size in CHUNK_SIZES],
+        metric="vnmse",
+        num_coordinates=1 << 16,
+        num_rounds=2,
+        gradient_seed=3,
+    )
     results = {}
     for chunk_size in CHUNK_SIZES:
-        scheme = TopKChunkedCompressor(BUDGET, chunk_size=chunk_size)
-        error = mean_vnmse(
-            scheme, bert_like_gradients(1 << 16, seed=3), num_rounds=2, ctx=ctx
-        )
-        cost = scheme.estimate_costs(345_000_000, ctx)
-        results[chunk_size] = (error, cost)
+        scheme = session.scheme(spec_for(chunk_size))
+        cost = scheme.estimate_costs(345_000_000, session.context())
+        results[chunk_size] = (grid.value(spec_for(chunk_size)), cost)
     return results
 
 

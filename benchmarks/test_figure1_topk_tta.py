@@ -8,7 +8,7 @@ def test_figure1_topk_tta(run_once):
         figure1.run_figure1,
         num_rounds=220,
         eval_every=20,
-        schemes=("topkc_b8", "topk_b8", "topkc_b0.5", "topk_b0.5"),
+        schemes=("topkc(b=8)", "topk(b=8)", "topkc(b=0.5)", "topk(b=0.5)"),
     )
     print("\n" + figure1.render_figure1(results))
 
@@ -16,17 +16,18 @@ def test_figure1_topk_tta(run_once):
 
     # FP16 is the stronger baseline: faster rounds, no accuracy loss.
     assert (
-        per_scheme["baseline_fp16"].rounds_per_second
-        > per_scheme["baseline_fp32"].rounds_per_second
+        per_scheme["baseline(p=fp16)"].rounds_per_second
+        > per_scheme["baseline(p=fp32)"].rounds_per_second
     )
     # TopKC has higher throughput than TopK at equal budget.
     assert (
-        per_scheme["topkc_b8"].rounds_per_second > per_scheme["topk_b8"].rounds_per_second
+        per_scheme["topkc(b=8)"].rounds_per_second
+        > per_scheme["topk(b=8)"].rounds_per_second
     )
     # The sparsifiers accelerate early/intermediate progress over FP16...
-    assert utilities["topkc_b8"].mean_speedup() is not None
-    assert utilities["topkc_b8"].mean_speedup() > 1.0
+    assert utilities["topkc(b=8)"].mean_speedup() is not None
+    assert utilities["topkc(b=8)"].mean_speedup() > 1.0
     # ...but the most aggressive setting does not reach the baseline's final
     # accuracy (throughput is not utility).
-    final_target = per_scheme["baseline_fp16"].curve.best_value()
-    assert per_scheme["topkc_b0.5"].curve.best_value() <= final_target + 1e-6
+    final_target = per_scheme["baseline(p=fp16)"].curve.best_value()
+    assert per_scheme["topkc(b=0.5)"].curve.best_value() <= final_target + 1e-6

@@ -2,6 +2,11 @@
 
 from repro.experiments import figure2
 
+BASELINE_ADAPTATION = "thc(q=4, b=8, rot=full, agg=widened)"
+SAT_FULL = "thc(q=4, rot=full, agg=sat)"
+SAT_PARTIAL = "thc(q=4, rot=partial, agg=sat)"
+SAT_PARTIAL_Q2 = "thc(q=2, rot=partial, agg=sat)"
+
 
 def test_figure2_thc_tta(run_once):
     results = run_once(figure2.run_figure2, num_rounds=220, eval_every=20)
@@ -12,28 +17,28 @@ def test_figure2_thc_tta(run_once):
     # Saturation + partial rotation beats the widened baseline adaptation in
     # throughput, and each added optimisation helps.
     assert (
-        per_scheme["thc_q4_sat"].rounds_per_second
-        > per_scheme["thc_baseline"].rounds_per_second
+        per_scheme[SAT_FULL].rounds_per_second
+        > per_scheme[BASELINE_ADAPTATION].rounds_per_second
     )
     assert (
-        per_scheme["thc_q4_sat_partial"].rounds_per_second
-        > per_scheme["thc_q4_sat"].rounds_per_second
+        per_scheme[SAT_PARTIAL].rounds_per_second
+        > per_scheme[SAT_FULL].rounds_per_second
     )
     # b=q=4 with saturation+partial rotation preserves final accuracy
     # (within noise of the FP16 baseline).
     assert (
-        per_scheme["thc_q4_sat_partial"].curve.best_value()
-        > per_scheme["baseline_fp16"].curve.best_value() - 0.02
+        per_scheme[SAT_PARTIAL].curve.best_value()
+        > per_scheme["baseline(p=fp16)"].curve.best_value() - 0.02
     )
     # b=q=2 is the fastest THC variant but loses final accuracy -- throughput
     # alone is a misleading metric.
-    assert per_scheme["thc_q2_sat_partial"].rounds_per_second == max(
+    assert per_scheme[SAT_PARTIAL_Q2].rounds_per_second == max(
         result.rounds_per_second
         for name, result in per_scheme.items()
         if name.startswith("thc")
     )
     assert (
-        per_scheme["thc_q2_sat_partial"].curve.best_value()
-        < per_scheme["thc_q4_sat_partial"].curve.best_value()
+        per_scheme[SAT_PARTIAL_Q2].curve.best_value()
+        < per_scheme[SAT_PARTIAL].curve.best_value()
     )
-    assert "thc_q4_sat_partial" in utilities
+    assert SAT_PARTIAL in utilities

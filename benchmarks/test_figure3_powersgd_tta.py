@@ -8,7 +8,7 @@ def test_figure3_powersgd_tta(run_once):
         figure3.run_figure3,
         num_rounds=220,
         eval_every=20,
-        schemes=("powersgd_r1", "powersgd_r4", "powersgd_r16"),
+        schemes=("powersgd(r=1)", "powersgd(r=4)", "powersgd(r=16)"),
     )
     print("\n" + figure3.render_figure3(results))
 
@@ -16,22 +16,22 @@ def test_figure3_powersgd_tta(run_once):
 
     # Rank 1 has the highest throughput of the PowerSGD settings...
     assert (
-        per_scheme["powersgd_r1"].rounds_per_second
-        > per_scheme["powersgd_r4"].rounds_per_second
-        > per_scheme["powersgd_r16"].rounds_per_second
+        per_scheme["powersgd(r=1)"].rounds_per_second
+        > per_scheme["powersgd(r=4)"].rounds_per_second
+        > per_scheme["powersgd(r=16)"].rounds_per_second
     )
     # ...but converges to a worse accuracy than the higher ranks.
     assert (
-        per_scheme["powersgd_r1"].curve.best_value()
-        <= per_scheme["powersgd_r16"].curve.best_value() + 1e-6
+        per_scheme["powersgd(r=1)"].curve.best_value()
+        <= per_scheme["powersgd(r=16)"].curve.best_value() + 1e-6
     )
     # Every PowerSGD rank beats the FP32 baseline in throughput by a wide
     # margin, while the margin over FP16 is much smaller -- the baseline
     # choice changes the conclusion.
-    fp32 = per_scheme["baseline_fp32"].rounds_per_second
-    fp16 = per_scheme["baseline_fp16"].rounds_per_second
-    for rank in ("powersgd_r1", "powersgd_r4", "powersgd_r16"):
+    fp32 = per_scheme["baseline(p=fp32)"].rounds_per_second
+    fp16 = per_scheme["baseline(p=fp16)"].rounds_per_second
+    for rank in ("powersgd(r=1)", "powersgd(r=4)", "powersgd(r=16)"):
         assert per_scheme[rank].rounds_per_second / fp32 > per_scheme[
             rank
         ].rounds_per_second / fp16 > 1.0
-    assert "powersgd_r4" in utilities
+    assert "powersgd(r=4)" in utilities

@@ -1,0 +1,135 @@
+"""Micro-benchmark: ``ExperimentSession.sweep`` vs the sequential legacy path.
+
+Measures a 3-scheme x 2-workload grid three ways:
+
+1. the legacy per-point path (construct each scheme by hand, call
+   ``mean_vnmse`` / ``estimate_throughput`` sequentially);
+2. ``session.sweep(..., parallel=False)`` -- same work through the facade;
+3. ``session.sweep(..., parallel=True)`` -- the concurrent executor.
+
+The numbers must agree exactly across all three (every sweep point draws its
+own deterministic rng), the facade must not add measurable overhead, and the
+executor's concurrency is demonstrated with a blocking metric so the check
+stays meaningful on single-core CI runners.  A memoized re-run of the same
+grid must be near-free.
+"""
+
+import time
+
+from repro.api import (
+    ExperimentSession,
+    bert_like_gradients,
+    estimate_throughput,
+    mean_vnmse,
+    paper_context,
+)
+from repro.compression import make_scheme
+from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
+
+SPECS = ("topk(b=2)", "topkc(b=2)", "thc(q=4, rot=partial, agg=sat)")
+NUM_COORDINATES = 1 << 15
+NUM_ROUNDS = 2
+GRADIENT_SEED = 3
+
+
+def legacy_sequential_grid():
+    """The pre-session shape of this experiment: hand-wired per-point calls."""
+    values = {}
+    for workload in (bert_large_wikitext(), vgg19_tinyimagenet()):
+        for spec in SPECS:
+            scheme = make_scheme(spec)
+            estimate = estimate_throughput(scheme, workload)
+            error = mean_vnmse(
+                make_scheme(spec),
+                bert_like_gradients(NUM_COORDINATES, seed=GRADIENT_SEED),
+                num_rounds=NUM_ROUNDS,
+                ctx=paper_context(seed=GRADIENT_SEED),
+            )
+            values[(spec, workload.name)] = (estimate.rounds_per_second, error)
+    return values
+
+
+def session_grid(session: ExperimentSession, *, parallel: bool):
+    workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+    throughput = session.sweep(
+        list(SPECS), workloads=workloads, metric="throughput", parallel=parallel,
+        memoize=False,
+    )
+    error = session.sweep(
+        list(SPECS),
+        metric="vnmse",
+        parallel=parallel,
+        memoize=False,
+        num_coordinates=NUM_COORDINATES,
+        num_rounds=NUM_ROUNDS,
+        gradient_seed=GRADIENT_SEED,
+    )
+    return {
+        (spec, workload.name): (
+            throughput.value(spec, workload),
+            error.value(spec),
+        )
+        for workload in workloads
+        for spec in SPECS
+    }
+
+
+def blocking_metric(session, spec, workload, cluster, *, seconds: float):
+    """Stand-in for an external measurement (I/O, subprocess, remote run)."""
+    time.sleep(seconds)
+    return 1.0
+
+
+def test_sweep_api_overhead(benchmark):
+    session = ExperimentSession(seed=0)
+
+    t0 = time.perf_counter()
+    legacy = legacy_sequential_grid()
+    legacy_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sequential = session_grid(session, parallel=False)
+    sequential_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = benchmark.pedantic(
+        session_grid, args=(session,), kwargs={"parallel": True}, rounds=1, iterations=1
+    )
+    parallel_seconds = time.perf_counter() - t0
+
+    print(
+        f"\n3 schemes x 2 workloads (throughput + vNMSE):\n"
+        f"  legacy sequential path : {legacy_seconds * 1e3:8.1f} ms\n"
+        f"  sweep(parallel=False)  : {sequential_seconds * 1e3:8.1f} ms\n"
+        f"  sweep(parallel=True)   : {parallel_seconds * 1e3:8.1f} ms"
+    )
+
+    # Identical numbers on all three paths.
+    assert legacy == sequential == parallel
+
+    # The facade must not add pathological overhead over the legacy path, and
+    # the parallel executor must not regress the sequential facade.  (Actual
+    # numpy-level speedup depends on the core count; the hard guarantee is
+    # "no slower", checked with generous slack against timer noise.)
+    assert sequential_seconds < legacy_seconds * 2.0 + 0.25
+    assert parallel_seconds < sequential_seconds * 1.5 + 0.25
+
+    # Concurrency itself, demonstrated with a blocking metric: 6 points of
+    # 0.15 s each must overlap (well under the 0.9 s a serial run would take).
+    workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+    t0 = time.perf_counter()
+    session.sweep(
+        list(SPECS), workloads=workloads, metric=blocking_metric, memoize=False,
+        seconds=0.15,
+    )
+    concurrent_seconds = time.perf_counter() - t0
+    print(f"  6 blocking points of 150 ms, concurrent: {concurrent_seconds * 1e3:8.1f} ms")
+    assert concurrent_seconds < 0.6
+
+    # Memoized re-run of an already-measured grid is near-free.
+    session.sweep(list(SPECS), workloads=workloads, metric="throughput")
+    t0 = time.perf_counter()
+    session.sweep(list(SPECS), workloads=workloads, metric="throughput")
+    memo_seconds = time.perf_counter() - t0
+    print(f"  memoized re-run of the throughput grid : {memo_seconds * 1e3:8.1f} ms")
+    assert memo_seconds < max(0.05, sequential_seconds / 2)

@@ -4,11 +4,14 @@ The paper argues all-reduce is inherently more scalable than all-gather and
 parameter-server aggregation.  This example prices the same TopK-style
 payload under all four aggregation schemes while growing the cluster from 4
 to 64 GPUs, showing the linear traffic blow-up of all-gather and the
-many-to-one bottleneck of the parameter server.
+many-to-one bottleneck of the parameter server -- then confirms the scheme-
+level consequence with an ``ExperimentSession.sweep`` over the cluster axis:
+all-gather-based TopK degrades with scale while all-reduce-based TopKC holds.
 
 Run with:  python examples/allreduce_vs_allgather_scaling.py
 """
 
+from repro.api import ExperimentSession
 from repro.collectives import CollectiveCostModel
 from repro.core.reporting import format_float_table
 from repro.simulator.cluster import scale_out_cluster
@@ -17,14 +20,15 @@ from repro.training import bert_large_wikitext
 #: Sparsified payload: b = 2 bits per coordinate of the BERT-large gradient.
 BITS_PER_COORDINATE = 2.0
 
+CLUSTERS = [scale_out_cluster(num_nodes=n, gpus_per_node=4) for n in (1, 2, 4, 8, 16)]
 
-def main() -> None:
+
+def collective_level_view() -> None:
     workload = bert_large_wikitext()
     payload_bits = BITS_PER_COORDINATE * workload.paper_num_coordinates
 
     rows = []
-    for num_nodes in (1, 2, 4, 8, 16):
-        cluster = scale_out_cluster(num_nodes=num_nodes, gpus_per_node=4)
+    for cluster in CLUSTERS:
         cost_model = CollectiveCostModel(cluster)
         ring = cost_model.ring_allreduce(payload_bits)
         tree = cost_model.tree_allreduce(payload_bits)
@@ -59,12 +63,40 @@ def main() -> None:
             precision=4,
         )
     )
+
+
+def scheme_level_view() -> None:
+    session = ExperimentSession()
+    grid = session.sweep(
+        [f"topk(b={BITS_PER_COORDINATE:g})", f"topkc(b={BITS_PER_COORDINATE:g})"],
+        workloads=bert_large_wikitext(),
+        clusters=CLUSTERS,
+        metric="throughput",
+    )
+    rows = [
+        [
+            cluster.world_size,
+            grid.value(f"topk(b={BITS_PER_COORDINATE:g})", cluster=f"{cluster.num_nodes}x4"),
+            grid.value(f"topkc(b={BITS_PER_COORDINATE:g})", cluster=f"{cluster.num_nodes}x4"),
+        ]
+        for cluster in CLUSTERS
+    ]
+    print(
+        format_float_table(
+            ["GPUs", "TopK rounds/s (all-gather)", "TopKC rounds/s (all-reduce)"],
+            rows,
+            title="Scheme-level throughput across the same cluster sweep",
+            precision=4,
+        )
+    )
+
+
+if __name__ == "__main__":
+    collective_level_view()
+    print()
+    scheme_level_view()
     print(
         "\nRing all-reduce time stays roughly flat as workers are added, while "
         "all-gather and the parameter server grow with the worker count -- the "
         "scalability argument behind the paper's all-reduce-compatibility requirement."
     )
-
-
-if __name__ == "__main__":
-    main()

@@ -1,54 +1,54 @@
 """Scenario: should we deploy TopK or TopKC sparsification for a vision job?
 
 This reproduces the decision the paper's Figure 1 supports, end to end: train
-the VGG19-like workload with both sparsifiers at several bit budgets, plot
-the TTA curves, and report each configuration's utility against the FP16
-baseline.  The conclusion mirrors the paper: TopKC dominates TopK at equal
-bit budget, and the most aggressive budget (b = 0.5) maximises throughput but
-not utility.
+the VGG19-like workload with both sparsifiers at several bit budgets through
+one ``ExperimentSession.compare`` call, plot the TTA curves, and report each
+configuration's utility against the FP16 baseline.  The conclusion mirrors
+the paper: TopKC dominates TopK at equal bit budget, and the most aggressive
+budget (b = 0.5) maximises throughput but not utility.
 
 Run with:  python examples/compare_sparsifiers_tta.py [--rounds N]
 """
 
 import argparse
 
-from repro.core import compute_utility
-from repro.core.evaluation import run_end_to_end
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
 from repro.core.reporting import format_float_table, render_curves
 from repro.training import vgg19_tinyimagenet
 
-SCHEMES = (
-    "baseline_fp16",
-    "baseline_fp32",
-    "topk_b8",
-    "topkc_b8",
-    "topk_b0.5",
-    "topkc_b0.5",
+SPECS = (
+    "baseline(p=fp32)",
+    "topk(b=8)",
+    "topkc(b=8)",
+    "topk(b=0.5)",
+    "topkc(b=0.5)",
 )
 
 
 def main(num_rounds: int) -> None:
-    workload = vgg19_tinyimagenet()
-    results = {
-        name: run_end_to_end(name, workload, num_rounds=num_rounds, eval_every=20)
-        for name in SCHEMES
-    }
+    session = ExperimentSession(seed=0)
+    results, utilities = session.compare(
+        list(SPECS),
+        vgg19_tinyimagenet(),
+        baseline=DEFAULT_BASELINE_SPEC,
+        num_rounds=num_rounds,
+        eval_every=20,
+    )
 
     print(render_curves([r.curve for r in results.values()], title="TTA (VGG19-like workload)"))
     print()
 
-    baseline_curve = results["baseline_fp16"].curve
     rows = []
     for name, result in results.items():
-        report = compute_utility(result.curve, baseline_curve)
+        report = utilities.get(name)
         rows.append(
             [
                 name,
                 result.rounds_per_second,
                 result.bits_per_coordinate,
                 result.curve.best_value(),
-                report.mean_speedup() or float("nan"),
-                len(report.unreachable_targets),
+                (report.mean_speedup() or float("nan")) if report else 1.0,
+                len(report.unreachable_targets) if report else 0,
             ]
         )
     print(

@@ -2,19 +2,19 @@
 
 The paper's conclusion suggests that time-to-accuracy may not be the final
 word: the dollars or joules spent to reach an accuracy can matter more.  This
-example trains the FP16 baseline and TopKC on two differently priced cluster
-configurations and shows how the winner can change when the metric switches
-from time to cost -- the exact framework extension the paper leaves as future
-work (implemented in ``repro.core.resource_metrics``).
+example trains the FP16 baseline and TopKC (both named by spec strings on one
+``ExperimentSession``) on two differently priced cluster configurations and
+shows how the winner can change when the metric switches from time to cost --
+the exact framework extension the paper leaves as future work (implemented in
+``repro.core.resource_metrics``).
 
 Run with:  python examples/cost_to_accuracy.py
 """
 
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
 from repro.core import compute_utility
-from repro.core.evaluation import run_end_to_end
 from repro.core.reporting import format_float_table
 from repro.core.resource_metrics import ResourceModel, cost_to_accuracy, power_to_accuracy
-from repro.simulator.cluster import paper_testbed
 from repro.training import vgg19_tinyimagenet
 
 #: The premium cluster has faster networking priced in; the budget cluster is
@@ -25,10 +25,11 @@ BUDGET = ResourceModel(node_power_watts=1100.0, node_cost_per_hour=5.0)
 
 
 def main() -> None:
+    session = ExperimentSession(seed=0)
     workload = vgg19_tinyimagenet()
-    cluster = paper_testbed()
-    baseline = run_end_to_end("baseline_fp16", workload, num_rounds=250, eval_every=25)
-    topkc = run_end_to_end("topkc_b2", workload, num_rounds=250, eval_every=25)
+    cluster = session.cluster
+    baseline = session.tta(DEFAULT_BASELINE_SPEC, workload, num_rounds=250, eval_every=25)
+    topkc = session.tta("topkc(b=2)", workload, num_rounds=250, eval_every=25)
 
     target = baseline.curve.values[0] + 0.6 * (
         baseline.curve.best_value() - baseline.curve.values[0]
@@ -36,8 +37,8 @@ def main() -> None:
 
     rows = []
     for label, result, resources in (
-        ("baseline_fp16 on premium nodes", baseline, PREMIUM),
-        ("topkc_b2 on budget nodes", topkc, BUDGET),
+        ("baseline(p=fp16) on premium nodes", baseline, PREMIUM),
+        ("topkc(b=2) on budget nodes", topkc, BUDGET),
     ):
         time_curve = result.curve
         cost_curve = cost_to_accuracy(time_curve, cluster, resources)

@@ -2,25 +2,34 @@
 
 The paper's methodological point is that *any* new scheme should be evaluated
 by its end-to-end utility against the FP16 baseline.  This example shows the
-extension path: implement the :class:`AggregationScheme` interface for a
-simple new scheme (random-block sparsification, a common strawman), register
-it, and run it through exactly the same utility evaluation as the built-in
-schemes.
+extension path on the compositional API: implement the
+:class:`AggregationScheme` interface for a simple new scheme (random-block
+sparsification, a common strawman), register it as a *spec family* with typed
+parameters via the ``@register`` decorator, and run it through exactly the
+same session/utility evaluation as the built-in schemes -- spec parsing,
+``ef(...)`` composition, and canonical ``.spec()`` formatting included.
 
 Run with:  python examples/custom_compressor.py
 """
 
 import numpy as np
 
+from repro.api import ExperimentSession
 from repro.collectives.ops import SumOp
-from repro.compression import SimContext, register_scheme
+from repro.compression import Param, SimContext, register
 from repro.compression.base import AggregationResult, AggregationScheme, CostEstimate
 from repro.core import compute_utility
-from repro.core.evaluation import run_end_to_end
 from repro.simulator.timeline import PHASE_COMMUNICATION, PHASE_COMPRESSION
 from repro.training import vgg19_tinyimagenet
 
 
+@register(
+    "randomblock",
+    params=(
+        Param("b", float, kwarg="bits_per_coordinate", doc="target wire bits per coordinate"),
+    ),
+    description="Energy-blind random-block sparsification (strawman)",
+)
 class RandomBlockCompressor(AggregationScheme):
     """Aggregate one randomly chosen block of coordinates per round.
 
@@ -77,21 +86,27 @@ class RandomBlockCompressor(AggregationScheme):
 
 
 def main() -> None:
-    register_scheme("randomblock_b2", lambda: RandomBlockCompressor(2.0))
+    session = ExperimentSession(seed=0)
+
+    # The new family speaks the full spec language immediately.
+    scheme = session.scheme("ef(randomblock(b=2))")
+    print(f"registered family, canonical spec: {scheme.spec()}")
 
     workload = vgg19_tinyimagenet()
-    baseline = run_end_to_end("baseline_fp16", workload, num_rounds=250, eval_every=25)
-    topkc = run_end_to_end("topkc_b2", workload, num_rounds=250, eval_every=25)
-    custom = run_end_to_end(
-        "randomblock_b2", workload, num_rounds=250, eval_every=25, error_feedback=True
+    results, _ = session.compare(
+        ["topkc(b=2)", "ef(randomblock(b=2))"],
+        workload,
+        num_rounds=250,
+        eval_every=25,
     )
+    baseline = results["baseline(p=fp16)"]
 
-    print(f"{'scheme':18s} {'rounds/s':>9s} {'best acc':>9s} {'speedup vs FP16':>16s}")
-    for result in (baseline, topkc, custom):
+    print(f"{'scheme':22s} {'rounds/s':>9s} {'best acc':>9s} {'speedup vs FP16':>16s}")
+    for result in results.values():
         report = compute_utility(result.curve, baseline.curve)
         speedup = report.mean_speedup()
         print(
-            f"{result.scheme_name:18s} {result.rounds_per_second:9.2f} "
+            f"{result.scheme_name:22s} {result.rounds_per_second:9.2f} "
             f"{result.curve.best_value():9.3f} "
             f"{speedup if speedup is not None else float('nan'):16.2f}"
         )

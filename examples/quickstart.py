@@ -1,71 +1,74 @@
-"""Quickstart: aggregate gradients with a compression scheme and measure its utility.
+"""Quickstart: one session, every measurement the paper advocates.
 
-This walks through the library's three levels in ~60 lines:
+This walks through the library's levels in ~60 lines, all through the unified
+``repro.api`` session and the compositional scheme-spec language:
 
-1. aggregate one round of per-worker gradients with a compression scheme and
-   inspect its error and simulated cost;
-2. price a full training round at paper scale (the throughput-table view);
+1. aggregate one round of per-worker gradients with schemes named by spec
+   strings and inspect their error and simulated cost;
+2. sweep a spec x workload grid of paper-scale throughput estimates (the
+   throughput-table view) -- one declarative call, executed concurrently;
 3. run a short end-to-end training comparison against the FP16 baseline and
-   compute the scheme's utility (the TTA view the paper advocates).
+   compute each scheme's utility (the TTA view the paper advocates).
 
 Run with:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.collectives import CollectiveBackend
-from repro.compression import SimContext, make_scheme
-from repro.core import compute_utility, run_end_to_end, vnmse
-from repro.experiments.common import estimate_throughput
-from repro.simulator import KernelCostModel, paper_testbed
+from repro.api import ExperimentSession
+from repro.core import compute_utility, vnmse
 from repro.training import SyntheticGradientModel, vgg19_tinyimagenet
 
+#: Scheme configurations are spec strings: parameterized, composable
+#: (``ef(...)`` wraps error feedback), and round-trippable via ``.spec()``.
+SPECS = (
+    "baseline(p=fp16)",
+    "topkc(b=2)",
+    "thc(q=4, rot=partial, agg=sat)",
+    "powersgd(r=4)",
+)
 
-def step_1_single_round() -> None:
+
+def step_1_single_round(session: ExperimentSession) -> None:
     """Compress-and-aggregate one round of gradients, report error and cost."""
     print("=== 1. One aggregation round ===")
-    cluster = paper_testbed()
-    ctx = SimContext(
-        backend=CollectiveBackend(cluster),
-        kernels=KernelCostModel(gpu=cluster.gpu),
-        rng=np.random.default_rng(0),
-    )
     generator = SyntheticGradientModel(num_coordinates=1 << 16, seed=7)
-    gradients = generator.next_round(cluster.world_size)
+    gradients = generator.next_round(session.cluster.world_size)
     true_mean = generator.true_mean(gradients)
 
-    for name in ("baseline_fp16", "topkc_b2", "thc_q4_sat_partial", "powersgd_r4"):
-        scheme = make_scheme(name)
-        result = scheme.aggregate(gradients, ctx)
+    for spec in SPECS:
+        result = session.aggregate(spec, gradients)
         print(
-            f"  {name:20s} b={result.bits_per_coordinate:6.2f}  "
+            f"  {spec:32s} b={result.bits_per_coordinate:6.2f}  "
             f"vNMSE={vnmse(result.mean_estimate, true_mean):.4f}  "
             f"comm={result.communication_seconds * 1e3:6.3f} ms"
         )
 
 
-def step_2_paper_scale_throughput() -> None:
+def step_2_throughput_sweep(session: ExperimentSession) -> None:
     """Price one training round of each scheme at the real model size."""
-    print("\n=== 2. Paper-scale throughput (VGG19, 140M coordinates) ===")
-    workload = vgg19_tinyimagenet()
-    for name in ("baseline_fp32", "baseline_fp16", "topk_b2", "topkc_b2"):
-        estimate = estimate_throughput(make_scheme(name), workload)
+    print("\n=== 2. Paper-scale throughput sweep (VGG19, 140M coordinates) ===")
+    grid = session.sweep(
+        ["baseline(p=fp32)", "baseline(p=fp16)", "topk(b=2)", "topkc(b=2)"],
+        workloads=vgg19_tinyimagenet(),
+        metric="throughput",
+    )
+    for point in grid:
+        estimate = point.detail
         print(
-            f"  {name:15s} {estimate.rounds_per_second:6.2f} rounds/s  "
+            f"  {point.spec:18s} {estimate.rounds_per_second:6.2f} rounds/s  "
             f"(compression {estimate.cost.compression_seconds * 1e3:6.2f} ms, "
             f"communication {estimate.cost.communication_seconds * 1e3:6.2f} ms)"
         )
 
 
-def step_3_end_to_end_utility() -> None:
+def step_3_end_to_end_utility(session: ExperimentSession) -> None:
     """Short end-to-end runs: TTA curves and utility against FP16."""
     print("\n=== 3. End-to-end utility vs the FP16 baseline ===")
     workload = vgg19_tinyimagenet()
-    baseline = run_end_to_end("baseline_fp16", workload, num_rounds=200, eval_every=20)
-    candidate = run_end_to_end("topkc_b2", workload, num_rounds=200, eval_every=20)
+    baseline = session.tta("baseline(p=fp16)", workload, num_rounds=200, eval_every=20)
+    candidate = session.tta("topkc(b=2)", workload, num_rounds=200, eval_every=20)
     report = compute_utility(candidate.curve, baseline.curve)
-    print(f"  baseline_fp16 best accuracy: {baseline.curve.best_value():.3f}")
-    print(f"  topkc_b2      best accuracy: {candidate.curve.best_value():.3f}")
+    print(f"  baseline(p=fp16) best accuracy: {baseline.curve.best_value():.3f}")
+    print(f"  topkc(b=2)       best accuracy: {candidate.curve.best_value():.3f}")
     for target, speedup in zip(report.targets, report.speedups):
         rendered = "never reached" if speedup is None else f"{speedup:.2f}x"
         print(f"  target {target:.3f}: speedup over FP16 = {rendered}")
@@ -73,6 +76,7 @@ def step_3_end_to_end_utility() -> None:
 
 
 if __name__ == "__main__":
-    step_1_single_round()
-    step_2_paper_scale_throughput()
-    step_3_end_to_end_utility()
+    session = ExperimentSession(seed=0)
+    step_1_single_round(session)
+    step_2_throughput_sweep(session)
+    step_3_end_to_end_utility(session)

@@ -12,15 +12,35 @@ The package is organised by subsystem:
 * :mod:`repro.experiments` -- drivers that regenerate every table and figure.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro.compression import available_schemes, make_scheme
+from repro.compression import (
+    available_families,
+    available_schemes,
+    make_scheme,
+    parse_spec,
+)
 from repro.simulator.cluster import ClusterSpec, paper_testbed
+
+
+def __getattr__(name: str):
+    # ``repro.api`` imports training/evaluation modules; load it lazily so
+    # ``import repro`` stays light.
+    if name in ("ExperimentSession", "SweepResult"):
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "__version__",
+    "ExperimentSession",
+    "SweepResult",
+    "available_families",
     "available_schemes",
     "make_scheme",
+    "parse_spec",
     "ClusterSpec",
     "paper_testbed",
 ]

@@ -1,0 +1,401 @@
+"""The unified experiment session: one object, every measurement.
+
+:class:`ExperimentSession` bundles what every experiment needs -- a cluster,
+its kernel cost model, a seed policy, and a session timeline -- and exposes
+the paper's measurements as methods:
+
+* :meth:`~ExperimentSession.aggregate` -- one functional aggregation round;
+* :meth:`~ExperimentSession.throughput` -- paper-scale round pricing;
+* :meth:`~ExperimentSession.vnmse` -- compression error on synthetic
+  BERT-like gradients;
+* :meth:`~ExperimentSession.tta` -- an end-to-end training run with its
+  time-to-accuracy curve;
+* :meth:`~ExperimentSession.compare` -- several schemes against the FP16
+  baseline with utility reports;
+* :meth:`~ExperimentSession.sweep` -- any of the above expanded over a
+  spec x workload x cluster grid, executed concurrently with per-point
+  memoization.
+
+Schemes are named by spec strings (see :mod:`repro.compression.spec`), so a
+sweep definition is pure data::
+
+    session = ExperimentSession()
+    grid = session.sweep(
+        [f"topkc(b={b:g})" for b in (0.5, 2, 8)],
+        workloads=[bert_large_wikitext(), vgg19_tinyimagenet()],
+        metric="throughput",
+    )
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.api.measures import (
+    ThroughputEstimate,
+    bert_like_gradients,
+    estimate_throughput,
+    mean_vnmse,
+)
+from repro.api.sweep import SweepPoint, SweepResult, cluster_label, expand_grid
+from repro.collectives.api import CollectiveBackend
+from repro.compression.base import AggregationResult, AggregationScheme, SimContext
+from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.registry import make_scheme
+from repro.core.evaluation import EndToEndResult, run_end_to_end
+from repro.core.utility import UtilityReport, compute_utility
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.gpu import Precision
+from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.timeline import RoundTimeline
+from repro.training.workloads import WorkloadSpec
+
+#: The spec of the baseline the paper measures utility against.
+DEFAULT_BASELINE_SPEC = "baseline(p=fp16)"
+
+#: Metric names understood by :meth:`ExperimentSession.sweep`.
+SWEEP_METRICS = ("throughput", "vnmse", "tta")
+
+
+class ExperimentSession:
+    """Cluster, kernels, rng policy, and timeline in one experiment façade.
+
+    Args:
+        cluster: Simulated cluster; defaults to the paper's 2x2 testbed.
+        seed: Base seed of the session's measurements (aggregation contexts
+            and training runs), so all schemes see identical randomness and
+            results are reproducible regardless of execution order.  The
+            vNMSE measurement is the exception: it is seeded by its own
+            ``gradient_seed`` so error numbers compare across sessions.
+        max_workers: Thread count for :meth:`sweep`; defaults to the number
+            of grid points (capped at 8).
+        record_timeline: Keep a session-level :class:`RoundTimeline` that
+            :meth:`aggregate` records kernel/collective time on.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        *,
+        seed: int = 0,
+        max_workers: int | None = None,
+        record_timeline: bool = True,
+    ):
+        self.cluster = cluster or paper_testbed()
+        self.seed = seed
+        self.kernels = KernelCostModel(gpu=self.cluster.gpu)
+        self.timeline: RoundTimeline | None = RoundTimeline() if record_timeline else None
+        self.max_workers = max_workers
+        self._memo: dict[tuple, SweepPoint] = {}
+        self._memo_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def scheme(
+        self, spec: str | AggregationScheme, *, error_feedback: bool = False
+    ) -> AggregationScheme:
+        """Build a scheme from a spec string (pass-through for instances)."""
+        if isinstance(spec, AggregationScheme):
+            if error_feedback and not isinstance(spec, ErrorFeedback):
+                return ErrorFeedback(spec)
+            return spec
+        return make_scheme(spec, error_feedback=error_feedback)
+
+    def context(
+        self,
+        *,
+        seed: int | None = None,
+        cluster: ClusterSpec | None = None,
+        timeline: RoundTimeline | None = None,
+    ) -> SimContext:
+        """A fresh simulation context on the session's (or a given) cluster."""
+        cluster = cluster or self.cluster
+        return SimContext(
+            backend=CollectiveBackend(cluster),
+            kernels=self.kernels if cluster is self.cluster else KernelCostModel(gpu=cluster.gpu),
+            rng=np.random.default_rng(self.seed if seed is None else seed),
+            timeline=timeline,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single-point measurements
+    # ------------------------------------------------------------------ #
+    def aggregate(
+        self,
+        spec: str | AggregationScheme,
+        worker_gradients: list[np.ndarray],
+        *,
+        seed: int | None = None,
+        error_feedback: bool = False,
+    ) -> AggregationResult:
+        """Aggregate one round of per-worker gradients with a scheme.
+
+        Records compression/communication time on the session timeline.
+        """
+        scheme = self.scheme(spec, error_feedback=error_feedback)
+        ctx = self.context(seed=seed, timeline=self.timeline)
+        return scheme.aggregate(worker_gradients, ctx)
+
+    def throughput(
+        self,
+        spec: str | AggregationScheme,
+        workload: WorkloadSpec,
+        *,
+        training_precision: Precision = Precision.TF32,
+        cluster: ClusterSpec | None = None,
+        error_feedback: bool = False,
+    ) -> ThroughputEstimate:
+        """Price one training round of a scheme on a workload at paper scale."""
+        scheme = self.scheme(spec, error_feedback=error_feedback)
+        return estimate_throughput(
+            scheme,
+            workload,
+            training_precision=training_precision,
+            ctx=self.context(cluster=cluster),
+        )
+
+    def vnmse(
+        self,
+        spec: str | AggregationScheme,
+        *,
+        num_coordinates: int = 1 << 17,
+        num_rounds: int = 3,
+        num_workers: int = 4,
+        gradient_seed: int = 3,
+        error_feedback: bool = False,
+        cluster: ClusterSpec | None = None,
+    ) -> float:
+        """Mean vNMSE of a scheme on BERT-like synthetic gradients.
+
+        Unlike the other measurements, the randomness here is governed
+        entirely by ``gradient_seed`` (it seeds both the gradient model and
+        the compression rng), so a scheme's vNMSE is comparable across
+        sessions; vary ``gradient_seed`` to draw independent replicates.
+        """
+        scheme = self.scheme(spec, error_feedback=error_feedback)
+        generator = bert_like_gradients(num_coordinates, seed=gradient_seed)
+        return mean_vnmse(
+            scheme,
+            generator,
+            num_rounds=num_rounds,
+            num_workers=num_workers,
+            ctx=self.context(seed=gradient_seed, cluster=cluster),
+        )
+
+    def tta(
+        self,
+        spec: str,
+        workload: WorkloadSpec,
+        *,
+        num_rounds: int = 600,
+        eval_every: int = 10,
+        seed: int | None = None,
+        error_feedback: bool | None = None,
+        rolling_window: int = 5,
+        cluster: ClusterSpec | None = None,
+    ) -> EndToEndResult:
+        """Train a scheme end-to-end and return its time-to-accuracy result."""
+        return run_end_to_end(
+            spec,
+            workload,
+            num_rounds=num_rounds,
+            cluster=cluster or self.cluster,
+            seed=self.seed if seed is None else seed,
+            eval_every=eval_every,
+            error_feedback=error_feedback,
+            rolling_window=rolling_window,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Multi-point measurements
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        specs: Sequence[str],
+        workload: WorkloadSpec,
+        *,
+        baseline: str = DEFAULT_BASELINE_SPEC,
+        num_rounds: int = 600,
+        eval_every: int = 10,
+        rolling_window: int = 5,
+        parallel: bool = True,
+    ) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
+        """Run several schemes plus the baseline and compute each one's utility.
+
+        Returns:
+            A dict of end-to-end results keyed by the spec strings as given
+            (the baseline included) and a dict of utility reports keyed by
+            spec (baseline excluded).
+        """
+        all_specs = list(dict.fromkeys([baseline, *specs]))
+        grid = self.sweep(
+            all_specs,
+            workloads=workload,
+            metric="tta",
+            parallel=parallel,
+            num_rounds=num_rounds,
+            eval_every=eval_every,
+            rolling_window=rolling_window,
+        )
+        results = {spec: grid.detail(spec, workload) for spec in all_specs}
+        baseline_curve = results[baseline].curve
+        utilities = {
+            spec: compute_utility(results[spec].curve, baseline_curve)
+            for spec in all_specs
+            if spec != baseline
+        }
+        return results, utilities
+
+    def sweep(
+        self,
+        specs: Sequence[str] | str,
+        workloads: Sequence[WorkloadSpec] | WorkloadSpec | None = None,
+        clusters: Sequence[ClusterSpec] | ClusterSpec | None = None,
+        *,
+        metric: str | Callable = "throughput",
+        parallel: bool = True,
+        memoize: bool = True,
+        **metric_kwargs,
+    ) -> SweepResult:
+        """Measure every (spec, workload, cluster) grid point.
+
+        Args:
+            specs: Scheme spec strings (one or several).
+            workloads: Workload axis; None for workload-free metrics (vNMSE).
+            clusters: Cluster axis; None uses the session's cluster.
+            metric: ``"throughput"``, ``"vnmse"``, ``"tta"``, or a callable
+                ``metric(session, spec, workload, cluster, **kwargs)``
+                returning a value or a ``(value, detail)`` pair.
+            parallel: Execute points concurrently (results are identical to
+                the sequential order because every point draws its own rng
+                from the session seed).
+            memoize: Reuse previously computed points of this session.
+            **metric_kwargs: Passed through to the metric for every point.
+
+        Returns:
+            A :class:`SweepResult` with one :class:`SweepPoint` per grid
+            entry, in grid order.
+        """
+        grid = expand_grid(specs, workloads, clusters)
+        metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
+        if isinstance(metric, str) and metric not in SWEEP_METRICS:
+            raise ValueError(
+                f"unknown sweep metric {metric!r}; expected one of {SWEEP_METRICS} "
+                "or a callable"
+            )
+
+        # One parse/build/format per distinct spec spelling; the canonical
+        # form keys the memo so aliases and their spec forms share entries.
+        canonical_by_spec = {
+            spec: self._canonical(spec) for spec in dict.fromkeys(s for s, _, _ in grid)
+        }
+
+        def key_for(spec: str, workload, cluster) -> tuple:
+            return (
+                metric_name,
+                canonical_by_spec[spec] if isinstance(metric, str) else spec,
+                workload.name if workload is not None else None,
+                cluster_label(cluster) if cluster is not None else None,
+                repr(sorted(metric_kwargs.items(), key=lambda item: item[0])),
+            )
+
+        def compute(spec: str, workload, cluster) -> SweepPoint:
+            value, detail = self._evaluate_metric(
+                metric, spec, workload, cluster, metric_kwargs
+            )
+            return SweepPoint(
+                spec=spec,
+                canonical_spec=canonical_by_spec[spec],
+                workload=workload.name if workload is not None else None,
+                cluster=cluster_label(cluster) if cluster is not None else None,
+                metric=metric_name,
+                value=value,
+                detail=detail,
+            )
+
+        def run_point(point_args) -> SweepPoint:
+            spec, workload, cluster = point_args
+            if not memoize:
+                return compute(spec, workload, cluster)
+            key = key_for(spec, workload, cluster)
+            with self._memo_lock:
+                cached = self._memo.get(key)
+            if cached is not None:
+                # Preserve the caller's spelling of the spec in the result.
+                return SweepPoint(
+                    spec=spec,
+                    canonical_spec=cached.canonical_spec,
+                    workload=cached.workload,
+                    cluster=cached.cluster,
+                    metric=cached.metric,
+                    value=cached.value,
+                    detail=cached.detail,
+                )
+            point = compute(spec, workload, cluster)
+            with self._memo_lock:
+                self._memo[key] = point
+            return point
+
+        if parallel and len(grid) > 1:
+            max_workers = self.max_workers or min(8, len(grid))
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                points = list(executor.map(run_point, grid))
+        else:
+            points = [run_point(args) for args in grid]
+        return SweepResult(metric=metric_name, points=points)
+
+    def clear_cache(self) -> None:
+        """Forget every memoized sweep point."""
+        with self._memo_lock:
+            self._memo.clear()
+
+    @property
+    def cached_points(self) -> int:
+        """Number of memoized sweep points held by the session."""
+        with self._memo_lock:
+            return len(self._memo)
+
+    # ------------------------------------------------------------------ #
+    def _canonical(self, spec: str | AggregationScheme) -> str:
+        if isinstance(spec, AggregationScheme):
+            try:
+                return spec.spec()
+            except NotImplementedError:
+                return spec.name
+        try:
+            return make_scheme(spec).spec()
+        except NotImplementedError:
+            return spec
+
+    def _evaluate_metric(
+        self,
+        metric: str | Callable,
+        spec: str,
+        workload: WorkloadSpec | None,
+        cluster: ClusterSpec | None,
+        kwargs: dict,
+    ) -> tuple[float, object]:
+        if callable(metric):
+            outcome = metric(self, spec, workload, cluster, **kwargs)
+            if isinstance(outcome, tuple) and len(outcome) == 2:
+                return float(outcome[0]), outcome[1]
+            return float(outcome), None
+        if metric == "throughput":
+            if workload is None:
+                raise ValueError("the throughput metric needs a workload axis")
+            estimate = self.throughput(spec, workload, cluster=cluster, **kwargs)
+            return estimate.rounds_per_second, estimate
+        if metric == "vnmse":
+            error = self.vnmse(spec, cluster=cluster, **kwargs)
+            return error, error
+        if metric == "tta":
+            if workload is None:
+                raise ValueError("the tta metric needs a workload axis")
+            result = self.tta(spec, workload, cluster=cluster, **kwargs)
+            return result.curve.best_value(), result
+        raise ValueError(f"unknown sweep metric {metric!r}")

@@ -1,0 +1,154 @@
+"""Grid expansion and tidy results for :meth:`ExperimentSession.sweep`.
+
+A sweep is the paper's unit of evidence: the same measurement applied across
+a grid of scheme specs, workloads, and clusters.  The session executes the
+points (concurrently, with per-point memoization) and returns a
+:class:`SweepResult` -- a tidy table whose rows carry one point each, plus
+pivot helpers the experiment drivers and :mod:`repro.core.reporting` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.simulator.cluster import ClusterSpec
+from repro.training.workloads import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep.
+
+    Attributes:
+        spec: The scheme spec exactly as the caller wrote it.
+        canonical_spec: The scheme's round-trippable canonical spec.
+        workload: Workload name, or None for workload-free metrics (vNMSE).
+        cluster: Cluster label (``"2x2"`` style), or None for the session's.
+        metric: Name of the measured metric.
+        value: The scalar headline value of the point.
+        detail: The full measurement object (ThroughputEstimate,
+            EndToEndResult, ...) when the metric produces one.
+    """
+
+    spec: str
+    canonical_spec: str
+    workload: str | None
+    cluster: str | None
+    metric: str
+    value: float
+    detail: object = None
+
+
+@dataclass
+class SweepResult:
+    """The tidy result table of one sweep."""
+
+    metric: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    @property
+    def specs(self) -> list[str]:
+        """Distinct specs, in first-seen order."""
+        return list(dict.fromkeys(point.spec for point in self.points))
+
+    @property
+    def workloads(self) -> list[str | None]:
+        """Distinct workload names, in first-seen order."""
+        return list(dict.fromkeys(point.workload for point in self.points))
+
+    def point(
+        self,
+        spec: str,
+        workload: str | WorkloadSpec | None = None,
+        cluster: str | None = None,
+    ) -> SweepPoint:
+        """Look up one point by spec (as written or canonical) and workload."""
+        workload_name = workload.name if isinstance(workload, WorkloadSpec) else workload
+        for point in self.points:
+            if point.spec != spec and point.canonical_spec != spec:
+                continue
+            if workload_name is not None and point.workload != workload_name:
+                continue
+            if cluster is not None and point.cluster != cluster:
+                continue
+            return point
+        raise KeyError(
+            f"no sweep point for spec={spec!r}, workload={workload_name!r}, "
+            f"cluster={cluster!r} in this {self.metric} sweep"
+        )
+
+    def value(self, spec: str, workload=None, cluster: str | None = None) -> float:
+        """The scalar value of one point."""
+        return self.point(spec, workload, cluster).value
+
+    def detail(self, spec: str, workload=None, cluster: str | None = None):
+        """The full measurement object of one point."""
+        return self.point(spec, workload, cluster).detail
+
+    def rows(self) -> list[list[object]]:
+        """Long-format rows ``[spec, workload, cluster, value]`` for reporting."""
+        return [
+            [point.spec, point.workload or "-", point.cluster or "-", point.value]
+            for point in self.points
+        ]
+
+    def header(self) -> list[str]:
+        return ["Scheme", "Workload", "Cluster", self.metric]
+
+    def pivot(self) -> tuple[list[str], list[list[object]]]:
+        """Wide-format (header, rows): one row per spec, one column per workload."""
+        workloads = self.workloads
+        header = ["Scheme"] + [name or "-" for name in workloads]
+        body = []
+        for spec in self.specs:
+            row: list[object] = [spec]
+            for workload in workloads:
+                try:
+                    row.append(self.value(spec, workload))
+                except KeyError:
+                    row.append(float("nan"))
+            body.append(row)
+        return header, body
+
+
+def cluster_label(cluster: ClusterSpec) -> str:
+    """A short human-readable label for a cluster (``"2x2"``)."""
+    return f"{cluster.num_nodes}x{cluster.gpus_per_node}"
+
+
+def expand_grid(
+    specs: Sequence[str] | str,
+    workloads: Sequence[WorkloadSpec] | WorkloadSpec | None,
+    clusters: Sequence[ClusterSpec] | ClusterSpec | None,
+) -> list[tuple[str, WorkloadSpec | None, ClusterSpec | None]]:
+    """The cross product of the three sweep axes, in deterministic order."""
+    spec_list = [specs] if isinstance(specs, str) else list(specs)
+    if not spec_list:
+        raise ValueError("sweep needs at least one scheme spec")
+    workload_list: list[WorkloadSpec | None]
+    if workloads is None:
+        workload_list = [None]
+    elif isinstance(workloads, WorkloadSpec):
+        workload_list = [workloads]
+    else:
+        workload_list = list(workloads)
+    cluster_list: list[ClusterSpec | None]
+    if clusters is None:
+        cluster_list = [None]
+    elif isinstance(clusters, ClusterSpec):
+        cluster_list = [clusters]
+    else:
+        cluster_list = list(clusters)
+    return [
+        (spec, workload, cluster)
+        for cluster in cluster_list
+        for workload in workload_list
+        for spec in spec_list
+    ]

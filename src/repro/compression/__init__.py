@@ -40,7 +40,27 @@ from repro.compression.powersgd import PowerSGDCompressor
 from repro.compression.qsgd import QSGDCompressor
 from repro.compression.signsgd import SignSGDCompressor
 from repro.compression.error_feedback import ErrorFeedback
-from repro.compression.registry import available_schemes, make_scheme, register_scheme
+from repro.compression.registry import (
+    UnknownSchemeError,
+    available_schemes,
+    configure_scheme_for_shapes,
+    make_scheme,
+    register_scheme,
+)
+from repro.compression.spec import (
+    Param,
+    ParsedSpec,
+    SchemeFamily,
+    SpecParamError,
+    SpecSyntaxError,
+    available_families,
+    build_spec,
+    canonical_spec,
+    family_signature,
+    family_signatures,
+    parse_spec,
+    register,
+)
 
 __all__ = [
     "AggregationResult",
@@ -60,4 +80,18 @@ __all__ = [
     "available_schemes",
     "make_scheme",
     "register_scheme",
+    "UnknownSchemeError",
+    "configure_scheme_for_shapes",
+    "Param",
+    "ParsedSpec",
+    "SchemeFamily",
+    "SpecParamError",
+    "SpecSyntaxError",
+    "available_families",
+    "build_spec",
+    "canonical_spec",
+    "family_signature",
+    "family_signatures",
+    "parse_spec",
+    "register",
 ]

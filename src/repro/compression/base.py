@@ -154,6 +154,21 @@ class AggregationScheme(abc.ABC):
         """Human-readable one-line description (used in reports)."""
         return self.name
 
+    def spec(self) -> str:
+        """The canonical spec string of this instance.
+
+        Round-trippable: ``make_scheme(scheme.spec())`` builds an identically
+        configured scheme.  Provided automatically for every class registered
+        with :func:`repro.compression.spec.register`.
+        """
+        family = getattr(type(self), "_spec_family", None)
+        if family is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} has no spec-language registration; "
+                "decorate the class with @repro.compression.spec.register(...)"
+            )
+        return family.format_instance(self)
+
     # ------------------------------------------------------------------ #
     # Shared validation helpers
     # ------------------------------------------------------------------ #

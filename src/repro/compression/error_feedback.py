@@ -22,8 +22,17 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 
 
+@register(
+    "ef",
+    params=(
+        Param("decay", float, default=1.0, doc="multiplicative residual decay per round"),
+    ),
+    wraps=True,
+    description="Error feedback: accumulate and re-inject the compression residual",
+)
 class ErrorFeedback(AggregationScheme):
     """Wrap a compression scheme with per-worker error-feedback residuals.
 

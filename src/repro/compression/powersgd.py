@@ -32,6 +32,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
     PHASE_COMPRESSION,
@@ -74,6 +75,16 @@ def orthogonalize(matrix: np.ndarray) -> np.ndarray:
     return result
 
 
+@register(
+    "powersgd",
+    params=(
+        Param("r", int, kwarg="rank", doc="target rank of the low-rank approximation"),
+        Param("bits", int, kwarg="factor_bits", default=32, doc="factor wire width (16 or 32)"),
+        Param("warm", bool, kwarg="warm_start", default=True, doc="warm-start power iteration"),
+        Param("seed", int, kwarg="seed", default=42, doc="seed of the initial Q factor"),
+    ),
+    description="PowerSGD low-rank compression (layer shapes set per workload)",
+)
 class PowerSGDCompressor(AggregationScheme):
     """PowerSGD with warm-started power iteration.
 

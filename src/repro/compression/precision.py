@@ -18,10 +18,18 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 from repro.simulator.gpu import Precision
 from repro.simulator.timeline import PHASE_COMMUNICATION, PHASE_COMPRESSION
 
 
+@register(
+    "baseline",
+    params=(
+        Param("p", Precision, kwarg="wire_precision", doc="wire precision (fp16 or fp32)"),
+    ),
+    description="Uncompressed ring all-reduce at FP16 or FP32 wire precision",
+)
 class PrecisionBaseline(AggregationScheme):
     """All-reduce the raw gradients at a given wire precision.
 

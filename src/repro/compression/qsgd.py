@@ -25,6 +25,7 @@ from repro.compression.base import (
     SimContext,
 )
 from repro.compression.quantization import StochasticQuantizer
+from repro.compression.spec import Param, register
 from repro.compression.thc import AggregationMode
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
@@ -33,6 +34,15 @@ from repro.simulator.timeline import (
 )
 
 
+@register(
+    "qsgd",
+    params=(
+        Param("q", int, kwarg="quantization_bits", doc="quantization width q"),
+        Param("b", int, kwarg="wire_bits", doc="wire width b (defaults to q, or q+4 widened)"),
+        Param("agg", AggregationMode, kwarg="aggregation", doc="overflow-handling strategy"),
+    ),
+    description="QSGD-style stochastic quantization with saturating all-reduce",
+)
 class QSGDCompressor(AggregationScheme):
     """QSGD: norm-scaled stochastic quantization aggregated with all-reduce.
 

@@ -1,91 +1,154 @@
-"""Factory for aggregation schemes by name.
+"""Scheme construction from spec strings, legacy names, and custom factories.
 
-The experiment drivers and example scripts construct schemes from short
-string specifications such as ``"topkc_b2"`` or ``"thc_q4_sat_partial"``;
-this module centralises that mapping.
+The canonical way to name a scheme configuration is a *spec string* of the
+compositional language in :mod:`repro.compression.spec`::
+
+    make_scheme("topkc(b=2)")
+    make_scheme("thc(q=4, rot=partial, agg=sat)")
+    make_scheme("ef(topk(b=0.5))")
+
+The short names the original experiment drivers used (``"topkc_b2"``,
+``"thc_q4_sat_partial"``...) are kept as aliases, each defined *as* a spec
+string, so both forms construct identical schemes.
 """
 
 from __future__ import annotations
 
+import copy
 from typing import Callable
 
 from repro.compression.base import AggregationScheme
 from repro.compression.error_feedback import ErrorFeedback
 from repro.compression.powersgd import PowerSGDCompressor
-from repro.compression.precision import PrecisionBaseline
-from repro.compression.qsgd import QSGDCompressor
-from repro.compression.signsgd import SignSGDCompressor
-from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
-from repro.compression.topk import TopKCompressor
-from repro.compression.topkc import TopKChunkedCompressor
-from repro.simulator.gpu import Precision
+from repro.compression.spec import (
+    UnknownSchemeError,
+    available_families,
+    build_spec,
+    parse_spec,
+)
 
-_FACTORIES: dict[str, Callable[[], AggregationScheme]] = {
-    "baseline_fp32": lambda: PrecisionBaseline(Precision.FP32),
-    "baseline_fp16": lambda: PrecisionBaseline(Precision.FP16),
-    "topk_b0.5": lambda: TopKCompressor(0.5),
-    "topk_b2": lambda: TopKCompressor(2.0),
-    "topk_b8": lambda: TopKCompressor(8.0),
-    "topkc_b0.5": lambda: TopKChunkedCompressor(0.5),
-    "topkc_b2": lambda: TopKChunkedCompressor(2.0),
-    "topkc_b8": lambda: TopKChunkedCompressor(8.0),
-    "topkc_b2_perm": lambda: TopKChunkedCompressor(2.0, permute=True),
-    "thc_baseline": lambda: THCCompressor(
-        4, 8, rotation=RotationMode.FULL, aggregation=AggregationMode.WIDENED
-    ),
-    "thc_q4_sat": lambda: THCCompressor(
-        4, 4, rotation=RotationMode.FULL, aggregation=AggregationMode.SATURATION
-    ),
-    "thc_q4_sat_partial": lambda: THCCompressor(
-        4, 4, rotation=RotationMode.PARTIAL, aggregation=AggregationMode.SATURATION
-    ),
-    "thc_q2_sat_partial": lambda: THCCompressor(
-        2, 2, rotation=RotationMode.PARTIAL, aggregation=AggregationMode.SATURATION
-    ),
-    "qsgd_q4_sat": lambda: QSGDCompressor(4, aggregation=AggregationMode.SATURATION),
-    "qsgd_q8_widened": lambda: QSGDCompressor(8, aggregation=AggregationMode.WIDENED),
-    "signsgd_majority": lambda: SignSGDCompressor(),
-    "powersgd_r1": lambda: PowerSGDCompressor(1),
-    "powersgd_r4": lambda: PowerSGDCompressor(4),
-    "powersgd_r16": lambda: PowerSGDCompressor(16),
-    "powersgd_r64": lambda: PowerSGDCompressor(64),
+#: Legacy registry names, each an alias for a spec string.  The alias and its
+#: spec form build identical schemes (tested in tests/compression/test_spec.py).
+ALIASES: dict[str, str] = {
+    "baseline_fp32": "baseline(p=fp32)",
+    "baseline_fp16": "baseline(p=fp16)",
+    "topk_b0.5": "topk(b=0.5)",
+    "topk_b2": "topk(b=2)",
+    "topk_b8": "topk(b=8)",
+    "topkc_b0.5": "topkc(b=0.5)",
+    "topkc_b2": "topkc(b=2)",
+    "topkc_b8": "topkc(b=8)",
+    "topkc_b2_perm": "topkc(b=2, perm=true)",
+    "thc_baseline": "thc(q=4, b=8, rot=full, agg=widened)",
+    "thc_q4_sat": "thc(q=4, rot=full, agg=sat)",
+    "thc_q4_sat_partial": "thc(q=4, rot=partial, agg=sat)",
+    "thc_q2_sat_partial": "thc(q=2, rot=partial, agg=sat)",
+    "qsgd_q4_sat": "qsgd(q=4, agg=sat)",
+    "qsgd_q8_widened": "qsgd(q=8, agg=widened)",
+    "signsgd_majority": "signsgd",
+    "powersgd_r1": "powersgd(r=1)",
+    "powersgd_r4": "powersgd(r=4)",
+    "powersgd_r16": "powersgd(r=16)",
+    "powersgd_r64": "powersgd(r=64)",
 }
+
+#: Plain factories registered at runtime (the legacy extension path).
+_CUSTOM: dict[str, Callable[[], AggregationScheme]] = {}
 
 
 def available_schemes() -> list[str]:
-    """Names accepted by :func:`make_scheme`, in a stable order."""
-    return sorted(_FACTORIES)
+    """Names accepted by :func:`make_scheme` without arguments, in a stable order.
+
+    Contains the legacy aliases plus any runtime-registered factories; the
+    open-ended spec strings are enumerated by family via
+    :func:`repro.compression.spec.available_families` instead.
+    """
+    return sorted({*ALIASES, *_CUSTOM})
+
+
+def resolve_name(name: str) -> Callable[[], AggregationScheme] | None:
+    """The factory behind an exact alias or custom name, or None.
+
+    Used by the spec builder so bare alias names compose with wrappers
+    (``"ef(topkc_b2)"``) and so custom factories stay constructible.
+    """
+    if name in _CUSTOM:
+        return _CUSTOM[name]
+    if name in ALIASES:
+        spec = parse_spec(ALIASES[name])
+        return lambda: build_spec(spec)
+    return None
 
 
 def make_scheme(name: str, *, error_feedback: bool = False) -> AggregationScheme:
-    """Construct an aggregation scheme from its registry name.
+    """Construct an aggregation scheme from a spec string or registry name.
 
     Args:
-        name: One of :func:`available_schemes`.
+        name: A spec string (``"topkc(b=2)"``, ``"ef(topk(b=0.5))"``), one of
+            the legacy aliases in :func:`available_schemes`, or a name
+            registered with :func:`register_scheme`.
         error_feedback: Wrap the scheme in :class:`ErrorFeedback` (the paper
-            enables EF for the TopK and TopKC runs).
+            enables EF for the TopK and TopKC runs).  Ignored if the spec is
+            already an ``ef(...)`` wrapper.
 
     Raises:
-        KeyError: If the name is unknown.
+        UnknownSchemeError: If the name is neither a known alias nor a valid
+            spec of a registered family (carries close-match suggestions).
+        SpecSyntaxError: If the spec string is malformed.
+        SpecParamError: If the spec's arguments do not fit the family.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheme {name!r}; available: {', '.join(available_schemes())}"
-        ) from None
-    scheme = factory()
-    if error_feedback:
+    scheme = build_spec(name)
+    if error_feedback and not isinstance(scheme, ErrorFeedback):
         return ErrorFeedback(scheme)
     return scheme
 
 
 def register_scheme(name: str, factory: Callable[[], AggregationScheme]) -> None:
-    """Register a custom scheme factory (used by the extension example).
+    """Register a custom scheme factory under a plain name.
+
+    This is the lightweight extension path (the richer one is the
+    :func:`repro.compression.spec.register` class decorator, which adds spec
+    parsing and ``spec()`` formatting).
 
     Raises:
-        ValueError: If the name is already taken.
+        ValueError: If the name collides with an alias, family, or factory.
     """
-    if name in _FACTORIES:
+    if name in ALIASES or name in _CUSTOM or name in available_families():
         raise ValueError(f"scheme {name!r} is already registered")
-    _FACTORIES[name] = factory
+    _CUSTOM[name] = factory
+
+
+def unregister_scheme(name: str) -> None:
+    """Remove a runtime-registered factory (intended for tests)."""
+    _CUSTOM.pop(name, None)
+
+
+def configure_scheme_for_shapes(
+    scheme: AggregationScheme, layer_shapes: list[tuple[int, int]]
+) -> AggregationScheme:
+    """A copy of ``scheme`` with layer-structured compressors pointed at shapes.
+
+    Only PowerSGD (possibly inside an error-feedback wrapper) carries layer
+    structure; other schemes are returned unchanged.  The input scheme is
+    never mutated, so one instance can be reused across the workloads of a
+    sweep.
+    """
+    inner = scheme.scheme if isinstance(scheme, ErrorFeedback) else scheme
+    if not isinstance(inner, PowerSGDCompressor):
+        return scheme
+    configured = copy.deepcopy(scheme)
+    target = configured.scheme if isinstance(configured, ErrorFeedback) else configured
+    target.layer_shapes = list(layer_shapes)
+    return configured
+
+
+__all__ = [
+    "ALIASES",
+    "UnknownSchemeError",
+    "available_schemes",
+    "configure_scheme_for_shapes",
+    "make_scheme",
+    "register_scheme",
+    "resolve_name",
+    "unregister_scheme",
+]

@@ -25,6 +25,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
     PHASE_COMPRESSION,
@@ -32,6 +33,19 @@ from repro.simulator.timeline import (
 )
 
 
+@register(
+    "signsgd",
+    params=(
+        Param(
+            "scale",
+            bool,
+            kwarg="scale_by_mean_magnitude",
+            default=True,
+            doc="scale voted signs by the mean gradient magnitude",
+        ),
+    ),
+    description="Majority-vote signSGD over ring all-reduce",
+)
 class SignSGDCompressor(AggregationScheme):
     """Majority-vote signSGD over ring all-reduce.
 

@@ -36,6 +36,7 @@ from repro.compression.hadamard import (
     pad_to_power_of_two,
 )
 from repro.compression.quantization import StochasticQuantizer
+from repro.compression.spec import Param, register
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
     PHASE_COMPRESSION,
@@ -60,6 +61,17 @@ class AggregationMode(enum.Enum):
     SATURATION = "saturation"
 
 
+@register(
+    "thc",
+    params=(
+        Param("q", int, kwarg="quantization_bits", doc="quantization width q"),
+        Param("b", int, kwarg="wire_bits", doc="wire width b (defaults to q, or q+4 widened)"),
+        Param("rot", RotationMode, kwarg="rotation", doc="Hadamard rotation mode"),
+        Param("agg", AggregationMode, kwarg="aggregation", doc="overflow-handling strategy"),
+        Param("seed", int, kwarg="rotation_seed", default=7, doc="rotation sign seed"),
+    ),
+    description="THC quantization with saturation and partial-rotation adaptations",
+)
 class THCCompressor(AggregationScheme):
     """THC quantization aggregated over ring all-reduce.
 

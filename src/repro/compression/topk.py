@@ -22,6 +22,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
     PHASE_COMPRESSION,
@@ -57,6 +58,13 @@ def k_for_bits_per_coordinate(bits_per_coordinate: float, num_coordinates: int) 
     return max(1, min(num_coordinates, k))
 
 
+@register(
+    "topk",
+    params=(
+        Param("b", float, kwarg="bits_per_coordinate", doc="target wire bits per coordinate"),
+    ),
+    description="Local TopK sparsification aggregated with all-gather",
+)
 class TopKCompressor(AggregationScheme):
     """Local TopK sparsification aggregated with all-gather.
 

@@ -33,6 +33,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.spec import Param, register
 from repro.simulator.timeline import (
     PHASE_COMMUNICATION,
     PHASE_COMPRESSION,
@@ -84,6 +85,16 @@ def default_chunk_size(bits_per_coordinate: float) -> int:
     return 128 if bits_per_coordinate < 1.0 else 64
 
 
+@register(
+    "topkc",
+    params=(
+        Param("b", float, kwarg="bits_per_coordinate", doc="target wire bits per coordinate"),
+        Param("c", int, kwarg="chunk_size", doc="chunk size C (defaults to the paper's choice)"),
+        Param("perm", bool, kwarg="permute", default=False, doc="random-permutation ablation"),
+        Param("seed", int, kwarg="permutation_seed", default=1234, doc="permutation seed"),
+    ),
+    description="TopK-Chunked: all-reduce-compatible chunk-consensus sparsifier",
+)
 class TopKChunkedCompressor(AggregationScheme):
     """The paper's TopKC scheme (optionally with the permutation ablation).
 

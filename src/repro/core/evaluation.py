@@ -15,12 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compression.base import AggregationScheme
-from repro.compression.error_feedback import ErrorFeedback
-from repro.compression.powersgd import PowerSGDCompressor
-from repro.compression.registry import make_scheme
+from repro.compression.registry import configure_scheme_for_shapes, make_scheme
+from repro.compression.spec import SpecSyntaxError, parse_spec
 from repro.core.early_stopping import EarlyStopping
 from repro.core.tta import TTACurve
-from repro.core.utility import UtilityReport, compute_utility
+from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.ddp import DDPTrainer, TrainingHistory
@@ -29,7 +28,7 @@ from repro.training.optimizer import SGD, LearningRateSchedule
 from repro.training.workloads import WorkloadSpec
 
 #: Scheme families the paper runs with error feedback enabled.
-_ERROR_FEEDBACK_PREFIXES = ("topk", "topkc")
+_ERROR_FEEDBACK_FAMILIES = ("topk", "topkc")
 
 
 @dataclass(frozen=True)
@@ -45,8 +44,21 @@ class EndToEndResult:
 
 
 def needs_error_feedback(scheme_name: str) -> bool:
-    """Whether the paper's configuration wraps this scheme in error feedback."""
-    return scheme_name.startswith(_ERROR_FEEDBACK_PREFIXES)
+    """Whether the paper's configuration wraps this scheme in error feedback.
+
+    Accepts spec strings and legacy aliases alike; specs already wrapped in
+    ``ef(...)`` never get a second wrapper.
+    """
+    from repro.compression.registry import ALIASES
+
+    resolved = ALIASES.get(scheme_name, scheme_name)
+    try:
+        family = parse_spec(resolved).family
+    except SpecSyntaxError:
+        return resolved.startswith(_ERROR_FEEDBACK_FAMILIES)
+    if family == "ef":
+        return False
+    return family in _ERROR_FEEDBACK_FAMILIES
 
 
 def build_scheme_pair(
@@ -63,11 +75,10 @@ def build_scheme_pair(
         error_feedback = needs_error_feedback(scheme_name)
 
     functional = make_scheme(scheme_name, error_feedback=error_feedback)
-    pricing = make_scheme(scheme_name, error_feedback=error_feedback)
-
-    pricing_inner = pricing.scheme if isinstance(pricing, ErrorFeedback) else pricing
-    if isinstance(pricing_inner, PowerSGDCompressor):
-        pricing_inner.layer_shapes = list(workload.paper_layer_shapes)
+    pricing = configure_scheme_for_shapes(
+        make_scheme(scheme_name, error_feedback=error_feedback),
+        list(workload.paper_layer_shapes),
+    )
     return functional, pricing
 
 
@@ -186,23 +197,16 @@ def compare_schemes(
         A dict of results keyed by scheme name (the baseline included) and a
         dict of utility reports keyed by scheme name (baseline excluded).
     """
-    all_names = list(dict.fromkeys([baseline_name, *scheme_names]))
-    results = {
-        name: run_end_to_end(
-            name,
-            workload,
-            num_rounds=num_rounds,
-            cluster=cluster,
-            seed=seed,
-            eval_every=eval_every,
-            rolling_window=rolling_window,
-        )
-        for name in all_names
-    }
-    baseline_curve = results[baseline_name].curve
-    utilities = {
-        name: compute_utility(results[name].curve, baseline_curve)
-        for name in scheme_names
-        if name != baseline_name
-    }
-    return results, utilities
+    # Delegated to the session facade; imported lazily because repro.api sits
+    # above this module in the layering.
+    from repro.api import ExperimentSession
+
+    session = ExperimentSession(cluster=cluster, seed=seed)
+    return session.compare(
+        list(scheme_names),
+        workload,
+        baseline=baseline_name,
+        num_rounds=num_rounds,
+        eval_every=eval_every,
+        rolling_window=rolling_window,
+    )

@@ -1,119 +1,30 @@
-"""Shared plumbing for the experiment drivers."""
+"""Back-compat shim: the drivers' shared plumbing now lives in ``repro.api``.
+
+The original experiment layout re-wired ``SimContext`` / ``CollectiveBackend``
+/ ``KernelCostModel`` by hand in every driver through helpers in this module.
+That plumbing moved into :mod:`repro.api.measures` and is orchestrated by
+:class:`repro.api.ExperimentSession`; this module re-exports the helpers so
+existing imports keep working.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.collectives.api import CollectiveBackend
-from repro.compression.base import AggregationScheme, CostEstimate, SimContext
-from repro.compression.error_feedback import ErrorFeedback
-from repro.compression.powersgd import PowerSGDCompressor
-from repro.core.metrics import vnmse
-from repro.simulator.cluster import ClusterSpec, paper_testbed
-from repro.simulator.gpu import Precision
-from repro.simulator.kernel_cost import KernelCostModel
-from repro.training.gradients import SyntheticGradientModel
-from repro.training.workloads import WorkloadSpec
-
-
-def paper_context(
-    cluster: ClusterSpec | None = None, *, seed: int = 0
-) -> SimContext:
-    """A simulation context on the paper's testbed (or a custom cluster)."""
-    cluster = cluster or paper_testbed()
-    return SimContext(
-        backend=CollectiveBackend(cluster),
-        kernels=KernelCostModel(gpu=cluster.gpu),
-        rng=np.random.default_rng(seed),
-    )
-
-
-def configure_for_workload(
-    scheme: AggregationScheme, workload: WorkloadSpec
-) -> AggregationScheme:
-    """Point layer-structured schemes (PowerSGD) at the workload's real shapes."""
-    inner = scheme.scheme if isinstance(scheme, ErrorFeedback) else scheme
-    if isinstance(inner, PowerSGDCompressor):
-        inner.layer_shapes = list(workload.paper_layer_shapes)
-    return scheme
-
-
-@dataclass(frozen=True)
-class ThroughputEstimate:
-    """Throughput of one scheme on one workload, with the cost breakdown."""
-
-    scheme_name: str
-    workload_name: str
-    rounds_per_second: float
-    round_seconds: float
-    cost: CostEstimate
-
-    def compression_fraction(self) -> float:
-        """Fraction of the round spent in compression kernels (Table 6 metric)."""
-        if self.round_seconds <= 0:
-            raise ValueError("round_seconds must be positive")
-        return self.cost.compression_seconds / self.round_seconds
-
-
-def estimate_throughput(
-    scheme: AggregationScheme,
-    workload: WorkloadSpec,
-    *,
-    cluster: ClusterSpec | None = None,
-    training_precision: Precision = Precision.TF32,
-    ctx: SimContext | None = None,
-) -> ThroughputEstimate:
-    """Price one training round of ``scheme`` on ``workload`` at paper scale."""
-    ctx = ctx or paper_context(cluster)
-    configure_for_workload(scheme, workload)
-    cost = scheme.estimate_costs(workload.paper_num_coordinates, ctx)
-    round_seconds = workload.compute_seconds_for(training_precision) + cost.total_seconds
-    return ThroughputEstimate(
-        scheme_name=scheme.name,
-        workload_name=workload.name,
-        rounds_per_second=1.0 / round_seconds,
-        round_seconds=round_seconds,
-        cost=cost,
-    )
-
-
-#: Gradient-structure preset used for the BERT-style compression-error studies
-#: (Tables 4 and 7): heavy-tailed block scales, strong spatial locality, and
-#: per-worker mini-batch noise comparable to the shared signal.
-BERT_GRADIENT_PRESET = dict(
-    locality_block=256,
-    block_scale_sigma=1.5,
-    worker_noise=1.0,
-    low_rank_fraction=0.3,
-    rank=8,
+from repro.api.measures import (  # noqa: F401
+    BERT_GRADIENT_PRESET,
+    ThroughputEstimate,
+    bert_like_gradients,
+    configure_for_workload,
+    estimate_throughput,
+    mean_vnmse,
+    paper_context,
 )
 
-
-def bert_like_gradients(
-    num_coordinates: int = 1 << 17, *, seed: int = 3
-) -> SyntheticGradientModel:
-    """The synthetic gradient model used by the vNMSE experiments."""
-    return SyntheticGradientModel(num_coordinates, seed=seed, **BERT_GRADIENT_PRESET)
-
-
-def mean_vnmse(
-    scheme: AggregationScheme,
-    generator: SyntheticGradientModel,
-    *,
-    num_rounds: int = 3,
-    num_workers: int = 4,
-    ctx: SimContext | None = None,
-) -> float:
-    """Average vNMSE of a scheme's aggregate over several gradient rounds."""
-    if num_rounds <= 0:
-        raise ValueError("num_rounds must be positive")
-    ctx = ctx or paper_context()
-    errors = []
-    for _ in range(num_rounds):
-        gradients = generator.next_round(num_workers)
-        true_mean = generator.true_mean(gradients)
-        result = scheme.aggregate(gradients, ctx)
-        errors.append(vnmse(result.mean_estimate, true_mean))
-    return float(np.mean(errors))
+__all__ = [
+    "BERT_GRADIENT_PRESET",
+    "ThroughputEstimate",
+    "bert_like_gradients",
+    "configure_for_workload",
+    "estimate_throughput",
+    "mean_vnmse",
+    "paper_context",
+]

@@ -8,7 +8,8 @@ highest throughput but the worst time-to-accuracy and final accuracy.
 
 from __future__ import annotations
 
-from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
+from repro.core.evaluation import EndToEndResult
 from repro.core.reporting import format_float_table, render_curves
 from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec
@@ -16,15 +17,15 @@ from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
 
 #: The series plotted in Figure 1 (baselines plus both sparsifiers at each b).
 FIGURE1_SCHEMES: tuple[str, ...] = (
-    "topkc_b8",
-    "topk_b8",
-    "topkc_b2",
-    "topk_b2",
-    "topkc_b0.5",
-    "topk_b0.5",
+    "topkc(b=8)",
+    "topk(b=8)",
+    "topkc(b=2)",
+    "topk(b=2)",
+    "topkc(b=0.5)",
+    "topk(b=0.5)",
 )
 
-BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+BASELINE_SCHEMES: tuple[str, ...] = (DEFAULT_BASELINE_SPEC, "baseline(p=fp32)")
 
 
 def run_figure1(
@@ -38,13 +39,12 @@ def run_figure1(
 ) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
     """Train every Figure 1 series and compute utility against FP16."""
     workload = workload or vgg19_tinyimagenet()
-    return compare_schemes(
+    session = ExperimentSession(cluster=cluster, seed=seed)
+    return session.compare(
         list(BASELINE_SCHEMES[1:]) + list(schemes),
         workload,
-        baseline_name=BASELINE_SCHEMES[0],
+        baseline=BASELINE_SCHEMES[0],
         num_rounds=num_rounds,
-        cluster=cluster,
-        seed=seed,
         eval_every=eval_every,
     )
 

@@ -8,7 +8,8 @@ the paper's "throughput alone is not utility" demonstration for quantization.
 
 from __future__ import annotations
 
-from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
+from repro.core.evaluation import EndToEndResult
 from repro.core.reporting import format_float_table, render_curves
 from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec
@@ -16,13 +17,13 @@ from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
 
 #: The series plotted in Figure 2.
 FIGURE2_SCHEMES: tuple[str, ...] = (
-    "thc_baseline",
-    "thc_q4_sat",
-    "thc_q4_sat_partial",
-    "thc_q2_sat_partial",
+    "thc(q=4, b=8, rot=full, agg=widened)",
+    "thc(q=4, rot=full, agg=sat)",
+    "thc(q=4, rot=partial, agg=sat)",
+    "thc(q=2, rot=partial, agg=sat)",
 )
 
-BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+BASELINE_SCHEMES: tuple[str, ...] = (DEFAULT_BASELINE_SPEC, "baseline(p=fp32)")
 
 
 def run_figure2(
@@ -36,13 +37,12 @@ def run_figure2(
 ) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
     """Train every Figure 2 series and compute utility against FP16."""
     workload = workload or vgg19_tinyimagenet()
-    return compare_schemes(
+    session = ExperimentSession(cluster=cluster, seed=seed)
+    return session.compare(
         list(BASELINE_SCHEMES[1:]) + list(schemes),
         workload,
-        baseline_name=BASELINE_SCHEMES[0],
+        baseline=BASELINE_SCHEMES[0],
         num_rounds=num_rounds,
-        cluster=cluster,
-        seed=seed,
         eval_every=eval_every,
     )
 

@@ -7,7 +7,8 @@ FP16 -- both of the paper's evaluation lessons in one sweep.
 
 from __future__ import annotations
 
-from repro.core.evaluation import EndToEndResult, compare_schemes
+from repro.api import DEFAULT_BASELINE_SPEC, ExperimentSession
+from repro.core.evaluation import EndToEndResult
 from repro.core.reporting import format_float_table, render_curves
 from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec
@@ -15,13 +16,13 @@ from repro.training.workloads import WorkloadSpec, vgg19_tinyimagenet
 
 #: The series plotted in Figure 3.
 FIGURE3_SCHEMES: tuple[str, ...] = (
-    "powersgd_r1",
-    "powersgd_r4",
-    "powersgd_r16",
-    "powersgd_r64",
+    "powersgd(r=1)",
+    "powersgd(r=4)",
+    "powersgd(r=16)",
+    "powersgd(r=64)",
 )
 
-BASELINE_SCHEMES: tuple[str, ...] = ("baseline_fp16", "baseline_fp32")
+BASELINE_SCHEMES: tuple[str, ...] = (DEFAULT_BASELINE_SPEC, "baseline(p=fp32)")
 
 
 def run_figure3(
@@ -35,13 +36,12 @@ def run_figure3(
 ) -> tuple[dict[str, EndToEndResult], dict[str, UtilityReport]]:
     """Train every Figure 3 series and compute utility against FP16."""
     workload = workload or vgg19_tinyimagenet()
-    return compare_schemes(
+    session = ExperimentSession(cluster=cluster, seed=seed)
+    return session.compare(
         list(BASELINE_SCHEMES[1:]) + list(schemes),
         workload,
-        baseline_name=BASELINE_SCHEMES[0],
+        baseline=BASELINE_SCHEMES[0],
         num_rounds=num_rounds,
-        cluster=cluster,
-        seed=seed,
         eval_every=eval_every,
     )
 

@@ -9,9 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.precision import PrecisionBaseline
+from repro.api import ExperimentSession
 from repro.core.reporting import format_float_table
-from repro.experiments.common import estimate_throughput, paper_context
 from repro.simulator.cluster import ClusterSpec
 from repro.simulator.gpu import Precision
 from repro.training.workloads import (
@@ -42,23 +41,36 @@ def configuration_label(training: Precision, communication: Precision) -> str:
     return f"{training.value.upper()}+{communication.value.upper()}"
 
 
+def baseline_spec(communication: Precision) -> str:
+    """The spec string of the uncompressed baseline at a wire precision."""
+    return f"baseline(p={communication.value})"
+
+
 def run_table2(
     workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
 ) -> list[BaselineThroughputRow]:
     """Compute baseline rounds/s for every precision configuration."""
     workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
-    ctx = paper_context(cluster)
+    session = ExperimentSession(cluster=cluster)
+    # One throughput sweep per training precision; the communication
+    # precision is the scheme-spec axis.
+    grids = {
+        training: session.sweep(
+            [baseline_spec(communication) for _, communication in CONFIGURATIONS],
+            workloads=workloads,
+            metric="throughput",
+            training_precision=training,
+        )
+        for training in dict.fromkeys(training for training, _ in CONFIGURATIONS)
+    }
     rows = []
     for workload in workloads:
-        throughputs = {}
-        for training, communication in CONFIGURATIONS:
-            scheme = PrecisionBaseline(communication)
-            estimate = estimate_throughput(
-                scheme, workload, training_precision=training, ctx=ctx
+        throughputs = {
+            configuration_label(training, communication): grids[training].value(
+                baseline_spec(communication), workload
             )
-            throughputs[configuration_label(training, communication)] = (
-                estimate.rounds_per_second
-            )
+            for training, communication in CONFIGURATIONS
+        }
         rows.append(
             BaselineThroughputRow(
                 workload_name=workload.name, rounds_per_second=throughputs

@@ -9,12 +9,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.topkc import TopKChunkedCompressor
+from repro.api import ExperimentSession
 from repro.core.reporting import format_float_table
-from repro.experiments.common import bert_like_gradients, mean_vnmse, paper_context
 
 #: Bits-per-coordinate budgets used in the paper's Tables 4, 5, 6, 7.
 BIT_BUDGETS: tuple[float, ...] = (0.5, 2.0, 8.0)
+
+
+def topkc_spec(bits: float, *, permute: bool = False) -> str:
+    """The TopKC spec at one bit budget (optionally the permutation ablation)."""
+    return f"topkc(b={bits:g}, perm=true)" if permute else f"topkc(b={bits:g})"
 
 
 @dataclass(frozen=True)
@@ -41,33 +45,28 @@ def run_table4(
     seed: int = 3,
 ) -> list[PermutationAblationRow]:
     """Measure vNMSE of TopKC vs TopKC-Permutation on BERT-like gradients."""
-    ctx = paper_context(seed=seed)
-    rows = []
-    for bits in BIT_BUDGETS:
-        plain = TopKChunkedCompressor(bits)
-        permuted = TopKChunkedCompressor(bits, permute=True)
-        plain_error = mean_vnmse(
-            plain,
-            bert_like_gradients(num_coordinates, seed=seed),
-            num_rounds=num_rounds,
-            num_workers=num_workers,
-            ctx=ctx,
+    session = ExperimentSession(seed=seed)
+    specs = [
+        topkc_spec(bits, permute=permute)
+        for bits in BIT_BUDGETS
+        for permute in (False, True)
+    ]
+    grid = session.sweep(
+        specs,
+        metric="vnmse",
+        num_coordinates=num_coordinates,
+        num_rounds=num_rounds,
+        num_workers=num_workers,
+        gradient_seed=seed,
+    )
+    return [
+        PermutationAblationRow(
+            bits_per_coordinate=bits,
+            topkc_vnmse=grid.value(topkc_spec(bits)),
+            topkc_permutation_vnmse=grid.value(topkc_spec(bits, permute=True)),
         )
-        permuted_error = mean_vnmse(
-            permuted,
-            bert_like_gradients(num_coordinates, seed=seed),
-            num_rounds=num_rounds,
-            num_workers=num_workers,
-            ctx=ctx,
-        )
-        rows.append(
-            PermutationAblationRow(
-                bits_per_coordinate=bits,
-                topkc_vnmse=plain_error,
-                topkc_permutation_vnmse=permuted_error,
-            )
-        )
-    return rows
+        for bits in BIT_BUDGETS
+    ]
 
 
 def render_table4(rows: list[PermutationAblationRow] | None = None) -> str:

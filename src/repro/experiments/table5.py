@@ -9,10 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.topk import TopKCompressor
-from repro.compression.topkc import TopKChunkedCompressor
+from repro.api import ExperimentSession, ThroughputEstimate
 from repro.core.reporting import format_float_table
-from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
 from repro.experiments.table4 import BIT_BUDGETS
 from repro.simulator.cluster import ClusterSpec
 from repro.training.workloads import (
@@ -42,21 +40,21 @@ def run_table5(
 ) -> list[SparsifierThroughputRow]:
     """Price TopK and TopKC rounds at paper scale for every bit budget."""
     workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
-    ctx = paper_context(cluster)
-    rows = []
-    for workload in workloads:
-        for bits in BIT_BUDGETS:
-            topk = estimate_throughput(TopKCompressor(bits), workload, ctx=ctx)
-            topkc = estimate_throughput(TopKChunkedCompressor(bits), workload, ctx=ctx)
-            rows.append(
-                SparsifierThroughputRow(
-                    workload_name=workload.name,
-                    bits_per_coordinate=bits,
-                    topk=topk,
-                    topkc=topkc,
-                )
-            )
-    return rows
+    session = ExperimentSession(cluster=cluster)
+    specs = [
+        f"{family}(b={bits:g})" for family in ("topk", "topkc") for bits in BIT_BUDGETS
+    ]
+    grid = session.sweep(specs, workloads=workloads, metric="throughput")
+    return [
+        SparsifierThroughputRow(
+            workload_name=workload.name,
+            bits_per_coordinate=bits,
+            topk=grid.detail(f"topk(b={bits:g})", workload),
+            topkc=grid.detail(f"topkc(b={bits:g})", workload),
+        )
+        for workload in workloads
+        for bits in BIT_BUDGETS
+    ]
 
 
 def render_table5(rows: list[SparsifierThroughputRow] | None = None) -> str:

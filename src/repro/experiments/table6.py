@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.topk import TopKCompressor
+from repro.api import ExperimentSession
 from repro.core.reporting import format_float_table
-from repro.experiments.common import estimate_throughput, paper_context
 from repro.experiments.table4 import BIT_BUDGETS
 from repro.simulator.cluster import ClusterSpec
 from repro.training.workloads import (
@@ -43,11 +42,16 @@ def run_table6(
 ) -> list[CompressionOverheadRow]:
     """Measure TopK's compression-time fraction at paper scale."""
     workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
-    ctx = paper_context(cluster)
+    session = ExperimentSession(cluster=cluster)
+    grid = session.sweep(
+        [f"topk(b={bits:g})" for bits in BIT_BUDGETS],
+        workloads=workloads,
+        metric="throughput",
+    )
     rows = []
     for workload in workloads:
         for bits in BIT_BUDGETS:
-            estimate = estimate_throughput(TopKCompressor(bits), workload, ctx=ctx)
+            estimate = grid.detail(f"topk(b={bits:g})", workload)
             rows.append(
                 CompressionOverheadRow(
                     workload_name=workload.name,

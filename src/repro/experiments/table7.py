@@ -9,10 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.topk import TopKCompressor
-from repro.compression.topkc import TopKChunkedCompressor
+from repro.api import ExperimentSession
 from repro.core.reporting import format_float_table
-from repro.experiments.common import bert_like_gradients, mean_vnmse, paper_context
 from repro.experiments.table4 import BIT_BUDGETS
 
 
@@ -38,29 +36,26 @@ def run_table7(
     seed: int = 3,
 ) -> list[SparsifierErrorRow]:
     """Measure vNMSE of TopK vs TopKC on BERT-like gradients."""
-    ctx = paper_context(seed=seed)
-    rows = []
-    for bits in BIT_BUDGETS:
-        topk_error = mean_vnmse(
-            TopKCompressor(bits),
-            bert_like_gradients(num_coordinates, seed=seed),
-            num_rounds=num_rounds,
-            num_workers=num_workers,
-            ctx=ctx,
+    session = ExperimentSession(seed=seed)
+    specs = [
+        f"{family}(b={bits:g})" for family in ("topk", "topkc") for bits in BIT_BUDGETS
+    ]
+    grid = session.sweep(
+        specs,
+        metric="vnmse",
+        num_coordinates=num_coordinates,
+        num_rounds=num_rounds,
+        num_workers=num_workers,
+        gradient_seed=seed,
+    )
+    return [
+        SparsifierErrorRow(
+            bits_per_coordinate=bits,
+            topk_vnmse=grid.value(f"topk(b={bits:g})"),
+            topkc_vnmse=grid.value(f"topkc(b={bits:g})"),
         )
-        topkc_error = mean_vnmse(
-            TopKChunkedCompressor(bits),
-            bert_like_gradients(num_coordinates, seed=seed),
-            num_rounds=num_rounds,
-            num_workers=num_workers,
-            ctx=ctx,
-        )
-        rows.append(
-            SparsifierErrorRow(
-                bits_per_coordinate=bits, topk_vnmse=topk_error, topkc_vnmse=topkc_error
-            )
-        )
-    return rows
+        for bits in BIT_BUDGETS
+    ]
 
 
 def render_table7(rows: list[SparsifierErrorRow] | None = None) -> str:

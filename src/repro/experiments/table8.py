@@ -14,9 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.thc import AggregationMode, RotationMode, THCCompressor
+from repro.api import ExperimentSession, ThroughputEstimate
 from repro.core.reporting import format_float_table
-from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
 from repro.simulator.cluster import ClusterSpec
 from repro.training.workloads import (
     WorkloadSpec,
@@ -26,6 +25,17 @@ from repro.training.workloads import (
 
 #: The quantization widths the paper sweeps with saturation enabled.
 SATURATION_BITS: tuple[int, ...] = (2, 4)
+
+#: Rotation modes compared for every saturation configuration.
+ROTATIONS: tuple[str, ...] = ("full", "partial", "none")
+
+#: The widened-wire baseline adaptation (THC's own all-reduce port).
+BASELINE_SPEC = "thc(q=4, b=8, rot=full, agg=widened)"
+
+
+def saturation_spec(bits: int, rotation: str) -> str:
+    """The spec of a saturating THC variant at one width and rotation mode."""
+    return f"thc(q={bits}, rot={rotation}, agg=sat)"
 
 
 @dataclass(frozen=True)
@@ -52,35 +62,32 @@ def run_table8(
 ) -> tuple[list[THCThroughputRow], list[THCBaselineRow]]:
     """Price every THC variant of Table 8 at paper scale."""
     workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
-    ctx = paper_context(cluster)
-    saturation_rows = []
-    baseline_rows = []
-    for workload in workloads:
-        for bits in SATURATION_BITS:
-            variants = {}
-            for rotation in (RotationMode.FULL, RotationMode.PARTIAL, RotationMode.NONE):
-                scheme = THCCompressor(
-                    bits, bits, rotation=rotation, aggregation=AggregationMode.SATURATION
-                )
-                variants[rotation] = estimate_throughput(scheme, workload, ctx=ctx)
-            saturation_rows.append(
-                THCThroughputRow(
-                    workload_name=workload.name,
-                    quantization_bits=bits,
-                    full_rotation=variants[RotationMode.FULL],
-                    partial_rotation=variants[RotationMode.PARTIAL],
-                    no_rotation=variants[RotationMode.NONE],
-                )
-            )
-        baseline_scheme = THCCompressor(
-            4, 8, rotation=RotationMode.FULL, aggregation=AggregationMode.WIDENED
+    session = ExperimentSession(cluster=cluster)
+    specs = [
+        saturation_spec(bits, rotation)
+        for bits in SATURATION_BITS
+        for rotation in ROTATIONS
+    ] + [BASELINE_SPEC]
+    grid = session.sweep(specs, workloads=workloads, metric="throughput")
+
+    saturation_rows = [
+        THCThroughputRow(
+            workload_name=workload.name,
+            quantization_bits=bits,
+            full_rotation=grid.detail(saturation_spec(bits, "full"), workload),
+            partial_rotation=grid.detail(saturation_spec(bits, "partial"), workload),
+            no_rotation=grid.detail(saturation_spec(bits, "none"), workload),
         )
-        baseline_rows.append(
-            THCBaselineRow(
-                workload_name=workload.name,
-                baseline=estimate_throughput(baseline_scheme, workload, ctx=ctx),
-            )
+        for workload in workloads
+        for bits in SATURATION_BITS
+    ]
+    baseline_rows = [
+        THCBaselineRow(
+            workload_name=workload.name,
+            baseline=grid.detail(BASELINE_SPEC, workload),
         )
+        for workload in workloads
+    ]
     return saturation_rows, baseline_rows
 
 

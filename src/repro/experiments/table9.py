@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.compression.powersgd import PowerSGDCompressor
+from repro.api import ExperimentSession, ThroughputEstimate
 from repro.core.reporting import format_float_table
-from repro.experiments.common import ThroughputEstimate, estimate_throughput, paper_context
 from repro.simulator.cluster import ClusterSpec
 from repro.training.workloads import (
     WorkloadSpec,
@@ -45,14 +44,22 @@ class PowerSGDRow:
 def run_table9(
     workloads: list[WorkloadSpec] | None = None, cluster: ClusterSpec | None = None
 ) -> list[PowerSGDRow]:
-    """Price PowerSGD rounds at paper scale for every rank."""
+    """Price PowerSGD rounds at paper scale for every rank.
+
+    The sweep configures each scheme with the workload's real layer shapes
+    (``configure_for_workload``), so one spec string covers both workloads.
+    """
     workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
-    ctx = paper_context(cluster)
+    session = ExperimentSession(cluster=cluster)
+    grid = session.sweep(
+        [f"powersgd(r={rank})" for rank in RANKS],
+        workloads=workloads,
+        metric="throughput",
+    )
     rows = []
     for workload in workloads:
         for rank in RANKS:
-            scheme = PowerSGDCompressor(rank, list(workload.paper_layer_shapes))
-            estimate = estimate_throughput(scheme, workload, ctx=ctx)
+            estimate = grid.detail(f"powersgd(r={rank})", workload)
             rows.append(
                 PowerSGDRow(
                     workload_name=workload.name,

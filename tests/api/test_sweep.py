@@ -1,0 +1,231 @@
+"""Tests for grid sweeps: expansion, equivalence, memoization, concurrency."""
+
+import threading
+
+import pytest
+
+from repro.api import ExperimentSession, SweepResult, expand_grid
+from repro.api.measures import bert_like_gradients, estimate_throughput, mean_vnmse, paper_context
+from repro.compression import make_scheme
+from repro.simulator.cluster import paper_testbed, scale_out_cluster
+from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
+
+BIT_BUDGETS = (0.5, 2.0, 8.0)
+
+
+@pytest.fixture
+def session() -> ExperimentSession:
+    return ExperimentSession(seed=0)
+
+
+class TestGridExpansion:
+    def test_cross_product_order(self):
+        workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+        grid = expand_grid(["a", "b"], workloads, None)
+        assert [(spec, w.name) for spec, w, _ in grid] == [
+            ("a", "bert_large"),
+            ("b", "bert_large"),
+            ("a", "vgg19"),
+            ("b", "vgg19"),
+        ]
+
+    def test_single_values_promoted_to_axes(self):
+        grid = expand_grid("a", bert_large_wikitext(), paper_testbed())
+        assert len(grid) == 1
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid([], None, None)
+
+
+class TestSweepEquivalence:
+    """sweep() reproduces the legacy per-point calls exactly."""
+
+    def test_twelve_point_throughput_grid_matches_legacy(self, session):
+        workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+        specs = [f"topk(b={b:g})" for b in BIT_BUDGETS] + [
+            f"topkc(b={b:g})" for b in BIT_BUDGETS
+        ]
+        grid = session.sweep(specs, workloads=workloads, metric="throughput")
+        assert len(grid) == 12
+
+        ctx = paper_context()
+        for workload in workloads:
+            for spec in specs:
+                legacy = estimate_throughput(make_scheme(spec), workload, ctx=ctx)
+                assert grid.value(spec, workload) == pytest.approx(
+                    legacy.rounds_per_second
+                )
+
+    def test_vnmse_grid_matches_legacy(self, session):
+        specs = [f"topkc(b={b:g})" for b in BIT_BUDGETS]
+        grid = session.sweep(
+            specs, metric="vnmse", num_coordinates=1 << 13, num_rounds=2
+        )
+        for spec in specs:
+            legacy = mean_vnmse(
+                make_scheme(spec),
+                bert_like_gradients(1 << 13, seed=3),
+                num_rounds=2,
+                ctx=paper_context(seed=3),
+            )
+            assert grid.value(spec) == pytest.approx(legacy)
+
+    def test_parallel_equals_sequential(self, session):
+        workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+        specs = ["baseline(p=fp16)", "topkc(b=2)", "thc(q=4, rot=partial, agg=sat)"]
+        sequential = session.sweep(
+            specs, workloads=workloads, metric="throughput", parallel=False, memoize=False
+        )
+        parallel = session.sweep(
+            specs, workloads=workloads, metric="throughput", parallel=True, memoize=False
+        )
+        assert [p.value for p in sequential] == [p.value for p in parallel]
+
+    def test_cluster_axis(self, session):
+        clusters = [paper_testbed(), scale_out_cluster(num_nodes=8, gpus_per_node=4)]
+        grid = session.sweep(
+            ["topk(b=2)", "topkc(b=2)"],
+            workloads=bert_large_wikitext(),
+            clusters=clusters,
+            metric="throughput",
+        )
+        assert len(grid) == 4
+        # All-gather TopK degrades with scale; all-reduce TopKC barely moves.
+        topk_small = grid.value("topk(b=2)", cluster="2x2")
+        topk_big = grid.value("topk(b=2)", cluster="8x4")
+        topkc_small = grid.value("topkc(b=2)", cluster="2x2")
+        topkc_big = grid.value("topkc(b=2)", cluster="8x4")
+        assert topk_big < topk_small
+        assert topkc_big / topkc_small > topk_big / topk_small
+
+
+class TestSweepResult:
+    @pytest.fixture
+    def grid(self, session) -> SweepResult:
+        return session.sweep(
+            ["topk(b=2)", "topkc(b=2)"],
+            workloads=[bert_large_wikitext(), vgg19_tinyimagenet()],
+            metric="throughput",
+        )
+
+    def test_lookup_by_spec_and_workload(self, grid):
+        point = grid.point("topkc(b=2)", "vgg19")
+        assert point.workload == "vgg19"
+        assert point.value > 0
+
+    def test_lookup_by_canonical_spec(self, grid):
+        assert grid.value("topkc(b=2, c=64)", "vgg19") == grid.value(
+            "topkc(b=2)", "vgg19"
+        )
+
+    def test_lookup_accepts_workload_objects(self, grid):
+        assert grid.value("topk(b=2)", vgg19_tinyimagenet()) == grid.value(
+            "topk(b=2)", "vgg19"
+        )
+
+    def test_missing_point_raises_key_error(self, grid):
+        with pytest.raises(KeyError):
+            grid.value("topk(b=2)", "resnet50")
+
+    def test_rows_and_header_align(self, grid):
+        rows = grid.rows()
+        assert len(rows) == len(grid)
+        assert len(rows[0]) == len(grid.header())
+
+    def test_pivot_shape(self, grid):
+        header, body = grid.pivot()
+        assert header == ["Scheme", "bert_large", "vgg19"]
+        assert [row[0] for row in body] == ["topk(b=2)", "topkc(b=2)"]
+
+    def test_renders_through_reporting(self, grid):
+        from repro.core.reporting import format_float_table
+
+        rendered = format_float_table(grid.header(), grid.rows())
+        assert "topkc(b=2)" in rendered
+
+
+class TestMemoization:
+    def test_repeat_sweep_hits_cache(self, session):
+        calls = []
+        lock = threading.Lock()
+
+        def counting_metric(inner_session, spec, workload, cluster):
+            with lock:
+                calls.append(spec)
+            return 1.0
+
+        specs = ["topk(b=2)", "topkc(b=2)"]
+        session.sweep(specs, metric=counting_metric)
+        assert sorted(calls) == sorted(specs)
+        session.sweep(specs, metric=counting_metric)
+        assert len(calls) == len(specs)  # second sweep answered from cache
+
+    def test_memoize_false_recomputes(self, session):
+        calls = []
+
+        def counting_metric(inner_session, spec, workload, cluster):
+            calls.append(spec)
+            return 1.0
+
+        session.sweep(["topk(b=2)"], metric=counting_metric, memoize=False, parallel=False)
+        session.sweep(["topk(b=2)"], metric=counting_metric, memoize=False, parallel=False)
+        assert len(calls) == 2
+
+    def test_cache_distinguishes_metric_kwargs(self, session):
+        first = session.sweep(
+            ["topkc(b=2)"], metric="vnmse", num_coordinates=1 << 12, num_rounds=1
+        )
+        second = session.sweep(
+            ["topkc(b=2)"], metric="vnmse", num_coordinates=1 << 13, num_rounds=1
+        )
+        assert first.value("topkc(b=2)") != second.value("topkc(b=2)")
+
+    def test_alias_and_spec_share_cache_entry(self, session):
+        session.sweep(["topkc(b=2)"], workloads=bert_large_wikitext(), metric="throughput")
+        before = session.cached_points
+        session.sweep(["topkc_b2"], workloads=bert_large_wikitext(), metric="throughput")
+        assert session.cached_points == before
+
+    def test_clear_cache(self, session):
+        session.sweep(["topkc(b=2)"], workloads=bert_large_wikitext(), metric="throughput")
+        assert session.cached_points > 0
+        session.clear_cache()
+        assert session.cached_points == 0
+
+
+class TestSweepErrors:
+    def test_unknown_metric_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.sweep(["topk(b=2)"], metric="latency")
+
+    def test_throughput_requires_workload(self, session):
+        with pytest.raises(ValueError):
+            session.sweep(["topk(b=2)"], metric="throughput")
+
+    def test_unknown_scheme_propagates(self, session):
+        with pytest.raises(KeyError):
+            session.sweep(["nope(b=2)"], workloads=bert_large_wikitext())
+
+
+class TestCustomFactorySchemes:
+    def test_sweep_accepts_register_scheme_factories(self, session):
+        """Plain factories (no @register, hence no spec()) still sweep fine."""
+        from repro.compression import register_scheme
+        from repro.compression.registry import unregister_scheme
+        from repro.compression.topkc import TopKChunkedCompressor
+
+        class NoSpecScheme(TopKChunkedCompressor):
+            """A registered-by-factory scheme whose class has no spec family."""
+
+        NoSpecScheme._spec_family = None
+        register_scheme("nospec_for_sweep_test", lambda: NoSpecScheme(2.0))
+        try:
+            grid = session.sweep(
+                ["nospec_for_sweep_test"],
+                workloads=bert_large_wikitext(),
+                metric="throughput",
+            )
+            assert grid.value("nospec_for_sweep_test", "bert_large") > 0
+        finally:
+            unregister_scheme("nospec_for_sweep_test")

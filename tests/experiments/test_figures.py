@@ -15,14 +15,19 @@ class TestFigure1:
 
     def test_all_series_present(self, results):
         per_scheme, utilities = results
-        assert set(per_scheme) == {"baseline_fp16", "baseline_fp32", "topkc_b2", "topk_b2"}
-        assert set(utilities) == {"baseline_fp32", "topkc_b2", "topk_b2"}
+        assert set(per_scheme) == {
+            "baseline(p=fp16)",
+            "baseline(p=fp32)",
+            "topkc_b2",
+            "topk_b2",
+        }
+        assert set(utilities) == {"baseline(p=fp32)", "topkc_b2", "topk_b2"}
 
     def test_fp16_faster_than_fp32(self, results):
         per_scheme, _ = results
         assert (
-            per_scheme["baseline_fp16"].rounds_per_second
-            > per_scheme["baseline_fp32"].rounds_per_second
+            per_scheme["baseline(p=fp16)"].rounds_per_second
+            > per_scheme["baseline(p=fp32)"].rounds_per_second
         )
 
     def test_topkc_higher_throughput_than_topk(self, results):

@@ -10,7 +10,7 @@ from repro.experiments.common import (
     paper_context,
 )
 from repro.compression.registry import make_scheme
-from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
+from repro.training.workloads import bert_large_wikitext
 
 
 class TestCommonHelpers:
