@@ -1,0 +1,71 @@
+"""Benchmark: pipelined vs serialized round pricing across schemes.
+
+Prices one training round of several schemes on both paper workloads twice --
+fully serialized (the historical model) and through the bucketed pipeline
+simulator with 8 gradient buckets -- and prints the makespans side by side.
+The pipelined round must never be slower than the serialized one, must never
+beat the round's lower bound (compute, since every scheme also communicates),
+and for the communication-heavy FP16 baseline it must hide a substantial
+share of the collective time behind the backward pass.
+"""
+
+from repro.api import ExperimentSession
+from repro.core.reporting import format_float_table
+from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
+
+SPECS = ("baseline(p=fp16)", "topk(b=2)", "topkc(b=2)", "powersgd(r=4)")
+NUM_BUCKETS = 8
+
+
+def price_rounds(session: ExperimentSession):
+    workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+    serialized = session.sweep(
+        list(SPECS), workloads=workloads, metric="throughput", memoize=False
+    )
+    pipelined = session.sweep(
+        list(SPECS),
+        workloads=workloads,
+        metric="throughput",
+        num_buckets=NUM_BUCKETS,
+        memoize=False,
+    )
+    return workloads, serialized, pipelined
+
+
+def test_pipelined_vs_serialized_round_pricing(benchmark):
+    session = ExperimentSession()
+    workloads, serialized, pipelined = benchmark(price_rounds, session)
+
+    header = ["Scheme", "Workload", "serialized (ms)", "pipelined (ms)", "hidden"]
+    body = []
+    for workload in workloads:
+        compute = workload.compute_seconds_for()
+        for spec in SPECS:
+            serial = serialized.detail(spec, workload)
+            pipe = pipelined.detail(spec, workload)
+            body.append(
+                [
+                    spec,
+                    workload.name,
+                    f"{serial.round_seconds * 1e3:.2f}",
+                    f"{pipe.round_seconds * 1e3:.2f}",
+                    f"{pipe.pipeline.overlap_efficiency * 100:.1f}%",
+                ]
+            )
+            assert pipe.round_seconds <= serial.round_seconds * (1 + 1e-9)
+            assert pipe.round_seconds >= compute
+    print(
+        "\n"
+        + format_float_table(
+            header,
+            body,
+            title=f"Pipelined ({NUM_BUCKETS} buckets) vs serialized round pricing",
+        )
+    )
+
+    # The FP16 baseline is communication-bound on BERT: bucketing must hide a
+    # meaningful share of the collective behind the 160 ms backward pass.
+    bert = bert_large_wikitext()
+    fp16_serial = serialized.detail("baseline(p=fp16)", bert)
+    fp16_pipe = pipelined.detail("baseline(p=fp16)", bert)
+    assert fp16_pipe.round_seconds < 0.75 * fp16_serial.round_seconds

@@ -40,9 +40,10 @@ from repro.api.session import (
     SWEEP_METRICS,
     ExperimentSession,
 )
-from repro.api.sweep import SweepPoint, SweepResult, cluster_label, expand_grid
+from repro.api.sweep import ANY, SweepPoint, SweepResult, cluster_label, expand_grid
 
 __all__ = [
+    "ANY",
     "BERT_GRADIENT_PRESET",
     "DEFAULT_BASELINE_SPEC",
     "ExperimentSession",

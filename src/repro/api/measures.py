@@ -19,6 +19,13 @@ from repro.core.metrics import vnmse
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.pipeline import (
+    PipelineResult,
+    bucketed_schedule,
+    legacy_overlap_schedule,
+    serialized_schedule,
+    simulate_schedule,
+)
 from repro.simulator.timeline import RoundTimeline
 from repro.training.gradients import SyntheticGradientModel
 from repro.training.workloads import WorkloadSpec
@@ -55,13 +62,23 @@ def configure_for_workload(
 
 @dataclass(frozen=True)
 class ThroughputEstimate:
-    """Throughput of one scheme on one workload, with the cost breakdown."""
+    """Throughput of one scheme on one workload, with the cost breakdown.
+
+    Attributes:
+        cost: Per-round kernel and collective costs (summed over all buckets
+            when the round is bucketed).
+        num_buckets: How many gradient buckets the round was scheduled with
+            (1 = fully serialized, the historical model).
+        pipeline: The bucket-level schedule behind ``round_seconds``.
+    """
 
     scheme_name: str
     workload_name: str
     rounds_per_second: float
     round_seconds: float
     cost: CostEstimate
+    num_buckets: int = 1
+    pipeline: PipelineResult | None = None
 
     def compression_fraction(self) -> float:
         """Fraction of the round spent in compression kernels (Table 6 metric)."""
@@ -77,18 +94,68 @@ def estimate_throughput(
     cluster: ClusterSpec | None = None,
     training_precision: Precision = Precision.TF32,
     ctx: SimContext | None = None,
+    num_buckets: int = 1,
+    overlap_fraction: float | None = None,
 ) -> ThroughputEstimate:
-    """Price one training round of ``scheme`` on ``workload`` at paper scale."""
+    """Price one training round of ``scheme`` on ``workload`` at paper scale.
+
+    The round is scheduled through the bucketed pipeline simulator:
+
+    * ``num_buckets=1`` (default) serializes compute, compression, and
+      communication -- the historical fully exposed round;
+    * ``num_buckets>1`` splits the gradient into buckets whose collectives
+      interleave with the backward pass and with later buckets' compression;
+    * ``overlap_fraction`` (deprecated) prices the round through the legacy
+      two-stage scalar shim instead; it cannot be combined with bucketing.
+
+    Heterogeneous clusters (worker straggler slowdowns, mixed NIC tiers) are
+    priced exactly: the schedule runs on the cluster's worker profiles.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    if overlap_fraction is not None and num_buckets > 1:
+        raise ValueError("overlap_fraction is a legacy shim; use num_buckets without it")
     ctx = ctx or paper_context(cluster)
     scheme = configure_for_workload(scheme, workload)
-    cost = scheme.estimate_costs(workload.paper_num_coordinates, ctx)
-    round_seconds = workload.compute_seconds_for(training_precision) + cost.total_seconds
+    compute_seconds = workload.compute_seconds_for(training_precision)
+    cluster_spec = ctx.backend.cluster
+
+    if overlap_fraction is not None:
+        cost = scheme.estimate_costs(workload.paper_num_coordinates, ctx)
+        schedule = legacy_overlap_schedule(
+            compute_seconds,
+            cost.compression_seconds,
+            cost.communication_seconds,
+            overlap_fraction=overlap_fraction,
+        )
+    else:
+        bucket_costs = scheme.estimate_bucket_costs(
+            workload.paper_num_coordinates, num_buckets, ctx
+        )
+        cost = CostEstimate(
+            compression_seconds=sum(b.compression_seconds for b in bucket_costs),
+            communication_seconds=sum(b.communication_seconds for b in bucket_costs),
+            bits_per_coordinate=bucket_costs[0].bits_per_coordinate,
+        )
+        if len(bucket_costs) == 1:
+            schedule = serialized_schedule(
+                compute_seconds, cost.compression_seconds, cost.communication_seconds
+            )
+        else:
+            schedule = bucketed_schedule(
+                compute_seconds,
+                [(b.compression_seconds, b.communication_seconds) for b in bucket_costs],
+            )
+    result = simulate_schedule(schedule, cluster_spec)
+    round_seconds = result.makespan_seconds
     return ThroughputEstimate(
         scheme_name=scheme.name,
         workload_name=workload.name,
         rounds_per_second=1.0 / round_seconds,
         round_seconds=round_seconds,
         cost=cost,
+        num_buckets=len(schedule) if overlap_fraction is None else 1,
+        pipeline=result,
     )
 
 

@@ -149,14 +149,23 @@ class ExperimentSession:
         training_precision: Precision = Precision.TF32,
         cluster: ClusterSpec | None = None,
         error_feedback: bool = False,
+        num_buckets: int = 1,
+        overlap_fraction: float | None = None,
     ) -> ThroughputEstimate:
-        """Price one training round of a scheme on a workload at paper scale."""
+        """Price one training round of a scheme on a workload at paper scale.
+
+        ``num_buckets > 1`` prices the round through the bucketed pipeline
+        simulator (per-bucket collectives interleaved with backward compute);
+        ``overlap_fraction`` is the deprecated scalar shim.
+        """
         scheme = self.scheme(spec, error_feedback=error_feedback)
         return estimate_throughput(
             scheme,
             workload,
             training_precision=training_precision,
             ctx=self.context(cluster=cluster),
+            num_buckets=num_buckets,
+            overlap_fraction=overlap_fraction,
         )
 
     def vnmse(
@@ -198,8 +207,13 @@ class ExperimentSession:
         error_feedback: bool | None = None,
         rolling_window: int = 5,
         cluster: ClusterSpec | None = None,
+        num_buckets: int = 1,
     ) -> EndToEndResult:
-        """Train a scheme end-to-end and return its time-to-accuracy result."""
+        """Train a scheme end-to-end and return its time-to-accuracy result.
+
+        ``num_buckets > 1`` prices each simulated round through the bucketed
+        pipeline simulator instead of serializing the phases.
+        """
         return run_end_to_end(
             spec,
             workload,
@@ -209,6 +223,7 @@ class ExperimentSession:
             eval_every=eval_every,
             error_feedback=error_feedback,
             rolling_window=rolling_window,
+            num_buckets=num_buckets,
         )
 
     # ------------------------------------------------------------------ #
@@ -296,11 +311,14 @@ class ExperimentSession:
         }
 
         def key_for(spec: str, workload, cluster) -> tuple:
+            # The cluster is keyed by its full identity, not its display
+            # label: two same-shape clusters with different GPUs, NICs, or
+            # worker profiles must never share memoized points.
             return (
                 metric_name,
                 canonical_by_spec[spec] if isinstance(metric, str) else spec,
                 workload.name if workload is not None else None,
-                cluster_label(cluster) if cluster is not None else None,
+                cluster.cache_key() if cluster is not None else None,
                 repr(sorted(metric_kwargs.items(), key=lambda item: item[0])),
             )
 

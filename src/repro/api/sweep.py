@@ -16,6 +16,25 @@ from repro.simulator.cluster import ClusterSpec
 from repro.training.workloads import WorkloadSpec
 
 
+class _AnySentinel:
+    """Singleton wildcard for :meth:`SweepResult.point` axis filters."""
+
+    _instance: "_AnySentinel | None" = None
+
+    def __new__(cls) -> "_AnySentinel":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+#: Wildcard for point lookups: match any workload/cluster.  Distinct from
+#: ``None``, which matches only workload-free (or session-cluster) points.
+ANY = _AnySentinel()
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One grid point of a sweep.
@@ -66,17 +85,27 @@ class SweepResult:
     def point(
         self,
         spec: str,
-        workload: str | WorkloadSpec | None = None,
-        cluster: str | None = None,
+        workload: str | WorkloadSpec | None | _AnySentinel = ANY,
+        cluster: str | None | _AnySentinel = ANY,
     ) -> SweepPoint:
-        """Look up one point by spec (as written or canonical) and workload."""
-        workload_name = workload.name if isinstance(workload, WorkloadSpec) else workload
+        """Look up one point by spec (as written or canonical) and workload.
+
+        The axis filters default to :data:`ANY` (match whatever is there).
+        Passing ``None`` explicitly matches only points whose workload (or
+        cluster) actually is ``None`` -- a workload-free metric like vNMSE,
+        or the session's own cluster -- so those points stay addressable in
+        mixed grids.
+        """
+        if isinstance(workload, _AnySentinel):
+            workload_name: str | None | _AnySentinel = ANY
+        else:
+            workload_name = workload.name if isinstance(workload, WorkloadSpec) else workload
         for point in self.points:
             if point.spec != spec and point.canonical_spec != spec:
                 continue
-            if workload_name is not None and point.workload != workload_name:
+            if not isinstance(workload_name, _AnySentinel) and point.workload != workload_name:
                 continue
-            if cluster is not None and point.cluster != cluster:
+            if not isinstance(cluster, _AnySentinel) and point.cluster != cluster:
                 continue
             return point
         raise KeyError(
@@ -84,11 +113,11 @@ class SweepResult:
             f"cluster={cluster!r} in this {self.metric} sweep"
         )
 
-    def value(self, spec: str, workload=None, cluster: str | None = None) -> float:
+    def value(self, spec: str, workload=ANY, cluster=ANY) -> float:
         """The scalar value of one point."""
         return self.point(spec, workload, cluster).value
 
-    def detail(self, spec: str, workload=None, cluster: str | None = None):
+    def detail(self, spec: str, workload=ANY, cluster=ANY):
         """The full measurement object of one point."""
         return self.point(spec, workload, cluster).detail
 

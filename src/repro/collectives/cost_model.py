@@ -23,22 +23,33 @@ class CollectiveCost:
 
     Attributes:
         seconds: Simulated completion time.
-        bits_sent_per_worker: Bits each worker pushes into the network.
+        bits_sent_per_worker: Average bits each worker pushes into the
+            network.  For role-asymmetric schedules (tree all-reduce) the
+            per-role numbers are in ``bits_sent_leaf`` / ``bits_sent_interior``.
         bits_on_bottleneck: Bits that traverse the most-loaded link (the
             quantity that actually limits scalability).
         steps: Number of communication steps in the schedule.
+        bits_sent_leaf: Bits a leaf-role worker sends, for schedules where
+            roles differ (tree all-reduce); ``None`` for symmetric schedules.
+        bits_sent_interior: Bits an interior-role worker sends; ``None`` for
+            symmetric schedules.
     """
 
     seconds: float
     bits_sent_per_worker: float
     bits_on_bottleneck: float
     steps: int
+    bits_sent_leaf: float | None = None
+    bits_sent_interior: float | None = None
 
     def __post_init__(self) -> None:
         if self.seconds < 0 or self.bits_sent_per_worker < 0 or self.bits_on_bottleneck < 0:
             raise ValueError("cost components must be non-negative")
         if self.steps < 0:
             raise ValueError("steps must be non-negative")
+        for role_bits in (self.bits_sent_leaf, self.bits_sent_interior):
+            if role_bits is not None and role_bits < 0:
+                raise ValueError("per-role traffic must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -53,12 +64,18 @@ class CollectiveCostModel:
     cluster: ClusterSpec
 
     def _alpha_beta(self) -> tuple[float, float]:
-        """Return (latency per step, seconds per bit) of the bottleneck link."""
+        """Return (latency per step, seconds per bit) of the bottleneck link.
+
+        Ring-style schedules run at the pace of the slowest member, so the
+        worst NIC tier among the cluster's worker profiles scales the
+        per-bit cost.
+        """
         if self.cluster.num_nodes > 1:
             nic = self.cluster.inter_node_nic
         else:
             nic = self.cluster.intra_node_nic
-        return nic.latency_s, 1.0 / (nic.effective_bandwidth_gbps(1) * 1e9)
+        beta = self.cluster.worst_nic_scale() / (nic.effective_bandwidth_gbps(1) * 1e9)
+        return nic.latency_s, beta
 
     # ------------------------------------------------------------------ #
     # All-reduce family
@@ -84,6 +101,12 @@ class CollectiveCostModel:
         """Binary-tree all-reduce: reduce to the root, then broadcast down.
 
         Each of the 2*depth steps moves the full payload over one link.
+        Traffic is role-asymmetric: a leaf transmits the payload once (on the
+        way up) while an interior worker sends it up once plus down once per
+        child.  Every one of the tree's n-1 edges carries the payload up and
+        down exactly once, so the cluster-wide sent traffic totals
+        ``2 (n-1) * payload`` and ``bits_sent_per_worker`` is that total
+        averaged over the n workers.
         """
         self._check_payload(payload_bits)
         n = self.cluster.world_size
@@ -93,9 +116,21 @@ class CollectiveCostModel:
         depth = max(1, (n - 1).bit_length())
         steps = 2 * depth
         seconds = steps * (alpha + payload_bits * beta)
-        # An interior worker forwards the payload up and down once each.
-        sent = 2.0 * payload_bits
-        return CollectiveCost(seconds, sent, 2.0 * payload_bits, steps)
+        # A heap-shaped binary tree of n workers has ceil(n/2) leaves; the
+        # remaining 2(n-1) - num_leaves sends are spread over interior nodes.
+        num_leaves = (n + 1) // 2
+        num_interior = n - num_leaves
+        leaf_sent = payload_bits
+        interior_sent = (2 * (n - 1) - num_leaves) * payload_bits / num_interior
+        mean_sent = 2 * (n - 1) * payload_bits / n
+        return CollectiveCost(
+            seconds,
+            mean_sent,
+            2.0 * payload_bits,
+            steps,
+            bits_sent_leaf=leaf_sent,
+            bits_sent_interior=interior_sent,
+        )
 
     def reduce_scatter(self, payload_bits: float) -> CollectiveCost:
         """Ring reduce-scatter: (n-1) steps of payload/n blocks."""
@@ -157,12 +192,46 @@ class CollectiveCostModel:
         )
         alpha = nic.latency_s
         per_server_workers = max(1, -(-n // num_servers))
-        bandwidth_bps = nic.effective_bandwidth_gbps(per_server_workers) * 1e9
+        # The slowest NIC tier gates the server link, as in _alpha_beta.
+        bandwidth_bps = (
+            nic.effective_bandwidth_gbps(per_server_workers)
+            * 1e9
+            / self.cluster.worst_nic_scale()
+        )
         upload_bits = n * payload_bits / num_servers
         download_bits = n * downlink_bits / num_servers
         seconds = 2 * alpha + (upload_bits + download_bits) / bandwidth_bps
         bottleneck = upload_bits + download_bits
         return CollectiveCost(seconds, payload_bits + downlink_bits, bottleneck, 2)
+
+    # ------------------------------------------------------------------ #
+    # Per-bucket pricing
+    # ------------------------------------------------------------------ #
+    def per_bucket(
+        self, schedule: str, payload_bits: float, num_buckets: int, **kwargs
+    ) -> list[CollectiveCost]:
+        """Price ``payload_bits`` split into ``num_buckets`` separate collectives.
+
+        This is how the bucketed pipeline simulator interleaves communication
+        with compute: each bucket's payload is priced independently (each
+        bucket pays its own per-step latency), so the sum of the bucket times
+        is never less than one monolithic collective of the full payload.
+
+        Args:
+            schedule: Name of a pricing method on this model
+                (``"ring_allreduce"``, ``"tree_allreduce"``, ``"allgather"``,
+                ``"reduce_scatter"``, or ``"parameter_server"``).
+            payload_bits: Total per-worker payload across all buckets.
+            num_buckets: How many equal buckets to split the payload into.
+            **kwargs: Passed through to the pricing method.
+        """
+        self._check_payload(payload_bits)
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        price = getattr(self, schedule, None)
+        if price is None or schedule.startswith("_") or not callable(price):
+            raise ValueError(f"unknown collective schedule {schedule!r}")
+        return [price(payload_bits / num_buckets, **kwargs) for _ in range(num_buckets)]
 
     # ------------------------------------------------------------------ #
     # Helpers

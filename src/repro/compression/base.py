@@ -150,6 +150,28 @@ class AggregationScheme(abc.ABC):
         simulation runs on smaller gradients.
         """
 
+    def estimate_bucket_costs(
+        self, num_coordinates: int, num_buckets: int, ctx: SimContext
+    ) -> list[CostEstimate]:
+        """Price one round split into up to ``num_buckets`` gradient buckets.
+
+        The bucketed pipeline simulator (:mod:`repro.simulator.pipeline`)
+        interleaves these with backward compute.  The default partitions the
+        coordinates into near-equal buckets and prices each independently
+        (each bucket pays its own collective latency, so the bucket times
+        never sum to less than one monolithic round); layer-structured
+        schemes (PowerSGD) override this to partition whole layers instead.
+        Implementations may return fewer buckets than requested, never more.
+        """
+        from repro.simulator.pipeline import split_coordinates
+
+        if num_buckets <= 1:
+            return [self.estimate_costs(num_coordinates, ctx)]
+        return [
+            self.estimate_costs(size, ctx)
+            for size in split_coordinates(num_coordinates, num_buckets)
+        ]
+
     def describe(self) -> str:
         """Human-readable one-line description (used in reports)."""
         return self.name

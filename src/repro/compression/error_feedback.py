@@ -63,6 +63,27 @@ class ErrorFeedback(AggregationScheme):
             bits_per_coordinate=inner.bits_per_coordinate,
         )
 
+    def estimate_bucket_costs(
+        self, num_coordinates: int, num_buckets: int, ctx: SimContext
+    ) -> list[CostEstimate]:
+        """Delegate bucketing to the wrapped scheme, adding the residual update.
+
+        The whole-gradient residual update is split equally across the
+        wrapped scheme's buckets (it is one elementwise pass, so any split
+        summing to the total keeps the aggregate cost right).
+        """
+        inner = self.scheme.estimate_bucket_costs(num_coordinates, num_buckets, ctx)
+        residual_update = 2 * ctx.kernels.elementwise_sum_time(num_coordinates)
+        share = residual_update / len(inner)
+        return [
+            CostEstimate(
+                compression_seconds=estimate.compression_seconds + share,
+                communication_seconds=estimate.communication_seconds,
+                bits_per_coordinate=estimate.bits_per_coordinate,
+            )
+            for estimate in inner
+        ]
+
     def reset_state(self) -> None:
         """Clear the residuals (e.g. between independent experiments)."""
         self._residuals = None

@@ -188,6 +188,55 @@ class PowerSGDCompressor(AggregationScheme):
             ),
         )
 
+    def estimate_bucket_costs(
+        self, num_coordinates: int, num_buckets: int, ctx: SimContext
+    ) -> list[CostEstimate]:
+        """Per-bucket pricing that partitions whole layers, not coordinates.
+
+        PowerSGD's cost is structured by layer shapes, so a bucket is a
+        contiguous group of layers (the uncompressed tail rides with the last
+        bucket); splitting raw coordinate ranges would tear matrices apart.
+        """
+        from repro.simulator.pipeline import split_coordinates
+
+        if num_coordinates <= 0:
+            raise ValueError("num_coordinates must be positive")
+        shapes = self._shapes_for(num_coordinates)
+        if num_buckets <= 1 or len(shapes) == 1:
+            return [self.estimate_costs(num_coordinates, ctx)]
+        covered = sum(rows * cols for rows, cols in shapes)
+        tail = num_coordinates - covered
+        group_sizes = split_coordinates(len(shapes), min(num_buckets, len(shapes)))
+        bits = self.expected_bits_per_coordinate(num_coordinates, ctx.world_size)
+
+        estimates = []
+        offset = 0
+        for group_index, group_size in enumerate(group_sizes):
+            group = shapes[offset : offset + group_size]
+            offset += group_size
+            last = group_index == len(group_sizes) - 1
+            group_coordinates = sum(rows * cols for rows, cols in group)
+            if last:
+                group_coordinates += tail
+            compression = ctx.kernels.elementwise_sum_time(group_coordinates)
+            factor_values = 0
+            for rows, cols in group:
+                compression += ctx.kernels.powersgd_time(rows * cols, self.rank, rows=rows)
+                factor_values += (rows + cols) * self.rank
+            communication = 2 * ctx.backend.cost_model.ring_allreduce(
+                factor_values * float(self.factor_bits) / 2.0
+            ).seconds
+            if last and tail > 0:
+                communication += ctx.backend.cost_model.ring_allreduce(tail * 16.0).seconds
+            estimates.append(
+                CostEstimate(
+                    compression_seconds=compression,
+                    communication_seconds=communication,
+                    bits_per_coordinate=bits,
+                )
+            )
+        return estimates
+
     # ------------------------------------------------------------------ #
     def aggregate(
         self, worker_gradients: list[np.ndarray], ctx: SimContext

@@ -91,6 +91,7 @@ def build_trainer(
     eval_every: int = 10,
     error_feedback: bool | None = None,
     total_rounds_hint: int | None = None,
+    num_buckets: int = 1,
 ) -> DDPTrainer:
     """Assemble dataset, model, optimizer, and trainer for one scheme."""
     cluster = cluster or paper_testbed()
@@ -122,6 +123,7 @@ def build_trainer(
         pricing_scheme=pricing,
         eval_every=eval_every,
         seed=seed,
+        num_buckets=num_buckets,
     )
 
 
@@ -136,6 +138,7 @@ def run_end_to_end(
     error_feedback: bool | None = None,
     early_stopping: EarlyStopping | None = None,
     rolling_window: int = 5,
+    num_buckets: int = 1,
 ) -> EndToEndResult:
     """Train one scheme on one workload and return its TTA curve.
 
@@ -154,6 +157,8 @@ def run_end_to_end(
             paper's early-stopping practice.
         rolling_window: Rolling-average window (in evaluation points) applied
             to the TTA curve, mirroring the paper's smoothing.
+        num_buckets: Gradient buckets per simulated round; more than one
+            prices the round through the bucketed pipeline simulator.
     """
     trainer = build_trainer(
         scheme_name,
@@ -163,6 +168,7 @@ def run_end_to_end(
         eval_every=eval_every,
         error_feedback=error_feedback,
         total_rounds_hint=num_rounds,
+        num_buckets=num_buckets,
     )
     if early_stopping is None:
         early_stopping = EarlyStopping(

@@ -6,8 +6,11 @@ stand-in for that hardware: a GPU model with precision-dependent arithmetic
 rates and a shared/global memory hierarchy, a NIC model, per-kernel cost
 models for the computationally heavy components the paper profiles (top-k
 selection, randomized Hadamard transform, Gram-Schmidt orthogonalization,
-quantization), and a per-round :class:`Timeline` that adds everything up into
-simulated wall-clock time.
+quantization), a per-round :class:`RoundTimeline` that adds everything up
+into simulated wall-clock time, and the bucketed pipeline simulator
+(:mod:`repro.simulator.pipeline`) that schedules per-bucket
+compress/collective/decompress events on per-worker resources -- including
+heterogeneous clusters with stragglers and mixed NIC tiers.
 
 All times are in seconds of *simulated* time.  Absolute values are calibrated
 against the paper's reported throughputs (Tables 2, 5, 8, 9) but only the
@@ -18,17 +21,38 @@ balance -- is claimed to reproduce.
 from repro.simulator.gpu import GpuModel, MemoryHierarchy, Precision
 from repro.simulator.nic import NicModel
 from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.pipeline import (
+    BucketCost,
+    BucketTrace,
+    PipelineResult,
+    bucketed_schedule,
+    legacy_overlap_makespan,
+    legacy_overlap_schedule,
+    serialized_schedule,
+    simulate_schedule,
+    split_coordinates,
+)
 from repro.simulator.timeline import RoundTimeline, TimelineEntry
-from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.cluster import ClusterSpec, WorkerProfile, paper_testbed
 
 __all__ = [
+    "BucketCost",
+    "BucketTrace",
+    "ClusterSpec",
     "GpuModel",
-    "MemoryHierarchy",
-    "Precision",
-    "NicModel",
     "KernelCostModel",
+    "MemoryHierarchy",
+    "NicModel",
+    "PipelineResult",
+    "Precision",
     "RoundTimeline",
     "TimelineEntry",
-    "ClusterSpec",
+    "WorkerProfile",
+    "bucketed_schedule",
+    "legacy_overlap_makespan",
+    "legacy_overlap_schedule",
     "paper_testbed",
+    "serialized_schedule",
+    "simulate_schedule",
+    "split_coordinates",
 ]

@@ -2,20 +2,47 @@
 
 The paper's testbed ("two nodes, each equipped with two NVIDIA A100 GPUs and a
 Mellanox ConnectX-6 100 Gbps NIC") is available as :func:`paper_testbed`.
-Larger synthetic clusters can be built for the scalability ablations.
+Larger synthetic clusters can be built for the scalability ablations, and
+optional per-worker :class:`WorkerProfile` entries describe heterogeneous
+clusters -- stragglers (slower compute) and mixed NIC tiers -- which the
+bucketed pipeline simulator (:mod:`repro.simulator.pipeline`) and the
+collective cost model price explicitly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.simulator.gpu import GpuModel
 from repro.simulator.nic import NVLINK, NicModel
 
 
 @dataclass(frozen=True)
+class WorkerProfile:
+    """Per-worker deviation from the cluster's nominal hardware.
+
+    Attributes:
+        slowdown: Multiplier on the worker's compute and kernel times
+            (1.0 = nominal, 1.5 = a straggler running 50 % slower).
+        nic_scale: Multiplier on the transfer time of collectives this worker
+            participates in (1.0 = the cluster's nominal NIC tier, 4.0 = a
+            quarter-bandwidth NIC).  Ring-style collectives run at the pace
+            of the slowest member, so the worst ``nic_scale`` gates the wire.
+    """
+
+    slowdown: float = 1.0
+    nic_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.slowdown <= 0:
+            raise ValueError("slowdown must be positive")
+        if self.nic_scale <= 0:
+            raise ValueError("nic_scale must be positive")
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
-    """A homogeneous GPU cluster.
+    """A GPU cluster, homogeneous by default.
 
     Attributes:
         num_nodes: Number of physical machines.
@@ -24,6 +51,9 @@ class ClusterSpec:
         inter_node_nic: NIC connecting different machines.
         intra_node_nic: Interconnect between GPUs in the same machine
             (NVLink-like by default).
+        worker_profiles: Optional per-rank heterogeneity; when given, must
+            hold exactly ``world_size`` entries.  ``None`` means every worker
+            runs the nominal hardware.
     """
 
     num_nodes: int = 2
@@ -31,17 +61,92 @@ class ClusterSpec:
     gpu: GpuModel = field(default_factory=GpuModel)
     inter_node_nic: NicModel = field(default_factory=NicModel)
     intra_node_nic: NicModel = NVLINK
+    worker_profiles: tuple[WorkerProfile, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         if self.gpus_per_node < 1:
             raise ValueError("gpus_per_node must be >= 1")
+        if self.worker_profiles is not None:
+            profiles = tuple(self.worker_profiles)
+            if len(profiles) != self.world_size:
+                raise ValueError(
+                    f"worker_profiles must have {self.world_size} entries, "
+                    f"got {len(profiles)}"
+                )
+            object.__setattr__(self, "worker_profiles", profiles)
 
     @property
     def world_size(self) -> int:
         """Total number of workers (GPUs) in the cluster."""
         return self.num_nodes * self.gpus_per_node
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any worker deviates from the nominal hardware."""
+        if self.worker_profiles is None:
+            return False
+        return any(
+            profile.slowdown != 1.0 or profile.nic_scale != 1.0
+            for profile in self.worker_profiles
+        )
+
+    def profile_of(self, rank: int) -> WorkerProfile:
+        """The heterogeneity profile of worker ``rank`` (nominal if unset)."""
+        self._check_rank(rank)
+        if self.worker_profiles is None:
+            return WorkerProfile()
+        return self.worker_profiles[rank]
+
+    def slowdown_of(self, rank: int) -> float:
+        """Compute/kernel slowdown factor of worker ``rank``."""
+        return self.profile_of(rank).slowdown
+
+    def max_slowdown(self) -> float:
+        """Slowdown of the cluster's slowest worker (the straggler)."""
+        if self.worker_profiles is None:
+            return 1.0
+        return max(profile.slowdown for profile in self.worker_profiles)
+
+    def worst_nic_scale(self) -> float:
+        """Transfer-time multiplier of the slowest NIC tier in the cluster."""
+        if self.worker_profiles is None:
+            return 1.0
+        return max(profile.nic_scale for profile in self.worker_profiles)
+
+    def with_straggler(self, rank: int, slowdown: float) -> "ClusterSpec":
+        """A copy of this cluster where worker ``rank`` runs ``slowdown`` x slower."""
+        self._check_rank(rank)
+        profiles = list(
+            self.worker_profiles
+            if self.worker_profiles is not None
+            else (WorkerProfile(),) * self.world_size
+        )
+        profiles[rank] = replace(profiles[rank], slowdown=slowdown)
+        return replace(self, worker_profiles=tuple(profiles))
+
+    def with_nic_tier(self, rank: int, nic_scale: float) -> "ClusterSpec":
+        """A copy of this cluster where worker ``rank`` has a ``nic_scale`` x slower NIC."""
+        self._check_rank(rank)
+        profiles = list(
+            self.worker_profiles
+            if self.worker_profiles is not None
+            else (WorkerProfile(),) * self.world_size
+        )
+        profiles[rank] = replace(profiles[rank], nic_scale=nic_scale)
+        return replace(self, worker_profiles=tuple(profiles))
+
+    def cache_key(self) -> "ClusterSpec":
+        """A hashable key capturing the cluster's *full* identity.
+
+        Two clusters with the same shape but different GPUs, NICs, or worker
+        profiles produce different keys -- unlike the display label
+        (``"2x2"``), which only encodes the shape.  Used by sweep memoization.
+        The frozen dataclass is its own identity (hashable, equality over
+        every field, present and future), so the spec itself is the key.
+        """
+        return self
 
     def node_of(self, rank: int) -> int:
         """Node index hosting worker ``rank``."""
@@ -61,8 +166,8 @@ class ClusterSpec:
     def bottleneck_bandwidth_gbps(self) -> float:
         """Bandwidth of the slowest link class present in the cluster."""
         if self.num_nodes > 1:
-            return self.inter_node_nic.bandwidth_gbps
-        return self.intra_node_nic.bandwidth_gbps
+            return self.inter_node_nic.bandwidth_gbps / self.worst_nic_scale()
+        return self.intra_node_nic.bandwidth_gbps / self.worst_nic_scale()
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.world_size:

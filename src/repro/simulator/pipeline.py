@@ -1,0 +1,333 @@
+"""Bucketed, dependency-driven pipeline simulator for one training round.
+
+The paper's headline claims are about *where round time goes*: compression
+kernels and collective communication overlapping with the backward pass.  A
+single "overlap fraction" scalar cannot express per-bucket pipelining,
+stragglers, or heterogeneous clusters, so this module models the round the way
+a real DDP engine executes it -- as a dependency graph of per-bucket events
+scheduled on per-worker compute resources and a shared network resource:
+
+* the backward pass produces gradient *buckets* progressively (``ready``
+  times are inputs to the schedule);
+* each worker compresses a bucket on its compression stream as soon as the
+  bucket is ready and the stream is free;
+* the collective for a bucket starts once **every** worker has finished
+  compressing it and the network is free (collectives launch in bucket order
+  and serialize on the wire, as NCCL channels do);
+* decompression runs on a per-worker decompression stream once the collective
+  completes, and the optimizer step follows the last bucket.
+
+Heterogeneity comes from :class:`~repro.simulator.cluster.ClusterSpec` worker
+profiles: a straggler's compute and kernel times are scaled by its slowdown
+factor (which delays every collective that waits on it), while mixed NIC
+tiers scale the priced collective times through the cost model.
+
+The legacy ``overlap_fraction`` scalar is kept as a deprecated shim:
+:func:`legacy_overlap_schedule` maps it onto a two-stage pipeline whose
+makespan reproduces the old closed-form total exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster is runtime-optional)
+    from repro.simulator.cluster import ClusterSpec
+
+
+@dataclass(frozen=True)
+class BucketCost:
+    """The priced work of one gradient bucket.
+
+    Attributes:
+        ready_seconds: When the backward pass makes this bucket's gradient
+            available, on a nominal (slowdown 1.0) worker clock.
+        compress_seconds: Compression kernel time for the bucket on one
+            nominal worker.
+        comm_seconds: Priced collective completion time for the bucket's
+            payload (already includes any NIC-tier scaling from the cost
+            model).
+        decompress_seconds: Decompression kernel time after the collective.
+        label: Optional display name of the bucket.
+    """
+
+    ready_seconds: float
+    compress_seconds: float
+    comm_seconds: float
+    decompress_seconds: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if min(
+            self.ready_seconds,
+            self.compress_seconds,
+            self.comm_seconds,
+            self.decompress_seconds,
+        ) < 0:
+            raise ValueError("bucket times must be non-negative")
+
+
+@dataclass(frozen=True)
+class BucketTrace:
+    """Scheduled times of one bucket (worker maxima for the kernel stages)."""
+
+    index: int
+    ready_seconds: float
+    compress_end_seconds: float
+    comm_start_seconds: float
+    comm_end_seconds: float
+    decompress_end_seconds: float
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """The outcome of scheduling one round's buckets.
+
+    Attributes:
+        makespan_seconds: Completion time of the whole round (the last event
+            on any worker or on the wire).
+        serialized_seconds: What the round would cost with no pipelining at
+            all (every phase back-to-back on the slowest worker) -- the
+            baseline the overlap is measured against.
+        traces: Per-bucket scheduled times, in bucket order.
+        worker_finish_seconds: Per-worker completion times (optimizer step
+            included).
+    """
+
+    makespan_seconds: float
+    serialized_seconds: float
+    traces: tuple[BucketTrace, ...]
+    worker_finish_seconds: tuple[float, ...]
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of the serialized round time hidden by pipelining."""
+        if self.serialized_seconds <= 0:
+            return 0.0
+        return 1.0 - self.makespan_seconds / self.serialized_seconds
+
+    def rounds_per_second(self) -> float:
+        """Throughput implied by the makespan."""
+        if self.makespan_seconds <= 0:
+            raise ValueError("cannot compute throughput of an empty schedule")
+        return 1.0 / self.makespan_seconds
+
+
+def _worker_slowdowns(cluster: "ClusterSpec | None") -> tuple[float, ...]:
+    if cluster is None:
+        return (1.0,)
+    return tuple(cluster.slowdown_of(rank) for rank in range(cluster.world_size))
+
+
+def simulate_schedule(
+    buckets: Sequence[BucketCost],
+    cluster: "ClusterSpec | None" = None,
+    *,
+    optimizer_seconds: float = 0.0,
+) -> PipelineResult:
+    """Schedule one round's buckets and return the exact makespan.
+
+    Args:
+        buckets: Per-bucket costs, in backward-ready order.  Collectives are
+            launched (and serialize on the network) in this order.
+        cluster: Cluster whose worker profiles scale per-worker compute and
+            kernel times; ``None`` simulates a single nominal worker.
+        optimizer_seconds: Optimizer step time appended after the last
+            bucket's decompression on every worker.
+
+    Returns:
+        A :class:`PipelineResult` with the makespan, the serialized
+        reference time, and per-bucket traces.
+    """
+    if not buckets:
+        raise ValueError("schedule needs at least one bucket")
+    if optimizer_seconds < 0:
+        raise ValueError("optimizer_seconds must be non-negative")
+
+    slowdowns = _worker_slowdowns(cluster)
+    num_workers = len(slowdowns)
+
+    # Per-worker stream clocks: compression kernels and decompression kernels
+    # run on separate in-order streams, as a real engine enqueues them.
+    compress_free = [0.0] * num_workers
+    decompress_free = [0.0] * num_workers
+
+    traces: list[BucketTrace] = []
+    comm_free = 0.0
+    for index, bucket in enumerate(buckets):
+        compress_ends = []
+        for w, slowdown in enumerate(slowdowns):
+            start = max(bucket.ready_seconds * slowdown, compress_free[w])
+            compress_free[w] = start + bucket.compress_seconds * slowdown
+            compress_ends.append(compress_free[w])
+        comm_start = max(max(compress_ends), comm_free)
+        comm_free = comm_start + bucket.comm_seconds
+        decompress_ends = []
+        for w, slowdown in enumerate(slowdowns):
+            start = max(comm_free, decompress_free[w])
+            decompress_free[w] = start + bucket.decompress_seconds * slowdown
+            decompress_ends.append(decompress_free[w])
+        traces.append(
+            BucketTrace(
+                index=index,
+                ready_seconds=bucket.ready_seconds,
+                compress_end_seconds=max(compress_ends),
+                comm_start_seconds=comm_start,
+                comm_end_seconds=comm_free,
+                decompress_end_seconds=max(decompress_ends),
+            )
+        )
+
+    backward_end = buckets[-1].ready_seconds
+    worker_finish = []
+    for w, slowdown in enumerate(slowdowns):
+        kernels_done = max(
+            backward_end * slowdown, compress_free[w], decompress_free[w], comm_free
+        )
+        worker_finish.append(kernels_done + optimizer_seconds * slowdown)
+
+    serial_per_worker = [
+        (
+            backward_end
+            + sum(b.compress_seconds + b.decompress_seconds for b in buckets)
+            + optimizer_seconds
+        )
+        * slowdown
+        + sum(b.comm_seconds for b in buckets)
+        for slowdown in slowdowns
+    ]
+    return PipelineResult(
+        makespan_seconds=max(worker_finish),
+        serialized_seconds=max(serial_per_worker),
+        traces=tuple(traces),
+        worker_finish_seconds=tuple(worker_finish),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Schedule constructors
+# ---------------------------------------------------------------------- #
+def serialized_schedule(
+    compute_seconds: float,
+    compression_seconds: float,
+    communication_seconds: float,
+    decompression_seconds: float = 0.0,
+) -> list[BucketCost]:
+    """One bucket, ready only when the whole backward pass has finished.
+
+    The makespan of this schedule is the plain sum of the phases -- the
+    repo's historical (fully exposed) round model.
+    """
+    return [
+        BucketCost(
+            ready_seconds=compute_seconds,
+            compress_seconds=compression_seconds,
+            comm_seconds=communication_seconds,
+            decompress_seconds=decompression_seconds,
+            label="all",
+        )
+    ]
+
+
+def legacy_overlap_schedule(
+    compute_seconds: float,
+    compression_seconds: float,
+    communication_seconds: float,
+    decompression_seconds: float = 0.0,
+    *,
+    overlap_fraction: float,
+) -> list[BucketCost]:
+    """The deprecated ``overlap_fraction`` scalar as a two-stage pipeline.
+
+    Stage one puts ``overlap_fraction`` of the communication on the wire
+    while the backward pass runs; stage two carries the exposed remainder
+    after compute and compression finish.  On a homogeneous cluster the
+    makespan equals the legacy closed form exactly::
+
+        other + communication - min(overlap_fraction * communication, compute)
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    hidden = communication_seconds * overlap_fraction
+    # Compression is encoded as ready time (not compress_seconds) so the
+    # serialized reference does not count it twice: the legacy model runs
+    # compression strictly before any communication starts.
+    return [
+        BucketCost(
+            ready_seconds=compression_seconds,
+            compress_seconds=0.0,
+            comm_seconds=hidden,
+            label="overlapped",
+        ),
+        BucketCost(
+            ready_seconds=compression_seconds + compute_seconds,
+            compress_seconds=0.0,
+            comm_seconds=communication_seconds - hidden,
+            decompress_seconds=decompression_seconds,
+            label="exposed",
+        ),
+    ]
+
+
+def legacy_overlap_makespan(
+    compute_seconds: float,
+    compression_seconds: float,
+    communication_seconds: float,
+    decompression_seconds: float = 0.0,
+    optimizer_seconds: float = 0.0,
+    *,
+    overlap_fraction: float,
+) -> float:
+    """Makespan of the :func:`legacy_overlap_schedule` shim on one worker."""
+    schedule = legacy_overlap_schedule(
+        compute_seconds,
+        compression_seconds,
+        communication_seconds,
+        decompression_seconds,
+        overlap_fraction=overlap_fraction,
+    )
+    return simulate_schedule(schedule, optimizer_seconds=optimizer_seconds).makespan_seconds
+
+
+def split_coordinates(num_coordinates: int, num_buckets: int) -> list[int]:
+    """Split ``num_coordinates`` into near-equal non-empty bucket sizes."""
+    if num_coordinates <= 0:
+        raise ValueError("num_coordinates must be positive")
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    num_buckets = min(num_buckets, num_coordinates)
+    base, extra = divmod(num_coordinates, num_buckets)
+    return [base + (1 if index < extra else 0) for index in range(num_buckets)]
+
+
+def bucketed_schedule(
+    compute_seconds: float,
+    bucket_costs: Sequence[tuple[float, float] | tuple[float, float, float]],
+) -> list[BucketCost]:
+    """A pipelined schedule from per-bucket ``(compress, comm[, decompress])`` costs.
+
+    Bucket ``i`` of ``B`` becomes ready at ``compute * (i + 1) / B``: the
+    backward pass emits gradients progressively and the last bucket appears
+    when compute ends, which is what lets early buckets' collectives hide
+    behind the remaining compute.
+    """
+    if not bucket_costs:
+        raise ValueError("need at least one bucket cost")
+    if compute_seconds < 0:
+        raise ValueError("compute_seconds must be non-negative")
+    num_buckets = len(bucket_costs)
+    schedule = []
+    for index, cost in enumerate(bucket_costs):
+        compress, comm = cost[0], cost[1]
+        decompress = cost[2] if len(cost) > 2 else 0.0
+        schedule.append(
+            BucketCost(
+                ready_seconds=compute_seconds * (index + 1) / num_buckets,
+                compress_seconds=compress,
+                comm_seconds=comm,
+                decompress_seconds=decompress,
+                label=f"bucket{index}",
+            )
+        )
+    return schedule

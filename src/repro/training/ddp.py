@@ -24,10 +24,16 @@ from typing import Protocol
 import numpy as np
 
 from repro.collectives.api import CollectiveBackend
-from repro.compression.base import AggregationScheme, SimContext
+from repro.compression.base import AggregationScheme, CostEstimate, SimContext
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.pipeline import (
+    bucketed_schedule,
+    legacy_overlap_schedule,
+    serialized_schedule,
+    simulate_schedule,
+)
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.models import Model
 from repro.training.optimizer import SGD
@@ -124,8 +130,19 @@ class DDPTrainer:
             look up the workload's per-round compute time.
         eval_every: Rounds between held-out evaluations.
         seed: Seed for worker batch sampling and scheme randomness.
-        overlap_fraction: Fraction of communication hidden behind compute
-            (0 = fully exposed, as in a naive implementation).
+        num_buckets: Gradient buckets per round.  With more than one bucket
+            the round is priced by the bucketed pipeline simulator: early
+            buckets' collectives interleave with the rest of the backward
+            pass and with later buckets' compression, and heterogeneous
+            clusters (stragglers, mixed NIC tiers) are priced exactly.
+        overlap_fraction: Deprecated scalar shim -- fraction of communication
+            hidden behind compute (0 = fully exposed).  Evaluated through the
+            pipeline simulator's two-stage legacy schedule, which matches
+            :meth:`RoundTimeline.total_time`'s historical closed form: at
+            most the compute time can be hidden, so communication-bound
+            rounds no longer hide time that had nothing to hide behind (the
+            trainer's old unclamped ``comm * (1 - f)`` overstated overlap
+            there).  Cannot be combined with ``num_buckets > 1``.
     """
 
     def __init__(
@@ -141,12 +158,19 @@ class DDPTrainer:
         training_precision: Precision = Precision.TF32,
         eval_every: int = 10,
         seed: int = 0,
-        overlap_fraction: float = 0.0,
+        num_buckets: int = 1,
+        overlap_fraction: float | None = None,
     ):
         if eval_every <= 0:
             raise ValueError("eval_every must be positive")
-        if not 0.0 <= overlap_fraction <= 1.0:
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be >= 1")
+        if overlap_fraction is not None and not 0.0 <= overlap_fraction <= 1.0:
             raise ValueError("overlap_fraction must be in [0, 1]")
+        if overlap_fraction is not None and num_buckets > 1:
+            raise ValueError(
+                "overlap_fraction is a legacy shim; use num_buckets without it"
+            )
         self.model = model
         self.dataset = dataset
         self.scheme = scheme
@@ -156,6 +180,7 @@ class DDPTrainer:
         self.training_precision = training_precision
         self.eval_every = eval_every
         self.seed = seed
+        self.num_buckets = num_buckets
         self.overlap_fraction = overlap_fraction
 
         backend = CollectiveBackend(self.cluster)
@@ -176,11 +201,37 @@ class DDPTrainer:
 
         pricing = pricing_scheme or scheme
         compute_seconds = workload.compute_seconds_for(training_precision)
-        costs = pricing.estimate_costs(workload.paper_num_coordinates, self._ctx)
-        exposed_communication = costs.communication_seconds * (1.0 - overlap_fraction)
-        self.round_seconds = (
-            compute_seconds + costs.compression_seconds + exposed_communication
-        )
+        if overlap_fraction is not None:
+            costs = pricing.estimate_costs(workload.paper_num_coordinates, self._ctx)
+            schedule = legacy_overlap_schedule(
+                compute_seconds,
+                costs.compression_seconds,
+                costs.communication_seconds,
+                overlap_fraction=overlap_fraction,
+            )
+        else:
+            bucket_costs = pricing.estimate_bucket_costs(
+                workload.paper_num_coordinates, num_buckets, self._ctx
+            )
+            costs = CostEstimate(
+                compression_seconds=sum(b.compression_seconds for b in bucket_costs),
+                communication_seconds=sum(b.communication_seconds for b in bucket_costs),
+                bits_per_coordinate=bucket_costs[0].bits_per_coordinate,
+            )
+            if len(bucket_costs) == 1:
+                schedule = serialized_schedule(
+                    compute_seconds, costs.compression_seconds, costs.communication_seconds
+                )
+            else:
+                schedule = bucketed_schedule(
+                    compute_seconds,
+                    [
+                        (b.compression_seconds, b.communication_seconds)
+                        for b in bucket_costs
+                    ],
+                )
+        self.round_pipeline = simulate_schedule(schedule, self.cluster)
+        self.round_seconds = self.round_pipeline.makespan_seconds
         self.round_cost_estimate = costs
 
     # ------------------------------------------------------------------ #

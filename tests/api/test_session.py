@@ -16,6 +16,7 @@ from repro.compression import make_scheme
 from repro.compression.base import AggregationResult
 from repro.compression.error_feedback import ErrorFeedback
 from repro.simulator.cluster import paper_testbed, scale_out_cluster
+from repro.simulator.gpu import Precision
 from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
 
 
@@ -88,6 +89,72 @@ class TestThroughput:
         session.throughput(scheme, vgg19_tinyimagenet())
         # The shared instance keeps its workload-agnostic default shapes.
         assert scheme.layer_shapes is None
+
+
+class TestPipelinedThroughput:
+    def test_bucketing_improves_throughput(self, session):
+        workload = bert_large_wikitext()
+        serialized = session.throughput("baseline(p=fp16)", workload)
+        pipelined = session.throughput("baseline(p=fp16)", workload, num_buckets=8)
+        assert pipelined.num_buckets == 8
+        assert pipelined.rounds_per_second > serialized.rounds_per_second
+        # Full overlap never beats max(compute, communication).
+        compute = workload.compute_seconds_for(Precision.TF32)
+        assert pipelined.round_seconds >= compute
+
+    def test_pipeline_detail_exposed(self, session):
+        estimate = session.throughput("topkc(b=2)", bert_large_wikitext(), num_buckets=4)
+        assert estimate.pipeline is not None
+        assert len(estimate.pipeline.traces) == 4
+        assert estimate.pipeline.makespan_seconds == pytest.approx(estimate.round_seconds)
+
+    def test_overlap_shim_matches_legacy_formula(self, session):
+        workload = bert_large_wikitext()
+        fraction = 0.6
+        shim = session.throughput("topkc(b=2)", workload, overlap_fraction=fraction)
+        cost = shim.cost
+        compute = workload.compute_seconds_for(Precision.TF32)
+        hidden = min(cost.communication_seconds * fraction, compute)
+        legacy = compute + cost.compression_seconds + cost.communication_seconds - hidden
+        assert shim.round_seconds == pytest.approx(legacy, rel=1e-12)
+
+    def test_straggler_cluster_strictly_slower(self, session):
+        workload = bert_large_wikitext()
+        base = session.throughput("topkc(b=2)", workload, num_buckets=8)
+        straggler = session.throughput(
+            "topkc(b=2)",
+            workload,
+            num_buckets=8,
+            cluster=paper_testbed().with_straggler(3, 1.5),
+        )
+        assert straggler.round_seconds > base.round_seconds
+
+    def test_powersgd_buckets_by_layer_groups(self, session):
+        workload = bert_large_wikitext()
+        serialized = session.throughput("powersgd(r=4)", workload)
+        pipelined = session.throughput("powersgd(r=4)", workload, num_buckets=8)
+        assert pipelined.round_seconds <= serialized.round_seconds
+        assert pipelined.cost.compression_seconds == pytest.approx(
+            serialized.cost.compression_seconds, rel=0.05
+        )
+
+    def test_shim_and_buckets_mutually_exclusive(self, session):
+        with pytest.raises(ValueError):
+            session.throughput(
+                "topkc(b=2)", bert_large_wikitext(), num_buckets=4, overlap_fraction=0.5
+            )
+
+    def test_tta_accepts_num_buckets(self, session):
+        workload = vgg19_tinyimagenet()
+        serialized = session.tta(
+            "baseline(p=fp16)", workload, num_rounds=20, eval_every=10
+        )
+        pipelined = session.tta(
+            "baseline(p=fp16)", workload, num_rounds=20, eval_every=10, num_buckets=8
+        )
+        assert (
+            pipelined.history.round_seconds < serialized.history.round_seconds
+        )
 
 
 class TestVnmse:

@@ -4,10 +4,11 @@ import threading
 
 import pytest
 
-from repro.api import ExperimentSession, SweepResult, expand_grid
+from repro.api import ANY, ExperimentSession, SweepResult, expand_grid
 from repro.api.measures import bert_like_gradients, estimate_throughput, mean_vnmse, paper_context
 from repro.compression import make_scheme
-from repro.simulator.cluster import paper_testbed, scale_out_cluster
+from repro.simulator.cluster import ClusterSpec, paper_testbed, scale_out_cluster
+from repro.simulator.nic import NicModel
 from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet
 
 BIT_BUDGETS = (0.5, 2.0, 8.0)
@@ -145,6 +146,56 @@ class TestSweepResult:
         assert "topkc(b=2)" in rendered
 
 
+class TestAnySentinel:
+    """``None`` addresses workload-free points; ``ANY`` is the wildcard."""
+
+    @pytest.fixture
+    def mixed_grid(self, session) -> SweepResult:
+        """A hand-built result mixing workload-bearing and workload-free points."""
+
+        def metric(inner_session, spec, workload, cluster):
+            return 1.0 if workload is None else 2.0
+
+        with_workload = session.sweep(
+            ["topk(b=2)"], workloads=bert_large_wikitext(), metric=metric
+        )
+        without_workload = session.sweep(["topk(b=2)"], metric=metric)
+        return SweepResult(
+            metric="metric", points=with_workload.points + without_workload.points
+        )
+
+    def test_none_matches_only_workload_free_points(self, mixed_grid):
+        point = mixed_grid.point("topk(b=2)", None)
+        assert point.workload is None
+        assert point.value == pytest.approx(1.0)
+
+    def test_any_is_the_wildcard_default(self, mixed_grid):
+        # Omitting the axis (or passing ANY) returns the first grid match.
+        assert mixed_grid.point("topk(b=2)").workload == "bert_large"
+        assert mixed_grid.point("topk(b=2)", ANY).workload == "bert_large"
+
+    def test_none_raises_when_no_workload_free_point_exists(self, session):
+        grid = session.sweep(
+            ["topk(b=2)"], workloads=bert_large_wikitext(), metric="throughput"
+        )
+        with pytest.raises(KeyError):
+            grid.point("topk(b=2)", None)
+
+    def test_none_cluster_matches_only_session_cluster_points(self, session):
+        grid = session.sweep(
+            ["topk(b=2)"],
+            workloads=bert_large_wikitext(),
+            clusters=scale_out_cluster(2, 4),
+            metric="throughput",
+        )
+        with pytest.raises(KeyError):
+            grid.point("topk(b=2)", ANY, None)
+        assert grid.point("topk(b=2)", ANY, "2x4").cluster == "2x4"
+
+    def test_any_repr(self):
+        assert repr(ANY) == "ANY"
+
+
 class TestMemoization:
     def test_repeat_sweep_hits_cache(self, session):
         calls = []
@@ -192,6 +243,37 @@ class TestMemoization:
         assert session.cached_points > 0
         session.clear_cache()
         assert session.cached_points == 0
+
+    def test_same_shape_clusters_with_different_nics_not_conflated(self, session):
+        """Regression: the memo used to key clusters by their "2x2" label, so
+        two same-shape clusters with different NICs shared cached points."""
+        fast = paper_testbed()
+        slow = ClusterSpec(inter_node_nic=NicModel(name="CX-4", bandwidth_gbps=25.0))
+        assert fast.num_nodes == slow.num_nodes
+        assert fast.gpus_per_node == slow.gpus_per_node
+        grid = session.sweep(
+            ["baseline(p=fp16)"],
+            workloads=bert_large_wikitext(),
+            clusters=[fast, slow],
+            metric="throughput",
+        )
+        values = [point.value for point in grid]
+        assert len(values) == 2
+        assert values[0] != values[1]
+        assert values[0] > values[1]  # the 25 Gbps cluster is strictly slower
+
+    def test_same_shape_clusters_with_different_profiles_not_conflated(self, session):
+        base = paper_testbed()
+        straggler = base.with_straggler(0, 2.0)
+        grid = session.sweep(
+            ["baseline(p=fp16)"],
+            workloads=bert_large_wikitext(),
+            clusters=[base, straggler],
+            metric="throughput",
+            num_buckets=4,
+        )
+        values = [point.value for point in grid]
+        assert values[0] > values[1]
 
 
 class TestSweepErrors:

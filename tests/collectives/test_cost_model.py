@@ -65,6 +65,90 @@ class TestTreeAllReduce:
         tree = cost_model.tree_allreduce(PAYLOAD_BITS)
         assert tree.seconds > ring.seconds
 
+    def test_leaf_transmits_once_interior_twice(self, cost_model):
+        cost = cost_model.tree_allreduce(PAYLOAD_BITS)
+        assert cost.bits_sent_leaf == pytest.approx(PAYLOAD_BITS)
+        assert cost.bits_sent_interior == pytest.approx(2 * PAYLOAD_BITS)
+
+    def test_mean_traffic_is_role_weighted(self, cost_model):
+        # 4 workers: the tree's 3 edges each carry the payload up and down
+        # once, so the per-worker average is 2*3/4 = 1.5x the payload -- not
+        # the 2x the model used to charge every worker.
+        cost = cost_model.tree_allreduce(PAYLOAD_BITS)
+        assert cost.bits_sent_per_worker == pytest.approx(1.5 * PAYLOAD_BITS)
+
+    def test_traffic_conserves_edge_traversals(self):
+        # n workers: total sent traffic must equal 2(n-1) payloads, however
+        # it is apportioned between leaves and interior nodes.
+        for cluster in (paper_testbed(), scale_out_cluster(4, 8)):
+            n = cluster.world_size
+            cost = CollectiveCostModel(cluster).tree_allreduce(PAYLOAD_BITS)
+            assert cost.bits_sent_per_worker * n == pytest.approx(
+                2 * (n - 1) * PAYLOAD_BITS
+            )
+            num_leaves = (n + 1) // 2
+            role_total = (
+                num_leaves * cost.bits_sent_leaf
+                + (n - num_leaves) * cost.bits_sent_interior
+            )
+            assert role_total == pytest.approx(2 * (n - 1) * PAYLOAD_BITS)
+            assert cost.bits_sent_leaf < cost.bits_sent_interior
+
+    def test_ring_has_no_role_split(self, cost_model):
+        cost = cost_model.ring_allreduce(PAYLOAD_BITS)
+        assert cost.bits_sent_leaf is None
+        assert cost.bits_sent_interior is None
+
+
+class TestPerBucketPricing:
+    def test_bucket_payloads_sum_to_total(self, cost_model):
+        buckets = cost_model.per_bucket("ring_allreduce", PAYLOAD_BITS, 8)
+        assert len(buckets) == 8
+        total = cost_model.ring_allreduce(PAYLOAD_BITS)
+        assert sum(b.bits_sent_per_worker for b in buckets) == pytest.approx(
+            total.bits_sent_per_worker
+        )
+
+    def test_bucketing_pays_extra_latency(self, cost_model):
+        buckets = cost_model.per_bucket("ring_allreduce", PAYLOAD_BITS, 8)
+        total = cost_model.ring_allreduce(PAYLOAD_BITS)
+        assert sum(b.seconds for b in buckets) > total.seconds
+
+    def test_kwargs_forwarded(self, cost_model):
+        buckets = cost_model.per_bucket(
+            "parameter_server", PAYLOAD_BITS, 2, num_servers=2
+        )
+        assert len(buckets) == 2
+
+    def test_unknown_schedule_rejected(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.per_bucket("carrier_pigeon", PAYLOAD_BITS, 2)
+        with pytest.raises(ValueError):
+            cost_model.per_bucket("_alpha_beta", PAYLOAD_BITS, 2)
+
+    def test_bad_bucket_count_rejected(self, cost_model):
+        with pytest.raises(ValueError):
+            cost_model.per_bucket("ring_allreduce", PAYLOAD_BITS, 0)
+
+
+class TestHeterogeneousNicPricing:
+    def test_worst_nic_tier_scales_transfer_time(self):
+        base = paper_testbed()
+        slow = base.with_nic_tier(3, 4.0)
+        fast_cost = CollectiveCostModel(base).ring_allreduce(PAYLOAD_BITS)
+        slow_cost = CollectiveCostModel(slow).ring_allreduce(PAYLOAD_BITS)
+        assert slow_cost.seconds > fast_cost.seconds
+        # For a bandwidth-dominated payload the ratio approaches the tier scale.
+        assert slow_cost.seconds == pytest.approx(4.0 * fast_cost.seconds, rel=5e-3)
+
+    def test_parameter_server_also_respects_nic_tiers(self):
+        base = paper_testbed()
+        slow = base.with_nic_tier(2, 4.0)
+        fast_cost = CollectiveCostModel(base).parameter_server(PAYLOAD_BITS)
+        slow_cost = CollectiveCostModel(slow).parameter_server(PAYLOAD_BITS)
+        assert slow_cost.seconds > fast_cost.seconds
+        assert slow_cost.seconds == pytest.approx(4.0 * fast_cost.seconds, rel=5e-3)
+
 
 class TestReduceScatter:
     def test_half_of_allreduce(self, cost_model):

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.simulator.cluster import ClusterSpec, paper_testbed, scale_out_cluster
+from repro.simulator.cluster import (
+    ClusterSpec,
+    WorkerProfile,
+    paper_testbed,
+    scale_out_cluster,
+)
+from repro.simulator.nic import NicModel
 
 
 class TestClusterSpec:
@@ -61,3 +67,55 @@ class TestClusterSpec:
     def test_scale_out_cluster(self):
         cluster = scale_out_cluster(num_nodes=8, gpus_per_node=8)
         assert cluster.world_size == 64
+
+
+class TestWorkerProfiles:
+    def test_homogeneous_by_default(self):
+        cluster = paper_testbed()
+        assert not cluster.is_heterogeneous
+        assert cluster.max_slowdown() == 1.0
+        assert cluster.worst_nic_scale() == 1.0
+        assert cluster.slowdown_of(0) == 1.0
+
+    def test_with_straggler(self):
+        cluster = paper_testbed().with_straggler(2, 1.5)
+        assert cluster.is_heterogeneous
+        assert cluster.slowdown_of(2) == pytest.approx(1.5)
+        assert cluster.slowdown_of(0) == 1.0
+        assert cluster.max_slowdown() == pytest.approx(1.5)
+
+    def test_with_nic_tier(self):
+        cluster = paper_testbed().with_nic_tier(1, 4.0)
+        assert cluster.worst_nic_scale() == pytest.approx(4.0)
+        assert cluster.bottleneck_bandwidth_gbps() == pytest.approx(
+            cluster.inter_node_nic.bandwidth_gbps / 4.0
+        )
+
+    def test_profile_count_must_match_world_size(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(worker_profiles=(WorkerProfile(),))
+
+    def test_profiles_validated(self):
+        with pytest.raises(ValueError):
+            WorkerProfile(slowdown=0.0)
+        with pytest.raises(ValueError):
+            WorkerProfile(nic_scale=-1.0)
+
+    def test_nominal_profiles_are_not_heterogeneous(self):
+        cluster = ClusterSpec(worker_profiles=(WorkerProfile(),) * 4)
+        assert not cluster.is_heterogeneous
+
+
+class TestCacheKey:
+    def test_same_shape_different_nic_distinct_keys(self):
+        a = paper_testbed()
+        b = ClusterSpec(inter_node_nic=NicModel(name="CX-4", bandwidth_gbps=25.0))
+        assert a.num_nodes == b.num_nodes and a.gpus_per_node == b.gpus_per_node
+        assert a.cache_key() != b.cache_key()
+
+    def test_equal_clusters_share_keys(self):
+        assert paper_testbed().cache_key() == paper_testbed().cache_key()
+        assert hash(paper_testbed().cache_key()) == hash(paper_testbed().cache_key())
+
+    def test_profiles_part_of_identity(self):
+        assert paper_testbed().cache_key() != paper_testbed().with_straggler(0, 2.0).cache_key()

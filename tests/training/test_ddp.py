@@ -120,6 +120,59 @@ class TestDDPTrainer:
         overlapped = make_trainer(model_b, dataset, workload, overlap_fraction=0.8)
         assert overlapped.round_seconds < exposed.round_seconds
 
+    def test_overlap_shim_matches_legacy_formula(self, dataset, workload):
+        model = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        fraction = 0.8
+        trainer = make_trainer(model, dataset, workload, overlap_fraction=fraction)
+        compute = workload.compute_seconds_for(Precision.TF32)
+        costs = trainer.round_cost_estimate
+        hidden = min(costs.communication_seconds * fraction, compute)
+        legacy = compute + costs.compression_seconds + costs.communication_seconds - hidden
+        assert trainer.round_seconds == pytest.approx(legacy, rel=1e-12)
+
+    def test_default_round_is_fully_serialized(self, dataset, workload):
+        model = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        trainer = make_trainer(model, dataset, workload)
+        compute = workload.compute_seconds_for(Precision.TF32)
+        costs = trainer.round_cost_estimate
+        assert trainer.round_seconds == pytest.approx(
+            compute + costs.compression_seconds + costs.communication_seconds
+        )
+        assert trainer.round_pipeline.overlap_efficiency == pytest.approx(0.0)
+
+    def test_bucketed_pipeline_shortens_round(self, dataset, workload):
+        model_a = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        model_b = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        serialized = make_trainer(model_a, dataset, workload)
+        pipelined = make_trainer(model_b, dataset, workload, num_buckets=8)
+        assert pipelined.round_seconds < serialized.round_seconds
+        compute = workload.compute_seconds_for(Precision.TF32)
+        assert pipelined.round_seconds >= compute
+
+    def test_straggler_cluster_lengthens_round(self, dataset, workload):
+        from repro.simulator.cluster import paper_testbed
+
+        model_a = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        model_b = MLPClassifier(workload.sim_input_dim, (32,), workload.sim_num_classes)
+        base = make_trainer(model_a, dataset, workload, num_buckets=4)
+        slowdown = 1.5
+        straggler = make_trainer(
+            model_b,
+            dataset,
+            workload,
+            num_buckets=4,
+            cluster=paper_testbed().with_straggler(1, slowdown),
+        )
+        assert straggler.round_seconds > base.round_seconds
+        compute = workload.compute_seconds_for(Precision.TF32)
+        assert straggler.round_seconds >= compute * slowdown
+
+    def test_bucketing_and_shim_are_mutually_exclusive(self, model, dataset, workload):
+        with pytest.raises(ValueError):
+            make_trainer(model, dataset, workload, num_buckets=4, overlap_fraction=0.5)
+        with pytest.raises(ValueError):
+            make_trainer(model, dataset, workload, num_buckets=0)
+
     def test_stopping_criterion_halts_early(self, model, dataset, workload):
         class StopImmediately:
             def update(self, value: float) -> bool:
