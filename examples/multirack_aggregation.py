@@ -1,0 +1,111 @@
+"""Multi-rack fabrics: where in-network aggregation beats host-side all-reduce.
+
+The paper prices its schemes on a flat two-node testbed.  This example scales
+the same measurements onto multi-rack ToR + spine fabrics (``repro.topology``)
+and asks the production question: when should the quantized payloads be
+aggregated *in the network* (``thc(q=4, agg=switch)``, ToR switches reduce at
+line rate) instead of by the hosts (``thc(q=4, agg=sat)``, hierarchical
+all-reduce)?
+
+1. **Oversubscription sweep** -- a fabric grid over the spine
+   oversubscription ratio: the host-side hierarchy pays the oversubscribed
+   spine per shard, while the in-network path ships each payload across the
+   access links exactly once each way.
+2. **Switch-memory sweep** -- in-network aggregation is bounded by the ToR's
+   aggregation pool: payloads larger than the pool are reduced in chunks,
+   each paying a recirculation overhead.  Shrinking the pool finds the
+   crossover where host-side aggregation wins again.
+3. **Rack-count scaling** -- the same comparison as the fabric grows from 2
+   to 16 racks at fixed oversubscription.
+
+Run with:  python examples/multirack_aggregation.py
+"""
+
+from repro.api import ExperimentSession
+from repro.simulator.cluster import multirack_cluster
+from repro.topology import FabricSpec, SwitchModel, two_tier_fabric
+from repro.training.workloads import bert_large_wikitext
+
+HOST_SPEC = "thc(q=4, rot=partial, agg=sat)"
+SWITCH_SPEC = "thc(q=4, rot=partial, agg=switch)"
+
+
+def comm_ms(session: ExperimentSession, spec: str, cluster) -> float:
+    """Per-round communication time of a spec on a cluster, in milliseconds."""
+    estimate = session.throughput(spec, bert_large_wikitext(), cluster=cluster)
+    return estimate.cost.communication_seconds * 1e3
+
+
+def step_1_oversubscription(session: ExperimentSession) -> None:
+    print("=== 1. Oversubscription sweep (8 racks x 2 nodes, BERT-large) ===")
+    print("  oversub   host-side (sat)   in-network (switch)   winner")
+    for oversub in (1.0, 2.0, 4.0, 8.0):
+        cluster = multirack_cluster(8, oversubscription=oversub)
+        host = comm_ms(session, HOST_SPEC, cluster)
+        switch = comm_ms(session, SWITCH_SPEC, cluster)
+        winner = "switch" if switch < host else "host"
+        print(
+            f"  {oversub:5.1f}:1   {host:10.2f} ms      {switch:10.2f} ms"
+            f"         {winner}  ({host / switch:.2f}x)"
+        )
+
+
+def step_2_switch_memory(session: ExperimentSession) -> None:
+    print("\n=== 2. Bounded switch memory: the in-network crossover ===")
+    print("  (4 racks, 4:1 oversubscription, 50 us pool-recirculation overhead)")
+    print("  agg pool    host-side (sat)   in-network (switch)   winner")
+    base = multirack_cluster(4, oversubscription=4.0)
+    host = comm_ms(session, HOST_SPEC, base)
+    for pool_kib in (16384, 1024, 64, 16):
+        switch_model = SwitchModel(
+            aggregation_memory_bytes=pool_kib * 1024, chunk_overhead_s=5e-5
+        )
+        fabric = two_tier_fabric(4, 4.0, switch=switch_model)
+        cluster = base.with_fabric(fabric)
+        switch = comm_ms(session, SWITCH_SPEC, cluster)
+        winner = "switch" if switch < host else "host"
+        print(
+            f"  {pool_kib:6d} KiB  {host:10.2f} ms      {switch:10.2f} ms"
+            f"         {winner}  ({host / switch:.2f}x)"
+        )
+
+
+def step_3_rack_scaling(session: ExperimentSession) -> None:
+    print("\n=== 3. Rack-count scaling at 4:1 oversubscription ===")
+    grid = session.sweep(
+        [HOST_SPEC, SWITCH_SPEC],
+        workloads=bert_large_wikitext(),
+        clusters=[multirack_cluster(racks, oversubscription=4.0) for racks in (2, 4, 8, 16)],
+        metric="throughput",
+    )
+    print("  fabric       host rounds/s   switch rounds/s   speedup")
+    for racks in (2, 4, 8, 16):
+        label = f"{racks * 2}x2@{racks}r:o4"
+        host = grid.value(HOST_SPEC, cluster=label)
+        switch = grid.value(SWITCH_SPEC, cluster=label)
+        print(
+            f"  {label:11s}  {host:11.2f}     {switch:12.2f}      {switch / host:.2f}x"
+        )
+
+
+def step_4_flat_sanity(session: ExperimentSession) -> None:
+    print("\n=== 4. Sanity: a flat fabric changes nothing ===")
+    flat = session.throughput(HOST_SPEC, bert_large_wikitext())
+    behind_flat_fabric = session.throughput(
+        HOST_SPEC,
+        bert_large_wikitext(),
+        cluster=session.cluster.with_fabric(FabricSpec(num_racks=1, oversubscription=1.0)),
+    )
+    print(
+        f"  no fabric: {flat.round_seconds * 1e3:.4f} ms/round,"
+        f" flat fabric: {behind_flat_fabric.round_seconds * 1e3:.4f} ms/round"
+        f"  (bit-exact: {flat.round_seconds == behind_flat_fabric.round_seconds})"
+    )
+
+
+if __name__ == "__main__":
+    session = ExperimentSession(seed=0)
+    step_1_oversubscription(session)
+    step_2_switch_memory(session)
+    step_3_rack_scaling(session)
+    step_4_flat_sanity(session)

@@ -4,6 +4,8 @@ End-to-end Utility of Gradient Compression" (HotNets 2024).
 The package is organised by subsystem:
 
 * :mod:`repro.simulator` -- GPU/NIC timing models (the testbed stand-in).
+* :mod:`repro.topology` -- multi-rack fabrics (ToR/spine tiers,
+  oversubscription) and in-network switch aggregation.
 * :mod:`repro.collectives` -- functional + priced collective communication.
 * :mod:`repro.compression` -- the compression schemes of the case study.
 * :mod:`repro.training` -- the distributed data-parallel training substrate.
@@ -20,7 +22,8 @@ from repro.compression import (
     make_scheme,
     parse_spec,
 )
-from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.cluster import ClusterSpec, multirack_cluster, paper_testbed
+from repro.topology import FabricSpec, SwitchModel, two_tier_fabric
 
 
 def __getattr__(name: str):
@@ -42,5 +45,9 @@ __all__ = [
     "make_scheme",
     "parse_spec",
     "ClusterSpec",
+    "FabricSpec",
+    "SwitchModel",
+    "multirack_cluster",
     "paper_testbed",
+    "two_tier_fabric",
 ]

@@ -52,6 +52,7 @@ from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
 from repro.simulator.timeline import RoundTimeline
+from repro.topology.fabric import FabricSpec
 from repro.training.workloads import WorkloadSpec
 
 #: The spec of the baseline the paper measures utility against.
@@ -272,6 +273,7 @@ class ExperimentSession:
         workloads: Sequence[WorkloadSpec] | WorkloadSpec | None = None,
         clusters: Sequence[ClusterSpec] | ClusterSpec | None = None,
         *,
+        fabrics: "Sequence[FabricSpec] | FabricSpec | None" = None,
         metric: str | Callable = "throughput",
         parallel: bool = True,
         memoize: bool = True,
@@ -283,6 +285,12 @@ class ExperimentSession:
             specs: Scheme spec strings (one or several).
             workloads: Workload axis; None for workload-free metrics (vNMSE).
             clusters: Cluster axis; None uses the session's cluster.
+            fabrics: Optional fabric axis
+                (:class:`~repro.topology.fabric.FabricSpec`); each cluster of
+                the cluster axis (or the session's cluster) is expanded into
+                one grid point per fabric via
+                :meth:`~repro.simulator.cluster.ClusterSpec.with_fabric`, so
+                oversubscription / rack-count sweeps are pure data.
             metric: ``"throughput"``, ``"vnmse"``, ``"tta"``, or a callable
                 ``metric(session, spec, workload, cluster, **kwargs)``
                 returning a value or a ``(value, detail)`` pair.
@@ -296,6 +304,21 @@ class ExperimentSession:
             A :class:`SweepResult` with one :class:`SweepPoint` per grid
             entry, in grid order.
         """
+        if fabrics is not None:
+            fabric_list = [fabrics] if isinstance(fabrics, FabricSpec) else list(fabrics)
+            if not fabric_list:
+                raise ValueError("fabrics axis must not be empty when given")
+            if clusters is None:
+                base_clusters = [self.cluster]
+            elif isinstance(clusters, ClusterSpec):
+                base_clusters = [clusters]
+            else:
+                base_clusters = list(clusters)
+            clusters = [
+                cluster.with_fabric(fabric)
+                for cluster in base_clusters
+                for fabric in fabric_list
+            ]
         grid = expand_grid(specs, workloads, clusters)
         metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
         if isinstance(metric, str) and metric not in SWEEP_METRICS:

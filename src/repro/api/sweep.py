@@ -148,8 +148,17 @@ class SweepResult:
 
 
 def cluster_label(cluster: ClusterSpec) -> str:
-    """A short human-readable label for a cluster (``"2x2"``)."""
-    return f"{cluster.num_nodes}x{cluster.gpus_per_node}"
+    """A short human-readable label for a cluster (``"2x2"``, ``"8x2@4r:o2"``).
+
+    Clusters behind a multi-rack fabric append the fabric's label (rack count
+    and, when not 1.0, the oversubscription ratio) so fabric grid points stay
+    addressable in :meth:`SweepResult.point`.  The label is display-only; the
+    sweep memo keys clusters by their full :meth:`ClusterSpec.cache_key`.
+    """
+    label = f"{cluster.num_nodes}x{cluster.gpus_per_node}"
+    if cluster.fabric is not None:
+        label += f"@{cluster.fabric.label()}"
+    return label
 
 
 def expand_grid(

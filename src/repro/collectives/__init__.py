@@ -12,6 +12,12 @@ functional + timed simulation of those aggregation schemes:
   operation -- applying it hop by hop is what the scheme actually does.
 * *timed*: an alpha-beta cost model turns the per-worker payload size into a
   simulated collective completion time on a :class:`~repro.simulator.ClusterSpec`.
+
+On multi-rack clusters (:meth:`ClusterSpec.with_fabric`) the cost model adds
+hierarchical all-reduce (rack-local reduce -> spine all-reduce -> rack
+broadcast) and in-network :data:`Collective.SWITCH_AGGREGATION`, where ToR
+switches reduce quantized payloads at line rate within bounded aggregation
+memory (see :mod:`repro.topology`).
 """
 
 from repro.collectives.ops import ReduceOp, SumOp, SaturatingSumOp, MaxOp, MeanOp

@@ -20,20 +20,28 @@ from repro.collectives.parameter_server import ParameterServer
 from repro.collectives.ring import ring_allreduce
 from repro.collectives.tree import tree_allreduce
 from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.topology.hierarchical import hierarchical_aggregate
 
 
 class Collective(enum.Enum):
-    """Aggregation schemes the paper discusses."""
+    """Aggregation schemes the paper discusses (plus in-network aggregation)."""
 
     RING_ALLREDUCE = "ring_allreduce"
     TREE_ALLREDUCE = "tree_allreduce"
     ALLGATHER = "allgather"
     PARAMETER_SERVER = "parameter_server"
+    #: ToR/spine switches reduce quantized payloads in the network
+    #: (:meth:`CollectiveCostModel.switch_aggregation`).
+    SWITCH_AGGREGATION = "switch_aggregation"
 
     @property
     def is_allreduce(self) -> bool:
         """Whether this collective reduces payloads in flight."""
-        return self in (Collective.RING_ALLREDUCE, Collective.TREE_ALLREDUCE)
+        return self in (
+            Collective.RING_ALLREDUCE,
+            Collective.TREE_ALLREDUCE,
+            Collective.SWITCH_AGGREGATION,
+        )
 
 
 @dataclass(frozen=True)
@@ -80,17 +88,31 @@ class CollectiveBackend:
             wire_bits_per_value: How many bits one vector element occupies on
                 the wire (16 for FP16 payloads, ``b`` for b-bit integers...).
             op: Reduction operator; defaults to a plain sum.
-            collective: Ring (default) or tree schedule.
+            collective: Ring (default), tree, or in-network switch schedule.
         """
         self._check_world(worker_vectors)
         op = op or SumOp()
         payload_bits = worker_vectors[0].size * wire_bits_per_value
         if collective is Collective.RING_ALLREDUCE:
-            aggregate = ring_allreduce(worker_vectors, op)
+            if self.cluster.has_active_fabric:
+                # A topology-aware engine runs the hierarchical schedule on a
+                # multi-rack fabric: fold rack-locally, then across racks.
+                # The hop order matters for non-associative (saturating) ops,
+                # and the cost model prices the same schedule.
+                aggregate = hierarchical_aggregate(
+                    worker_vectors, op, self.cluster.rack_assignment()
+                )
+            else:
+                aggregate = ring_allreduce(worker_vectors, op)
             cost = self.cost_model.ring_allreduce(payload_bits)
         elif collective is Collective.TREE_ALLREDUCE:
             aggregate = tree_allreduce(worker_vectors, op)
             cost = self.cost_model.tree_allreduce(payload_bits)
+        elif collective is Collective.SWITCH_AGGREGATION:
+            aggregate = hierarchical_aggregate(
+                worker_vectors, op, self.cluster.rack_assignment()
+            )
+            cost = self.cost_model.switch_aggregation(payload_bits)
         else:
             raise ValueError(f"{collective} is not an all-reduce collective")
         return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)

@@ -8,6 +8,25 @@ bottleneck link respectively.  The cost model turns a per-worker payload size
 into a simulated completion time using the standard alpha-beta formulation:
 each of the algorithm's steps costs one link latency (alpha) plus the message
 size divided by the bottleneck bandwidth (beta).
+
+On a multi-rack cluster (a :class:`~repro.topology.fabric.FabricSpec` behind
+:meth:`ClusterSpec.with_fabric`) the model grows two qualitatively new
+schedules:
+
+* :meth:`CollectiveCostModel.hierarchical_allreduce` -- rack-local
+  reduce-scatter, spine all-reduce of the shards, rack-local all-gather.
+  Only ``payload / workers_per_rack`` crosses the oversubscribed spine, which
+  is why hierarchy survives oversubscription that cripples a flat ring.
+  ``ring_allreduce`` delegates to it automatically when the fabric is active,
+  so every scheme becomes rack-aware without code changes;
+* :meth:`CollectiveCostModel.switch_aggregation` -- in-network (ToR-resident)
+  aggregation of quantized payloads: hosts stream the payload up once, the
+  switch reduces at line rate within its bounded aggregation memory, ToRs
+  reconcile across the spine, and the aggregate streams down once.  The
+  priced time can never beat the port line-rate lower bound (property-tested).
+
+A fabric with one rack and oversubscription 1.0 is *flat* and prices
+bit-exactly like no fabric at all.
 """
 
 from __future__ import annotations
@@ -15,6 +34,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.simulator.cluster import ClusterSpec
+from repro.topology.fabric import FabricSpec
+from repro.topology.hierarchical import (
+    HierarchicalBreakdown,
+    PhaseCost,
+    TierTraffic,
+)
 
 
 @dataclass(frozen=True)
@@ -77,6 +102,31 @@ class CollectiveCostModel:
         beta = self.cluster.worst_nic_scale() / (nic.effective_bandwidth_gbps(1) * 1e9)
         return nic.latency_s, beta
 
+    def _active_fabric(self) -> FabricSpec | None:
+        """The cluster's fabric when it actually constrains collectives.
+
+        ``None`` for fabric-less clusters *and* for flat fabrics (one rack,
+        oversubscription 1.0), which must price bit-exactly like the
+        historical single-switch cluster.
+        """
+        fabric = self.cluster.fabric
+        if fabric is None or fabric.is_flat:
+            return None
+        return fabric
+
+    def _spine_alpha_beta(self) -> tuple[float, float]:
+        """(latency, s/bit) of a spine-crossing step.
+
+        Identical to :meth:`_alpha_beta` on a flat cluster; on an active
+        fabric each spine traversal pays the extra switch-hop latency and a
+        per-flow bandwidth divided by the oversubscription ratio.
+        """
+        alpha, beta = self._alpha_beta()
+        fabric = self._active_fabric()
+        if fabric is None:
+            return alpha, beta
+        return alpha + fabric.spine_latency_s, beta * fabric.oversubscription
+
     # ------------------------------------------------------------------ #
     # All-reduce family
     # ------------------------------------------------------------------ #
@@ -84,12 +134,17 @@ class CollectiveCostModel:
         """Ring all-reduce of a ``payload_bits``-sized vector per worker.
 
         2(n-1) steps of ``payload / n``-sized blocks; every worker sends and
-        receives ``2 (n-1)/n * payload`` bits in total.
+        receives ``2 (n-1)/n * payload`` bits in total.  On an active
+        multi-rack fabric the flat rank-ordered ring would drag every block
+        across the oversubscribed spine, so the model prices the schedule a
+        topology-aware engine actually runs: the hierarchical all-reduce.
         """
         self._check_payload(payload_bits)
         n = self.cluster.world_size
         if n == 1 or payload_bits == 0:
             return CollectiveCost(0.0, 0.0, 0.0, 0)
+        if self._active_fabric() is not None:
+            return self.hierarchical_allreduce(payload_bits)
         alpha, beta = self._alpha_beta()
         block_bits = payload_bits / n
         steps = 2 * (n - 1)
@@ -112,7 +167,9 @@ class CollectiveCostModel:
         n = self.cluster.world_size
         if n == 1 or payload_bits == 0:
             return CollectiveCost(0.0, 0.0, 0.0, 0)
-        alpha, beta = self._alpha_beta()
+        # Tree edges cross racks arbitrarily, so every step is priced as a
+        # (possibly oversubscribed) spine traversal on an active fabric.
+        alpha, beta = self._spine_alpha_beta()
         depth = max(1, (n - 1).bit_length())
         steps = 2 * depth
         seconds = steps * (alpha + payload_bits * beta)
@@ -138,7 +195,7 @@ class CollectiveCostModel:
         n = self.cluster.world_size
         if n == 1 or payload_bits == 0:
             return CollectiveCost(0.0, 0.0, 0.0, 0)
-        alpha, beta = self._alpha_beta()
+        alpha, beta = self._spine_alpha_beta()
         block_bits = payload_bits / n
         steps = n - 1
         seconds = steps * (alpha + block_bits * beta)
@@ -159,7 +216,9 @@ class CollectiveCostModel:
         n = self.cluster.world_size
         if n == 1 or payload_bits == 0:
             return CollectiveCost(0.0, 0.0, 0.0, 0)
-        alpha, beta = self._alpha_beta()
+        # The gathered payloads circulate through every rack, so each of
+        # the ring's steps is a spine traversal on an active fabric.
+        alpha, beta = self._spine_alpha_beta()
         steps = n - 1
         seconds = steps * (alpha + payload_bits * beta)
         sent = steps * payload_bits
@@ -198,11 +257,205 @@ class CollectiveCostModel:
             * 1e9
             / self.cluster.worst_nic_scale()
         )
+        fabric = self._active_fabric()
+        if fabric is not None:
+            # The server sits behind the spine from most workers' racks: its
+            # access link sees the oversubscribed share of the fabric.
+            alpha += fabric.spine_latency_s
+            bandwidth_bps /= fabric.oversubscription
         upload_bits = n * payload_bits / num_servers
         download_bits = n * downlink_bits / num_servers
         seconds = 2 * alpha + (upload_bits + download_bits) / bandwidth_bps
         bottleneck = upload_bits + download_bits
         return CollectiveCost(seconds, payload_bits + downlink_bits, bottleneck, 2)
+
+    # ------------------------------------------------------------------ #
+    # Hierarchical (multi-rack) all-reduce
+    # ------------------------------------------------------------------ #
+    def hierarchical_breakdown(self, payload_bits: float) -> HierarchicalBreakdown:
+        """Phase/tier decomposition of the hierarchical all-reduce.
+
+        The schedule is the standard two-tier algorithm: a rack-local ring
+        reduce-scatter (each worker ends with a ``payload / m`` shard reduced
+        within its rack), a spine ring all-reduce of each shard among the
+        ``R`` rack counterparts, and a rack-local ring all-gather
+        broadcasting the shards back.  Only ``payload / m`` per worker
+        crosses the spine; ToR switches forward but never aggregate, so the
+        tier accounting shows zero aggregated bits (the conservation property
+        the test suite checks).
+        """
+        self._check_payload(payload_bits)
+        num_racks = self.cluster.num_racks
+        workers_per_rack = self.cluster.workers_per_rack
+        alpha, beta = self._alpha_beta()
+        spine_alpha, spine_beta = self._spine_alpha_beta()
+
+        shard_bits = payload_bits / workers_per_rack
+        local_steps = workers_per_rack - 1
+        local_seconds = local_steps * (alpha + shard_bits * beta)
+        local_sent = local_steps * shard_bits
+
+        spine_steps = 2 * (num_racks - 1)
+        spine_block = shard_bits / num_racks
+        spine_seconds = spine_steps * (spine_alpha + spine_block * spine_beta)
+        spine_sent = spine_steps * spine_block
+
+        phases = (
+            PhaseCost("rack_reduce_scatter", local_seconds, local_steps, local_sent),
+            PhaseCost("spine_allreduce", spine_seconds, spine_steps, spine_sent),
+            PhaseCost("rack_broadcast", local_seconds, local_steps, local_sent),
+        )
+        # Up-path traffic through the forwarding tiers during the spine
+        # phase: every worker pushes (R-1)/R of its shard upward through its
+        # ToR; the switches forward without reducing.
+        up_bits_per_rack = workers_per_rack * (num_racks - 1) * spine_block
+        tiers = (
+            TierTraffic(
+                tier="tor",
+                fan_in=workers_per_rack,
+                bits_in=up_bits_per_rack,
+                bits_out=up_bits_per_rack,
+                aggregates=False,
+            ),
+            TierTraffic(
+                tier="spine",
+                fan_in=num_racks,
+                bits_in=num_racks * up_bits_per_rack,
+                bits_out=num_racks * up_bits_per_rack,
+                aggregates=False,
+            ),
+        )
+        return HierarchicalBreakdown(phases=phases, tiers=tiers)
+
+    def hierarchical_allreduce(self, payload_bits: float) -> CollectiveCost:
+        """Rack-local reduce-scatter -> spine all-reduce -> rack broadcast."""
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        breakdown = self.hierarchical_breakdown(payload_bits)
+        # The most loaded link is a rack uplink when the fabric is active
+        # (spine-phase traffic of a whole rack), a host link otherwise.
+        spine = breakdown.phase("spine_allreduce")
+        local = breakdown.phase("rack_reduce_scatter")
+        bottleneck = max(
+            self.cluster.workers_per_rack * spine.bits_sent_per_worker,
+            2 * local.bits_sent_per_worker + spine.bits_sent_per_worker,
+        )
+        return CollectiveCost(
+            breakdown.seconds,
+            breakdown.bits_sent_per_worker,
+            bottleneck,
+            breakdown.steps,
+        )
+
+    # ------------------------------------------------------------------ #
+    # In-network (switch-resident) aggregation
+    # ------------------------------------------------------------------ #
+    def switch_breakdown(self, payload_bits: float) -> HierarchicalBreakdown:
+        """Phase/tier decomposition of in-network aggregation.
+
+        Every host streams its quantized payload to the ToR exactly once; the
+        switch reduces arriving packets at line rate, using its bounded
+        aggregation memory in pool-sized chunks (each chunk pays a
+        recirculation overhead).  With several racks the ToR partials ring
+        across the spine, then the aggregate streams down every host port
+        once.  The ToR tier *absorbs* ``(m - 1) * payload`` bits -- the
+        aggregation delta the conservation property checks -- and the total
+        time can never undercut the port line rate (one payload up, one
+        down).
+
+        The access-link transport is lean (SwitchML-style line-rate streams,
+        no host protocol-efficiency charge), but physics still applies: the
+        up/down phases are gated by the slower of the switch port and the
+        host NIC's physical bandwidth, including the cluster's worst NIC
+        tier, so a quarter-bandwidth NIC slows in-network aggregation just
+        as it slows host-side collectives.
+        """
+        self._check_payload(payload_bits)
+        fabric = self.cluster.fabric or FabricSpec()
+        switch = fabric.switch
+        num_racks = self.cluster.num_racks
+        workers_per_rack = self.cluster.workers_per_rack
+
+        num_chunks = switch.num_chunks(payload_bits)
+        host_nic = (
+            self.cluster.inter_node_nic
+            if self.cluster.num_nodes > 1
+            else self.cluster.intra_node_nic
+        )
+        access_gbps = min(
+            switch.line_rate_gbps,
+            host_nic.bandwidth_gbps / self.cluster.worst_nic_scale(),
+        )
+        access_seconds = payload_bits / (access_gbps * 1e9)
+        upload_seconds = (
+            access_seconds + switch.port_latency_s + num_chunks * switch.chunk_overhead_s
+        )
+        download_seconds = access_seconds + switch.port_latency_s
+
+        phases = [
+            PhaseCost("tor_upload", upload_seconds, 1, payload_bits),
+        ]
+        if num_racks > 1:
+            # ToR partial aggregates ring across the spine.  A single
+            # switch-to-switch flow is capped by the port line rate and by the
+            # rack's uplink share (m * line_rate / oversubscription).
+            spine_beta = max(
+                1.0, fabric.oversubscription / workers_per_rack
+            ) / (switch.line_rate_gbps * 1e9)
+            spine_steps = 2 * (num_racks - 1)
+            spine_block = payload_bits / num_racks
+            spine_seconds = spine_steps * (
+                fabric.spine_latency_s + switch.port_latency_s + spine_block * spine_beta
+            )
+            phases.append(PhaseCost("spine_allreduce", spine_seconds, spine_steps, 0.0))
+        phases.append(PhaseCost("tor_download", download_seconds, 1, 0.0))
+
+        tiers = [
+            TierTraffic(
+                tier="tor",
+                fan_in=workers_per_rack,
+                bits_in=workers_per_rack * payload_bits,
+                bits_out=payload_bits,
+                aggregates=True,
+            ),
+        ]
+        if num_racks > 1:
+            tiers.append(
+                TierTraffic(
+                    tier="spine",
+                    fan_in=num_racks,
+                    bits_in=num_racks * payload_bits,
+                    bits_out=payload_bits,
+                    aggregates=True,
+                )
+            )
+        return HierarchicalBreakdown(
+            phases=tuple(phases),
+            tiers=tuple(tiers),
+            line_rate_lower_bound_s=switch.line_rate_seconds(payload_bits),
+            num_chunks=num_chunks,
+        )
+
+    def switch_aggregation(self, payload_bits: float) -> CollectiveCost:
+        """In-network aggregation: hosts send once up, receive once down.
+
+        Works on any cluster: without a fabric the whole cluster hangs off a
+        single default ToR (:class:`~repro.topology.fabric.SwitchModel`
+        defaults).
+        """
+        self._check_payload(payload_bits)
+        n = self.cluster.world_size
+        if n == 1 or payload_bits == 0:
+            return CollectiveCost(0.0, 0.0, 0.0, 0)
+        breakdown = self.switch_breakdown(payload_bits)
+        return CollectiveCost(
+            breakdown.seconds,
+            payload_bits,
+            2.0 * payload_bits,
+            breakdown.steps,
+        )
 
     # ------------------------------------------------------------------ #
     # Per-bucket pricing
@@ -220,7 +473,8 @@ class CollectiveCostModel:
         Args:
             schedule: Name of a pricing method on this model
                 (``"ring_allreduce"``, ``"tree_allreduce"``, ``"allgather"``,
-                ``"reduce_scatter"``, or ``"parameter_server"``).
+                ``"reduce_scatter"``, ``"parameter_server"``,
+                ``"hierarchical_allreduce"``, or ``"switch_aggregation"``).
             payload_bits: Total per-worker payload across all buckets.
             num_buckets: How many equal buckets to split the payload into.
             **kwargs: Passed through to the pricing method.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.collectives.ops import MaxOp, SaturatingSumOp, SumOp
+from repro.collectives.ops import MaxOp
 from repro.compression.base import (
     AggregationResult,
     AggregationScheme,
@@ -69,9 +69,9 @@ class QSGDCompressor(AggregationScheme):
             raise ValueError("quantization_bits must be >= 2")
         if wire_bits is None:
             wire_bits = (
-                quantization_bits
-                if aggregation is AggregationMode.SATURATION
-                else quantization_bits + 4
+                quantization_bits + 4
+                if aggregation is AggregationMode.WIDENED
+                else quantization_bits
             )
         if wire_bits < quantization_bits:
             raise ValueError("wire_bits must be at least quantization_bits")
@@ -92,11 +92,10 @@ class QSGDCompressor(AggregationScheme):
         compression = ctx.kernels.quantize_time(
             num_coordinates, self.quantization_bits
         ) + ctx.kernels.dequantize_time(num_coordinates, self.quantization_bits)
+        price = self.aggregation.price(ctx.backend.cost_model)
         communication = (
-            ctx.backend.cost_model.ring_allreduce(32.0).seconds
-            + ctx.backend.cost_model.ring_allreduce(
-                num_coordinates * float(self.wire_bits)
-            ).seconds
+            price(32.0).seconds
+            + price(num_coordinates * float(self.wire_bits)).seconds
         )
         return CostEstimate(
             compression_seconds=compression,
@@ -117,8 +116,9 @@ class QSGDCompressor(AggregationScheme):
         per_worker_norms = [
             np.array([float(np.linalg.norm(g))]) for g in worker_gradients
         ]
+        collective = self.aggregation.collective()
         norm_reduce = ctx.backend.allreduce(
-            per_worker_norms, wire_bits_per_value=32.0, op=MaxOp()
+            per_worker_norms, wire_bits_per_value=32.0, op=MaxOp(), collective=collective
         )
         shared_norm = float(np.asarray(norm_reduce.aggregate)[0])
         ctx.add_time(
@@ -144,15 +144,12 @@ class QSGDCompressor(AggregationScheme):
         ]
         scale = quantized[0].scale
 
-        op = (
-            SaturatingSumOp(bits=self.wire_bits)
-            if self.aggregation is AggregationMode.SATURATION
-            else SumOp()
-        )
+        op = self.aggregation.reduce_op(self.wire_bits)
         level_reduce = ctx.backend.allreduce(
             [q.levels.astype(np.float64) for q in quantized],
             wire_bits_per_value=float(self.wire_bits),
             op=op,
+            collective=collective,
         )
         ctx.add_time(
             PHASE_COMMUNICATION, f"{self.name}:level_allreduce", level_reduce.cost.seconds

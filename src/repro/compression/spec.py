@@ -158,9 +158,15 @@ class Param:
         if len(prefix_matches) == 1:
             return prefix_matches[0]
         choices = ", ".join(str(m.value) for m in members)
-        raise SpecParamError(
+        message = (
             f"{family}: parameter {self.name!r} expects one of [{choices}], got {value!r}"
         )
+        suggestions = difflib.get_close_matches(
+            text, [str(m.value).lower() for m in members], n=1, cutoff=0.5
+        )
+        if suggestions:
+            message += f"; did you mean {suggestions[0]!r}?"
+        raise SpecParamError(message)
 
     def render(self, value: object) -> str:
         """Format a coerced value back into spec-string syntax."""

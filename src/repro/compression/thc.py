@@ -23,6 +23,7 @@ import enum
 
 import numpy as np
 
+from repro.collectives.api import Collective
 from repro.collectives.ops import MaxOp, SaturatingSumOp, SumOp
 from repro.compression.base import (
     AggregationResult,
@@ -53,12 +54,40 @@ class RotationMode(enum.Enum):
 
 
 class AggregationMode(enum.Enum):
-    """How integer payloads are protected against overflow during all-reduce."""
+    """How integer payloads are protected against overflow during all-reduce.
+
+    The mode determines the whole aggregation surface -- which collective
+    carries the integers, which per-hop operator combines them, and which
+    cost-model schedule prices the transfer -- so those mappings live here,
+    shared by every integer-quantizing scheme (THC, QSGD).
+    """
 
     #: Widen the wire format to ``b > q`` bits (THC's simple adaptation).
     WIDENED = "widened"
     #: Keep ``b = q`` and saturate at every hop (this paper's proposal).
     SATURATION = "saturation"
+    #: Keep ``b = q`` and saturate inside ToR/spine switches: in-network
+    #: aggregation over :data:`Collective.SWITCH_AGGREGATION` (hosts send the
+    #: payload once up, receive the aggregate once down).
+    SWITCH = "switch"
+
+    def collective(self) -> Collective:
+        """The collective this aggregation mode runs on."""
+        if self is AggregationMode.SWITCH:
+            return Collective.SWITCH_AGGREGATION
+        return Collective.RING_ALLREDUCE
+
+    def reduce_op(self, wire_bits: int):
+        """The per-hop reduction operator (switches saturate like hosts)."""
+        if self is AggregationMode.WIDENED:
+            return SumOp()
+        return SaturatingSumOp(bits=wire_bits)
+
+    def price(self, cost_model):
+        """The cost-model pricing method for this mode's collective."""
+        if self is AggregationMode.SWITCH:
+            return cost_model.switch_aggregation
+        return cost_model.ring_allreduce
 
 
 @register(
@@ -97,10 +126,12 @@ class THCCompressor(AggregationScheme):
         if quantization_bits < 2:
             raise ValueError("quantization_bits must be >= 2")
         if wire_bits is None:
+            # Saturating modes (host-side or in-network) keep b = q; the
+            # widened adaptation needs headroom for exact partial sums.
             wire_bits = (
-                quantization_bits
-                if aggregation is AggregationMode.SATURATION
-                else quantization_bits + 4
+                quantization_bits + 4
+                if aggregation is AggregationMode.WIDENED
+                else quantization_bits
             )
         if wire_bits < quantization_bits:
             raise ValueError("wire_bits must be at least quantization_bits")
@@ -161,10 +192,9 @@ class THCCompressor(AggregationScheme):
             )
             num_range_values = max(1, -(-num_coordinates // chunk_elements))
 
-        range_stage = ctx.backend.cost_model.ring_allreduce(num_range_values * 16.0)
-        value_stage = ctx.backend.cost_model.ring_allreduce(
-            num_coordinates * float(self.wire_bits)
-        )
+        price = self.aggregation.price(ctx.backend.cost_model)
+        range_stage = price(num_range_values * 16.0)
+        value_stage = price(num_coordinates * float(self.wire_bits))
         return CostEstimate(
             compression_seconds=compression,
             communication_seconds=range_stage.seconds + value_stage.seconds,
@@ -207,7 +237,10 @@ class THCCompressor(AggregationScheme):
             self._chunk_ranges(rot, chunk_elements) for rot in rotated_vectors
         ]
         range_reduce = ctx.backend.allreduce(
-            per_worker_ranges, wire_bits_per_value=16.0, op=MaxOp()
+            per_worker_ranges,
+            wire_bits_per_value=16.0,
+            op=MaxOp(),
+            collective=self.aggregation.collective(),
         )
         shared_ranges = np.asarray(range_reduce.aggregate)
         communication_seconds += range_reduce.cost.seconds
@@ -241,15 +274,13 @@ class THCCompressor(AggregationScheme):
             )
             level_vectors.append(levels)
 
-        # --- Integer all-reduce --------------------------------------------- #
-        if self.aggregation is AggregationMode.SATURATION:
-            op = SaturatingSumOp(bits=self.wire_bits)
-        else:
-            op = SumOp()
+        # --- Integer all-reduce (host rings or in-network switches) --------- #
+        op = self.aggregation.reduce_op(self.wire_bits)
         reduce_result = ctx.backend.allreduce(
             [levels.astype(np.float64) for levels in level_vectors],
             wire_bits_per_value=float(self.wire_bits),
             op=op,
+            collective=self.aggregation.collective(),
         )
         communication_seconds += reduce_result.cost.seconds
         ctx.add_time(
@@ -298,7 +329,7 @@ class THCCompressor(AggregationScheme):
         A diagnostic used by the ablation benches: as the number of workers
         grows, the paper notes saturation needs more wire bits.
         """
-        if self.aggregation is not AggregationMode.SATURATION:
+        if self.aggregation is AggregationMode.WIDENED:
             return 0.0
         # Compute the exact (unsaturated) integer aggregate and count overflows.
         rotation = self._make_rotation(ctx)

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from repro.api import ExperimentSession, ThroughputEstimate
 from repro.core.reporting import format_float_table
-from repro.simulator.cluster import ClusterSpec
+from repro.simulator.cluster import ClusterSpec, multirack_cluster
 from repro.training.workloads import (
     WorkloadSpec,
     bert_large_wikitext,
@@ -91,6 +91,85 @@ def run_table8(
     return saturation_rows, baseline_rows
 
 
+def switch_spec(bits: int, rotation: str = "partial") -> str:
+    """The spec of an in-network (switch-aggregated) THC variant."""
+    return f"thc(q={bits}, rot={rotation}, agg=switch)"
+
+
+@dataclass(frozen=True)
+class THCMultirackRow:
+    """Host-side vs in-network THC throughput on one multi-rack cluster."""
+
+    workload_name: str
+    quantization_bits: int
+    num_racks: int
+    oversubscription: float
+    host_side: ThroughputEstimate
+    in_network: ThroughputEstimate
+
+    @property
+    def speedup(self) -> float:
+        """In-network rounds/s over host-side rounds/s."""
+        return self.in_network.rounds_per_second / self.host_side.rounds_per_second
+
+
+def run_table8_multirack(
+    num_racks: int = 4,
+    oversubscription: float = 4.0,
+    workloads: list[WorkloadSpec] | None = None,
+) -> list[THCMultirackRow]:
+    """The multi-rack variant of Table 8.
+
+    On an oversubscribed ToR + spine fabric the saturating THC variants are
+    priced twice: host-side (``agg=sat``, hierarchical all-reduce) and
+    in-network (``agg=switch``, ToR switches aggregate the quantized payloads
+    at line rate).  Both rows use partial rotation, the paper's recommended
+    configuration.
+    """
+    workloads = workloads or [bert_large_wikitext(), vgg19_tinyimagenet()]
+    cluster = multirack_cluster(num_racks, oversubscription=oversubscription)
+    session = ExperimentSession(cluster=cluster)
+    specs = [saturation_spec(bits, "partial") for bits in SATURATION_BITS] + [
+        switch_spec(bits) for bits in SATURATION_BITS
+    ]
+    grid = session.sweep(specs, workloads=workloads, metric="throughput")
+    return [
+        THCMultirackRow(
+            workload_name=workload.name,
+            quantization_bits=bits,
+            num_racks=num_racks,
+            oversubscription=oversubscription,
+            host_side=grid.detail(saturation_spec(bits, "partial"), workload),
+            in_network=grid.detail(switch_spec(bits), workload),
+        )
+        for workload in workloads
+        for bits in SATURATION_BITS
+    ]
+
+
+def render_table8_multirack(rows: list[THCMultirackRow] | None = None) -> str:
+    """The multi-rack Table 8 variant formatted for the terminal (rounds/s)."""
+    rows = rows or run_table8_multirack()
+    header = ["Task", "#bits", "Fabric", "Host-side (sat)", "In-network (switch)", "Speedup"]
+    body = [
+        [
+            row.workload_name,
+            f"b=q={row.quantization_bits}",
+            f"{row.num_racks}r:o{row.oversubscription:g}",
+            row.host_side.rounds_per_second,
+            row.in_network.rounds_per_second,
+            f"{row.speedup:.2f}x",
+        ]
+        for row in rows
+    ]
+    return format_float_table(
+        header,
+        body,
+        title="Table 8 (multi-rack): THC host-side vs in-network aggregation",
+        precision=3,
+    )
+
+
 def render_table8(
     results: tuple[list[THCThroughputRow], list[THCBaselineRow]] | None = None,
 ) -> str:
@@ -133,3 +212,5 @@ def render_table8(
 
 if __name__ == "__main__":
     print(render_table8())
+    print()
+    print(render_table8_multirack())

@@ -33,7 +33,12 @@ from repro.simulator.pipeline import (
     split_coordinates,
 )
 from repro.simulator.timeline import RoundTimeline, TimelineEntry
-from repro.simulator.cluster import ClusterSpec, WorkerProfile, paper_testbed
+from repro.simulator.cluster import (
+    ClusterSpec,
+    WorkerProfile,
+    multirack_cluster,
+    paper_testbed,
+)
 
 __all__ = [
     "BucketCost",
@@ -51,6 +56,7 @@ __all__ = [
     "bucketed_schedule",
     "legacy_overlap_makespan",
     "legacy_overlap_schedule",
+    "multirack_cluster",
     "paper_testbed",
     "serialized_schedule",
     "simulate_schedule",

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.simulator.gpu import GpuModel
 from repro.simulator.nic import NVLINK, NicModel
+from repro.topology.fabric import FabricSpec, two_tier_fabric
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,12 @@ class ClusterSpec:
         worker_profiles: Optional per-rank heterogeneity; when given, must
             hold exactly ``world_size`` entries.  ``None`` means every worker
             runs the nominal hardware.
+        fabric: Optional multi-rack fabric the nodes hang off
+            (:class:`~repro.topology.fabric.FabricSpec`).  ``None`` -- or a
+            flat fabric (one rack, oversubscription 1.0) -- prices exactly
+            like the historical single-switch cluster.  The fabric is part of
+            the cluster's identity: :meth:`cache_key` distinguishes
+            same-shape clusters with different fabrics.
     """
 
     num_nodes: int = 2
@@ -62,12 +69,24 @@ class ClusterSpec:
     inter_node_nic: NicModel = field(default_factory=NicModel)
     intra_node_nic: NicModel = NVLINK
     worker_profiles: tuple[WorkerProfile, ...] | None = None
+    fabric: FabricSpec | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
         if self.gpus_per_node < 1:
             raise ValueError("gpus_per_node must be >= 1")
+        if self.fabric is not None:
+            if self.fabric.num_racks > self.num_nodes:
+                raise ValueError(
+                    f"fabric has {self.fabric.num_racks} racks but the cluster "
+                    f"only has {self.num_nodes} nodes"
+                )
+            if self.num_nodes % self.fabric.num_racks != 0:
+                raise ValueError(
+                    f"num_nodes ({self.num_nodes}) must divide evenly into "
+                    f"{self.fabric.num_racks} racks"
+                )
         if self.worker_profiles is not None:
             profiles = tuple(self.worker_profiles)
             if len(profiles) != self.world_size:
@@ -137,16 +156,56 @@ class ClusterSpec:
         profiles[rank] = replace(profiles[rank], nic_scale=nic_scale)
         return replace(self, worker_profiles=tuple(profiles))
 
+    def with_fabric(self, fabric: FabricSpec | None) -> "ClusterSpec":
+        """A copy of this cluster behind the given multi-rack fabric."""
+        return replace(self, fabric=fabric)
+
     def cache_key(self) -> "ClusterSpec":
         """A hashable key capturing the cluster's *full* identity.
 
-        Two clusters with the same shape but different GPUs, NICs, or worker
-        profiles produce different keys -- unlike the display label
-        (``"2x2"``), which only encodes the shape.  Used by sweep memoization.
-        The frozen dataclass is its own identity (hashable, equality over
-        every field, present and future), so the spec itself is the key.
+        Two clusters with the same shape but different GPUs, NICs, worker
+        profiles, or fabrics produce different keys -- unlike the display
+        label (``"2x2"``), which only encodes shape and rack count.  Used by
+        sweep memoization.  The frozen dataclass is its own identity
+        (hashable, equality over every field, present and future -- the
+        ``fabric`` field included), so the spec itself is the key.
         """
         return self
+
+    # ------------------------------------------------------------------ #
+    # Fabric / rack structure
+    # ------------------------------------------------------------------ #
+    @property
+    def num_racks(self) -> int:
+        """Number of racks the nodes are partitioned into (1 without a fabric)."""
+        return self.fabric.num_racks if self.fabric is not None else 1
+
+    @property
+    def nodes_per_rack(self) -> int:
+        """Nodes behind each ToR switch."""
+        return self.num_nodes // self.num_racks
+
+    @property
+    def workers_per_rack(self) -> int:
+        """Workers (GPUs) behind each ToR switch."""
+        return self.nodes_per_rack * self.gpus_per_node
+
+    @property
+    def has_active_fabric(self) -> bool:
+        """Whether a non-flat fabric constrains this cluster's collectives."""
+        return self.fabric is not None and not self.fabric.is_flat
+
+    def rack_of(self, rank: int) -> int:
+        """Rack index hosting worker ``rank`` (0 without a fabric)."""
+        return self.node_of(rank) // self.nodes_per_rack
+
+    def same_rack(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two workers sit behind the same ToR switch."""
+        return self.rack_of(rank_a) == self.rack_of(rank_b)
+
+    def rack_assignment(self) -> list[int]:
+        """The rack index of every rank, in rank order."""
+        return [self.rack_of(rank) for rank in range(self.world_size)]
 
     def node_of(self, rank: int) -> int:
         """Node index hosting worker ``rank``."""
@@ -185,3 +244,23 @@ def paper_testbed() -> ClusterSpec:
 def scale_out_cluster(num_nodes: int, gpus_per_node: int = 8) -> ClusterSpec:
     """A larger cluster preset for scalability ablations."""
     return ClusterSpec(num_nodes=num_nodes, gpus_per_node=gpus_per_node)
+
+
+def multirack_cluster(
+    num_racks: int,
+    nodes_per_rack: int = 2,
+    gpus_per_node: int = 2,
+    *,
+    oversubscription: float = 2.0,
+) -> ClusterSpec:
+    """A multi-rack preset: ``num_racks`` racks behind an oversubscribed spine.
+
+    Each rack holds ``nodes_per_rack`` paper-testbed nodes; the fabric is a
+    conventional two-tier ToR + spine design
+    (:func:`repro.topology.fabric.two_tier_fabric`).
+    """
+    return ClusterSpec(
+        num_nodes=num_racks * nodes_per_rack,
+        gpus_per_node=gpus_per_node,
+        fabric=two_tier_fabric(num_racks, oversubscription),
+    )

@@ -1,0 +1,45 @@
+"""Multi-rack fabric topology and in-network aggregation subsystem.
+
+The paper's flat two-node testbed cannot express where collective cost
+structure changes qualitatively: multi-tier fabrics with oversubscribed rack
+uplinks, and ToR switches that aggregate quantized payloads in the network.
+This package provides
+
+* :class:`FabricSpec` / :class:`SwitchModel` -- the physical fabric
+  description (racks, spine oversubscription, switch aggregation memory and
+  line rate), composable with a cluster via
+  :meth:`repro.simulator.ClusterSpec.with_fabric`;
+* :func:`hierarchical_aggregate` -- the functional rack-by-rack reduction
+  (hop-exact for non-associative saturating operators);
+* the phase/tier accounting types (:class:`HierarchicalBreakdown`,
+  :class:`PhaseCost`, :class:`TierTraffic`) the cost model returns, which the
+  property suite uses to check traffic conservation and line-rate bounds.
+
+Pricing lives on :class:`repro.collectives.CollectiveCostModel`
+(``hierarchical_allreduce``, ``switch_aggregation``); schemes opt into
+in-network aggregation through the spec language (``thc(q=4, agg=switch)``).
+"""
+
+from repro.topology.fabric import (
+    FabricSpec,
+    SwitchModel,
+    single_rack_fabric,
+    two_tier_fabric,
+)
+from repro.topology.hierarchical import (
+    HierarchicalBreakdown,
+    PhaseCost,
+    TierTraffic,
+    hierarchical_aggregate,
+)
+
+__all__ = [
+    "FabricSpec",
+    "HierarchicalBreakdown",
+    "PhaseCost",
+    "SwitchModel",
+    "TierTraffic",
+    "hierarchical_aggregate",
+    "single_rack_fabric",
+    "two_tier_fabric",
+]

@@ -1,0 +1,154 @@
+"""Physical fabric description: racks, ToR/spine tiers, and switch resources.
+
+The paper prices its aggregation schemes on a flat, single-switch testbed.
+Production clusters are not flat: hosts hang off top-of-rack (ToR) switches,
+ToRs connect through a spine tier, and the rack uplinks are usually
+*oversubscribed* -- the sum of the host-facing (downlink) bandwidth exceeds
+the uplink bandwidth by the oversubscription ratio.  Where gradient bytes
+cross the fabric then dominates round time, and in-network (switch-resident)
+aggregation becomes attractive: a ToR that sums quantized payloads forwards
+one aggregate instead of one payload per host.
+
+This module is the pure topology description -- no simulator imports, so it
+can be consumed by :class:`~repro.simulator.cluster.ClusterSpec` and the
+collective cost model without import cycles.  All bandwidths are Gbit/s and
+all latencies are seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """A programmable ToR/spine switch capable of in-network aggregation.
+
+    The model captures the two resources that bound switch-resident
+    aggregation (SwitchML/ATP-style): the port line rate, which no
+    aggregation schedule can beat, and the on-switch aggregation memory,
+    which forces large payloads to be processed in pool-sized chunks with a
+    per-chunk recirculation overhead.
+
+    Attributes:
+        name: Display name.
+        line_rate_gbps: Per-port line rate in Gbit/s.  One payload must cross
+            each host port up and the aggregate must cross it down, so
+            ``payload_bits / line_rate`` per direction is a hard lower bound.
+        port_latency_s: Store-and-forward latency of one switch traversal.
+        aggregation_memory_bytes: On-switch memory available for in-flight
+            aggregation state (the "pool").  Payloads larger than the pool
+            are aggregated in chunks.
+        chunk_overhead_s: Extra time per pool-sized chunk (pool swap /
+            recirculation / host synchronisation).
+    """
+
+    name: str = "tor-aggregator"
+    line_rate_gbps: float = 100.0
+    port_latency_s: float = 5e-7
+    aggregation_memory_bytes: int = 8 * 1024 * 1024
+    chunk_overhead_s: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.line_rate_gbps <= 0:
+            raise ValueError("line_rate_gbps must be positive")
+        if self.port_latency_s < 0 or self.chunk_overhead_s < 0:
+            raise ValueError("switch latencies must be non-negative")
+        if self.aggregation_memory_bytes < 1:
+            raise ValueError("aggregation_memory_bytes must be positive")
+
+    def num_chunks(self, payload_bits: float) -> int:
+        """How many pool-sized chunks a payload is aggregated in (>= 1)."""
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be non-negative")
+        pool_bits = self.aggregation_memory_bytes * 8
+        return max(1, math.ceil(payload_bits / pool_bits))
+
+    def line_rate_seconds(self, payload_bits: float) -> float:
+        """Time for ``payload_bits`` to cross one port at line rate.
+
+        This is the lower bound no in-network aggregation schedule can beat
+        (the property suite enforces that the priced cost never does).
+        """
+        if payload_bits < 0:
+            raise ValueError("payload_bits must be non-negative")
+        return payload_bits / (self.line_rate_gbps * 1e9)
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A two-tier (ToR + spine) fabric over a cluster's nodes.
+
+    The cluster's nodes are partitioned into ``num_racks`` equal racks, each
+    behind one ToR switch; ToRs connect through a spine tier whose capacity
+    is the rack downlink capacity divided by ``oversubscription``.
+
+    A fabric with one rack and oversubscription 1.0 is *flat*: it adds no
+    constraint beyond the cluster's own NICs, and the cost model is required
+    (and property-tested) to reproduce the flat-cluster costs bit-exactly.
+
+    Attributes:
+        num_racks: Number of ToR switches / rack partitions.
+        oversubscription: Ratio of host-facing bandwidth to spine-facing
+            bandwidth per rack (1.0 = full bisection, 4.0 = a 4:1 fabric).
+            Spine-crossing flows see their per-flow bandwidth divided by
+            this ratio.
+        spine_latency_s: Extra one-way latency of a spine traversal
+            (ToR -> spine -> ToR), paid by every spine-crossing step.
+        switch: Resource model of the fabric's switches (shared by ToR and
+            spine tiers), used by in-network aggregation.
+    """
+
+    num_racks: int = 1
+    oversubscription: float = 1.0
+    spine_latency_s: float = 1e-6
+    switch: SwitchModel = field(default_factory=SwitchModel)
+
+    def __post_init__(self) -> None:
+        if self.num_racks < 1:
+            raise ValueError("num_racks must be >= 1")
+        if self.oversubscription <= 0:
+            raise ValueError("oversubscription must be positive")
+        if self.spine_latency_s < 0:
+            raise ValueError("spine_latency_s must be non-negative")
+
+    @property
+    def is_flat(self) -> bool:
+        """Whether this fabric is indistinguishable from no fabric at all.
+
+        A single-rack fabric has no spine, so no traffic can ever cross an
+        oversubscribed uplink: the ``oversubscription`` field is inert and
+        the fabric prices bit-exactly like the flat cluster regardless of
+        its value.  (It still participates in the cluster's identity /
+        cache key, like every other field.)
+        """
+        return self.num_racks == 1
+
+    def label(self) -> str:
+        """Short human-readable label (``"4r"``, ``"4r:o2"``)."""
+        text = f"{self.num_racks}r"
+        if self.oversubscription != 1.0:
+            text += f":o{self.oversubscription:g}"
+        return text
+
+
+def single_rack_fabric() -> FabricSpec:
+    """The flat fabric: one rack, full bisection (cost-model no-op)."""
+    return FabricSpec(num_racks=1, oversubscription=1.0)
+
+
+def two_tier_fabric(
+    num_racks: int,
+    oversubscription: float = 2.0,
+    *,
+    spine_latency_s: float = 1e-6,
+    switch: SwitchModel | None = None,
+) -> FabricSpec:
+    """A conventional oversubscribed ToR + spine fabric preset."""
+    return FabricSpec(
+        num_racks=num_racks,
+        oversubscription=oversubscription,
+        spine_latency_s=spine_latency_s,
+        switch=switch or SwitchModel(),
+    )

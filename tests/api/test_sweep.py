@@ -275,6 +275,61 @@ class TestMemoization:
         values = [point.value for point in grid]
         assert values[0] > values[1]
 
+    def test_same_shape_clusters_with_different_fabrics_not_conflated(self, session):
+        """Regression: ClusterSpec.cache_key() must incorporate the fabric
+        fields, or same-shape clusters with different oversubscription would
+        share memoized sweep points (sibling of the NIC-key regression above)."""
+        from repro.topology import two_tier_fabric
+
+        base = ClusterSpec(num_nodes=4, gpus_per_node=2)
+        mild = base.with_fabric(two_tier_fabric(2, oversubscription=1.0 + 1e-9))
+        harsh = base.with_fabric(two_tier_fabric(2, oversubscription=8.0))
+        assert mild.cache_key() != harsh.cache_key() != base.cache_key()
+        grid = session.sweep(
+            ["thc(q=4, rot=partial, agg=sat)"],
+            workloads=bert_large_wikitext(),
+            clusters=[base, mild, harsh],
+            metric="throughput",
+        )
+        values = [point.value for point in grid]
+        assert len(set(values)) == 3
+        assert values[1] > values[2]  # 8:1 oversubscription is strictly slower
+        assert session.cached_points == 3
+
+    def test_fabrics_axis_expands_cluster_grid(self, session):
+        """sweep(fabrics=...) crosses each cluster with each fabric."""
+        from repro.topology import FabricSpec, two_tier_fabric
+
+        base = ClusterSpec(num_nodes=4, gpus_per_node=2)
+        grid = session.sweep(
+            ["baseline(p=fp16)"],
+            workloads=bert_large_wikitext(),
+            clusters=base,
+            fabrics=[FabricSpec(), two_tier_fabric(2, 4.0)],
+            metric="throughput",
+        )
+        assert len(grid) == 2
+        labels = [point.cluster for point in grid]
+        assert labels == ["4x2@1r", "4x2@2r:o4"]
+        # The flat fabric must not change the flat-cluster value.
+        flat_value = session.sweep(
+            ["baseline(p=fp16)"],
+            workloads=bert_large_wikitext(),
+            clusters=base,
+            metric="throughput",
+        ).value("baseline(p=fp16)")
+        assert grid.value("baseline(p=fp16)", cluster="4x2@1r") == flat_value
+        assert grid.value("baseline(p=fp16)", cluster="4x2@2r:o4") < flat_value
+
+    def test_empty_fabrics_axis_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.sweep(
+                ["baseline(p=fp16)"],
+                workloads=bert_large_wikitext(),
+                fabrics=[],
+                metric="throughput",
+            )
+
 
 class TestSweepErrors:
     def test_unknown_metric_rejected(self, session):

@@ -180,7 +180,7 @@ def test_property_round_trip_sparsifiers(family, bits, wrap_ef, decay):
 @given(
     q=st.sampled_from([2, 3, 4, 6, 8]),
     rot=st.sampled_from(["full", "partial", "none"]),
-    agg=st.sampled_from(["sat", "widened"]),
+    agg=st.sampled_from(["sat", "widened", "switch"]),
 )
 def test_property_round_trip_thc(q, rot, agg):
     scheme = make_scheme(f"thc(q={q}, rot={rot}, agg={agg})")
@@ -312,3 +312,57 @@ class TestMakeSchemeCompat:
     def test_available_schemes_still_lists_aliases(self):
         names = available_schemes()
         assert set(ALIASES).issubset(names)
+
+
+class TestAggregationFabricParams:
+    """Round-tripping of the in-network aggregation spec surface (agg=switch)."""
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "thc(q=4, agg=switch)",
+            "thc(q=2, b=4, rot=none, agg=switch)",
+            "qsgd(q=4, agg=switch)",
+            "ef(thc(q=4, agg=switch))",
+        ],
+    )
+    def test_switch_specs_round_trip(self, text):
+        """parse -> build -> str() -> parse -> build reaches a fixed point."""
+        scheme = make_scheme(text)
+        canonical = scheme.spec()
+        assert "agg=switch" in canonical
+        rebuilt = make_scheme(canonical)
+        assert rebuilt.spec() == canonical
+        reparsed = parse_spec(canonical)
+        assert make_scheme(reparsed.format()).spec() == canonical
+
+    def test_switch_mode_defaults_wire_to_q(self):
+        scheme = make_scheme("thc(q=4, agg=switch)")
+        assert scheme.wire_bits == scheme.quantization_bits == 4
+
+    def test_switch_accepts_unambiguous_prefix(self):
+        assert make_scheme("thc(q=4, agg=sw)").spec() == make_scheme(
+            "thc(q=4, agg=switch)"
+        ).spec()
+
+    def test_saturation_prefix_still_unambiguous(self):
+        """Regression: adding 'switch' must not break the historical agg=sat."""
+        scheme = make_scheme("thc(q=4, agg=sat)")
+        assert "agg=sat" in scheme.spec()
+
+    def test_ambiguous_prefix_rejected(self):
+        with pytest.raises(SpecParamError) as excinfo:
+            make_scheme("thc(q=4, agg=s)")
+        assert "switch" in str(excinfo.value) and "saturation" in str(excinfo.value)
+
+    def test_misspelled_agg_value_gets_suggestion(self):
+        with pytest.raises(SpecParamError) as excinfo:
+            make_scheme("thc(q=4, agg=swich)")
+        message = str(excinfo.value)
+        assert "widened" in message and "saturation" in message and "switch" in message
+        assert "did you mean 'switch'?" in message
+
+    def test_misspelled_family_with_agg_args_gets_suggestions(self):
+        with pytest.raises(UnknownSchemeError) as excinfo:
+            make_scheme("thk(q=4, agg=switch)")
+        assert "thc" in excinfo.value.suggestions

@@ -12,6 +12,26 @@ from repro.simulator.kernel_cost import KernelCostModel
 from repro.simulator.timeline import RoundTimeline
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "Rewrite the golden-value fixtures under tests/experiments/goldens/ "
+            "from the current driver outputs instead of comparing against them. "
+            "Review the resulting diff before committing: goldens exist so "
+            "refactors cannot silently shift reproduced numbers."
+        ),
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should rewrite the golden fixtures."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def cluster() -> ClusterSpec:
     """The paper's 2-node x 2-GPU testbed."""

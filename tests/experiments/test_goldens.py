@@ -1,0 +1,155 @@
+"""Golden-value regression tests for the experiment drivers.
+
+Small canonical Table 6 / Table 8 outputs (flat and multi-rack) are checked
+into ``tests/experiments/goldens/*.json``.  The drivers are deterministic
+analytics, so any drift means a refactor changed the reproduced numbers --
+exactly what these tests exist to catch.
+
+To intentionally re-baseline after a deliberate model change::
+
+    pytest tests/experiments/test_goldens.py --update-goldens
+
+then review and commit the JSON diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import table6, table8
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Relative tolerance for golden comparisons.  The drivers are deterministic,
+#: but JSON serialisation round-trips through decimal text, so exact float
+#: identity is compared through ``repr``-faithful JSON numbers with a tiny
+#: slack for cross-platform libm differences.
+RELATIVE_TOLERANCE = 1e-9
+
+
+def _assert_matches(actual, golden, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected object"
+        assert sorted(actual) == sorted(golden), f"{path}: keys differ"
+        for key in golden:
+            _assert_matches(actual[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list), f"{path}: expected array"
+        assert len(actual) == len(golden), f"{path}: length differs"
+        for index, (a, g) in enumerate(zip(actual, golden)):
+            _assert_matches(a, g, f"{path}[{index}]")
+    elif isinstance(golden, float):
+        assert actual == pytest.approx(golden, rel=RELATIVE_TOLERANCE), (
+            f"{path}: {actual!r} != golden {golden!r}"
+        )
+    else:
+        assert actual == golden, f"{path}: {actual!r} != golden {golden!r}"
+
+
+def check_golden(name: str, payload, update: bool) -> None:
+    """Compare ``payload`` against ``goldens/<name>.json`` (or rewrite it)."""
+    path = GOLDEN_DIR / f"{name}.json"
+    if update:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"rewrote golden {path.name}")
+    assert path.exists(), (
+        f"golden fixture {path} is missing; generate it with "
+        "pytest tests/experiments/test_goldens.py --update-goldens"
+    )
+    _assert_matches(payload, json.loads(path.read_text()), path=name)
+
+
+# ------------------------------------------------------------------ #
+# Canonical payloads
+# ------------------------------------------------------------------ #
+def table6_payload(rows) -> list[dict]:
+    return [
+        {
+            "workload": row.workload_name,
+            "bits_per_coordinate": row.bits_per_coordinate,
+            "compression_seconds": row.compression_seconds,
+            "round_seconds": row.round_seconds,
+            "overhead_fraction": row.overhead_fraction,
+        }
+        for row in rows
+    ]
+
+
+def table8_payload(results) -> dict:
+    saturation_rows, baseline_rows = results
+    return {
+        "saturation": [
+            {
+                "workload": row.workload_name,
+                "quantization_bits": row.quantization_bits,
+                "full_rotation_rps": row.full_rotation.rounds_per_second,
+                "partial_rotation_rps": row.partial_rotation.rounds_per_second,
+                "no_rotation_rps": row.no_rotation.rounds_per_second,
+            }
+            for row in saturation_rows
+        ],
+        "baseline": [
+            {
+                "workload": row.workload_name,
+                "rps": row.baseline.rounds_per_second,
+            }
+            for row in baseline_rows
+        ],
+    }
+
+
+def table8_multirack_payload(rows) -> list[dict]:
+    return [
+        {
+            "workload": row.workload_name,
+            "quantization_bits": row.quantization_bits,
+            "num_racks": row.num_racks,
+            "oversubscription": row.oversubscription,
+            "host_side_rps": row.host_side.rounds_per_second,
+            "in_network_rps": row.in_network.rounds_per_second,
+            "speedup": row.speedup,
+        }
+        for row in rows
+    ]
+
+
+# ------------------------------------------------------------------ #
+# Tests
+# ------------------------------------------------------------------ #
+class TestTable6Goldens:
+    def test_flat(self, update_goldens):
+        check_golden("table6", table6_payload(table6.run_table6()), update_goldens)
+
+    def test_multirack(self, update_goldens):
+        rows = table6.run_table6_multirack(num_racks=4, oversubscription=2.0)
+        check_golden("table6_multirack", table6_payload(rows), update_goldens)
+
+
+class TestTable8Goldens:
+    def test_flat(self, update_goldens):
+        check_golden("table8", table8_payload(table8.run_table8()), update_goldens)
+
+    def test_multirack(self, update_goldens):
+        rows = table8.run_table8_multirack(num_racks=4, oversubscription=4.0)
+        check_golden("table8_multirack", table8_multirack_payload(rows), update_goldens)
+
+
+class TestGoldenHarness:
+    def test_mismatch_is_reported_with_path(self, tmp_path, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(sys.modules[__name__], "GOLDEN_DIR", tmp_path)
+        (tmp_path / "fake.json").write_text(json.dumps({"value": 1.0}))
+        with pytest.raises(AssertionError, match="fake.value"):
+            check_golden("fake", {"value": 2.0}, update=False)
+
+    def test_missing_golden_points_at_update_flag(self, tmp_path, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(sys.modules[__name__], "GOLDEN_DIR", tmp_path)
+        with pytest.raises(AssertionError, match="--update-goldens"):
+            check_golden("absent", {"value": 1.0}, update=False)

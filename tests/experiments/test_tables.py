@@ -199,6 +199,37 @@ class TestTable8:
         assert "Sat" in table8.render_table8(results)
 
 
+class TestTable6Multirack:
+    def test_oversubscription_shrinks_overhead_fraction_at_high_bits(self):
+        flat = {
+            (r.workload_name, r.bits_per_coordinate): r for r in table6.run_table6()
+        }
+        multi = {
+            (r.workload_name, r.bits_per_coordinate): r
+            for r in table6.run_table6_multirack(num_racks=4, oversubscription=4.0)
+        }
+        # At the largest bit budget communication dominates harder on the
+        # oversubscribed fabric, so compression's share of the round shrinks.
+        for workload in ("bert_large", "vgg19"):
+            key = (workload, 8.0)
+            assert multi[key].overhead_fraction < flat[key].overhead_fraction
+            assert multi[key].round_seconds > flat[key].round_seconds
+
+
+class TestTable8Multirack:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table8.run_table8_multirack(num_racks=4, oversubscription=4.0)
+
+    def test_in_network_beats_host_side_on_oversubscribed_fabric(self, rows):
+        for row in rows:
+            assert row.speedup > 1.0
+
+    def test_render(self, rows):
+        rendered = table8.render_table8_multirack(rows)
+        assert "In-network" in rendered and "4r:o4" in rendered
+
+
 class TestTable9:
     @pytest.fixture(scope="class")
     def rows(self):

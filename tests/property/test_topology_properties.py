@@ -1,0 +1,178 @@
+"""Property-based tests for the multi-rack topology & in-network aggregation.
+
+Three families of invariants, per the subsystem's contract:
+
+* **Traffic conservation** -- at every fabric tier, the bits entering equal
+  the bits leaving plus the aggregated delta.  In-network tiers absorb
+  exactly ``(fan_in - 1) * payload``; host-side hierarchical collectives
+  forward through switches without absorbing anything.
+* **Flat equivalence** -- a one-rack, oversubscription-1.0 fabric prices
+  bit-exactly like no fabric at all, for raw collectives (hypothesis over
+  payloads) and for the full round times of every registered scheme
+  (parametrized over the scheme registry).
+* **Line-rate lower bound** -- in-network aggregation can never price below
+  the time the payload needs to cross one switch port at line rate.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.measures import estimate_throughput, paper_context
+from repro.collectives.cost_model import CollectiveCostModel
+from repro.compression.registry import available_schemes, make_scheme
+from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.topology import FabricSpec, SwitchModel, two_tier_fabric
+from repro.training.workloads import bert_large_wikitext
+
+# Strategy building blocks ------------------------------------------------- #
+
+payloads = st.floats(min_value=1.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+rack_counts = st.integers(min_value=1, max_value=8)
+nodes_per_rack = st.integers(min_value=1, max_value=4)
+oversubscriptions = st.floats(min_value=1.0, max_value=16.0, allow_nan=False)
+
+
+def fabric_cluster(num_racks: int, per_rack: int, oversub: float) -> ClusterSpec:
+    return ClusterSpec(num_nodes=num_racks * per_rack, gpus_per_node=2).with_fabric(
+        two_tier_fabric(num_racks, oversub)
+    )
+
+
+# Traffic conservation ------------------------------------------------------ #
+
+
+class TestTrafficConservation:
+    @given(payload=payloads, racks=rack_counts, per_rack=nodes_per_rack, oversub=oversubscriptions)
+    @settings(max_examples=60, deadline=None)
+    def test_switch_tiers_conserve_bits(self, payload, racks, per_rack, oversub):
+        """Bits entering an aggregating tier = bits leaving + aggregated delta."""
+        model = CollectiveCostModel(fabric_cluster(racks, per_rack, oversub))
+        breakdown = model.switch_breakdown(payload)
+        for tier in breakdown.tiers:
+            assert tier.bits_in == pytest.approx(tier.bits_out + tier.aggregated_bits)
+            assert tier.aggregated_bits >= 0
+            # In-network aggregation absorbs everything but one payload.
+            assert tier.aggregates
+            assert tier.bits_in == pytest.approx(tier.fan_in * payload)
+            assert tier.bits_out == pytest.approx(payload)
+            assert tier.aggregated_bits == pytest.approx((tier.fan_in - 1) * payload)
+
+    @given(payload=payloads, racks=rack_counts, per_rack=nodes_per_rack, oversub=oversubscriptions)
+    @settings(max_examples=60, deadline=None)
+    def test_hierarchical_tiers_forward_without_absorbing(
+        self, payload, racks, per_rack, oversub
+    ):
+        """Host-side hierarchy: switches forward, the aggregated delta is zero."""
+        model = CollectiveCostModel(fabric_cluster(racks, per_rack, oversub))
+        breakdown = model.hierarchical_breakdown(payload)
+        for tier in breakdown.tiers:
+            assert not tier.aggregates
+            assert tier.aggregated_bits == pytest.approx(0.0)
+            assert tier.bits_in == pytest.approx(tier.bits_out)
+
+    @given(payload=payloads, racks=rack_counts, per_rack=nodes_per_rack, oversub=oversubscriptions)
+    @settings(max_examples=60, deadline=None)
+    def test_hierarchical_spine_traffic_shrinks_with_rack_size(
+        self, payload, racks, per_rack, oversub
+    ):
+        """Only payload/workers_per_rack-sized shards ever cross the spine."""
+        cluster = fabric_cluster(racks, per_rack, oversub)
+        breakdown = CollectiveCostModel(cluster).hierarchical_breakdown(payload)
+        spine_sent = breakdown.phase("spine_allreduce").bits_sent_per_worker
+        assert spine_sent <= 2 * payload / cluster.workers_per_rack + 1e-9
+
+
+# Flat equivalence ---------------------------------------------------------- #
+
+
+class TestFlatEquivalence:
+    @given(payload=payloads)
+    @settings(max_examples=60, deadline=None)
+    def test_flat_fabric_collectives_price_bit_exactly(self, payload):
+        """oversubscription=1.0, one rack: every schedule reduces to flat cost."""
+        flat = CollectiveCostModel(paper_testbed())
+        fabric = CollectiveCostModel(
+            paper_testbed().with_fabric(FabricSpec(num_racks=1, oversubscription=1.0))
+        )
+        for schedule in (
+            "ring_allreduce",
+            "tree_allreduce",
+            "allgather",
+            "reduce_scatter",
+            "parameter_server",
+            "switch_aggregation",
+        ):
+            assert getattr(flat, schedule)(payload) == getattr(fabric, schedule)(payload)
+
+    @pytest.mark.parametrize("alias", available_schemes())
+    def test_flat_fabric_round_times_bit_exact_per_scheme(self, alias):
+        """Acceptance criterion: a one-rack, oversubscription-1.0 FabricSpec
+        reproduces the flat-cluster round times bit-exactly for every
+        registered scheme."""
+        workload = bert_large_wikitext()
+        scheme = make_scheme(alias)
+        flat = estimate_throughput(scheme, workload, cluster=paper_testbed())
+        behind_fabric = estimate_throughput(
+            make_scheme(alias),
+            workload,
+            cluster=paper_testbed().with_fabric(
+                FabricSpec(num_racks=1, oversubscription=1.0)
+            ),
+        )
+        assert flat.round_seconds == behind_fabric.round_seconds
+        assert flat.cost.communication_seconds == behind_fabric.cost.communication_seconds
+        assert flat.cost.compression_seconds == behind_fabric.cost.compression_seconds
+
+    @given(payload=payloads, racks=rack_counts, per_rack=nodes_per_rack)
+    @settings(max_examples=40, deadline=None)
+    def test_active_fabric_never_prices_below_flat_hierarchy(
+        self, payload, racks, per_rack
+    ):
+        """Raising oversubscription can only slow the hierarchical all-reduce."""
+        cheap = CollectiveCostModel(fabric_cluster(racks, per_rack, 1.0 + 1e-12))
+        pricey = CollectiveCostModel(fabric_cluster(racks, per_rack, 4.0))
+        assert pricey.hierarchical_allreduce(payload).seconds >= (
+            cheap.hierarchical_allreduce(payload).seconds
+        )
+
+
+# Line-rate lower bound ----------------------------------------------------- #
+
+
+class TestLineRateLowerBound:
+    @given(
+        payload=payloads,
+        racks=rack_counts,
+        per_rack=nodes_per_rack,
+        oversub=oversubscriptions,
+        line_rate=st.floats(min_value=10.0, max_value=800.0, allow_nan=False),
+        pool_kib=st.integers(min_value=1, max_value=1 << 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_switch_aggregation_never_beats_line_rate(
+        self, payload, racks, per_rack, oversub, line_rate, pool_kib
+    ):
+        """In-network aggregation can never price below payload / line_rate."""
+        switch = SwitchModel(
+            line_rate_gbps=line_rate, aggregation_memory_bytes=pool_kib * 1024
+        )
+        cluster = ClusterSpec(
+            num_nodes=racks * per_rack, gpus_per_node=2
+        ).with_fabric(two_tier_fabric(racks, oversub, switch=switch))
+        cost = CollectiveCostModel(cluster).switch_aggregation(payload)
+        assert cost.seconds >= switch.line_rate_seconds(payload)
+
+    def test_switch_estimate_costs_respects_bound_at_paper_scale(self):
+        """The THC in-network variant's priced round obeys the bound too."""
+        scheme = make_scheme("thc(q=4, rot=partial, agg=switch)")
+        cluster = ClusterSpec(num_nodes=8, gpus_per_node=2).with_fabric(
+            two_tier_fabric(4, 4.0)
+        )
+        ctx = paper_context(cluster)
+        num_coordinates = 1 << 20
+        cost = scheme.estimate_costs(num_coordinates, ctx)
+        bound = cluster.fabric.switch.line_rate_seconds(
+            num_coordinates * float(scheme.wire_bits)
+        )
+        assert cost.communication_seconds >= bound
