@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Compare a fresh BENCH_results.json against the committed baseline.
+
+Two families of checks:
+
+* **Timing regressions** -- every ``*_seconds`` entry in the baseline must
+  not grow by more than ``--max-regression`` (default 2x) in the current
+  snapshot.  Machines differ, so the committed baseline should come from the
+  slowest machine the check runs on; faster CI runners pass trivially, and
+  only genuine slowdowns of the code exceed the 2x band.
+* **Speedup floors** -- every ``speedup`` entry must stay above the floor in
+  the baseline's ``floors`` table.  Floors are ratios (batched vs legacy on
+  the *same* machine), so they transfer across hardware far better than
+  absolute times; they guard the architectural wins (vectorized kernels,
+  process-parallel sweeps) against silent erosion.
+
+Exit status 0 when everything holds, 1 with a report otherwise::
+
+    python benchmarks/perf/check_regression.py BENCH_results.json \\
+        benchmarks/perf/baseline.json --max-regression 2.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def iter_timings(benchmarks: dict):
+    """Yield (benchmark, key, value) for every ``*_seconds`` timing entry."""
+    for name, entries in benchmarks.items():
+        if not isinstance(entries, dict):
+            continue
+        for key, value in entries.items():
+            if key.endswith("_seconds") and isinstance(value, (int, float)):
+                yield name, key, float(value)
+
+
+def check(current: dict, baseline: dict, *, max_regression: float) -> list[str]:
+    """All violated constraints, as human-readable report lines."""
+    failures: list[str] = []
+    current_benches = current.get("benchmarks", {})
+    baseline_benches = baseline.get("benchmarks", {})
+
+    for name, key, reference in iter_timings(baseline_benches):
+        measured = current_benches.get(name, {}).get(key)
+        if measured is None:
+            failures.append(f"{name}.{key}: missing from current results")
+            continue
+        if reference > 0 and measured > max_regression * reference:
+            failures.append(
+                f"{name}.{key}: {measured:.4f}s is {measured / reference:.2f}x the "
+                f"baseline {reference:.4f}s (limit {max_regression:.1f}x)"
+            )
+
+    for name, floor in baseline.get("floors", {}).items():
+        measured = current_benches.get(name, {}).get("speedup")
+        if measured is None:
+            failures.append(f"{name}.speedup: missing from current results")
+            continue
+        if measured < float(floor):
+            failures.append(
+                f"{name}.speedup: {measured:.2f}x is below the floor {float(floor):.2f}x"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("current", type=Path, help="fresh BENCH_results.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when a timing exceeds this multiple of the baseline (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, max_regression=args.max_regression)
+    if failures:
+        print("perf regression check FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("perf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,329 @@
+#!/usr/bin/env python
+"""Performance-regression harness: kernels, pricing, and sweep wall-clock.
+
+Times the three layers of the simulator's hot path and emits a
+``BENCH_results.json`` snapshot so future changes have a trajectory to
+compare against:
+
+* **Compression kernels** -- the batched (vectorized) backend against the
+  legacy per-worker reference on the paper's THC configuration, both at the
+  scheme level (compress + aggregate, 16 workers, d = 2^20) and for the raw
+  Hadamard rotation kernel;
+* **Pipeline pricing** -- analytic per-round makespan pricing
+  (:func:`repro.api.measures.estimate_throughput`) across the whole scheme
+  registry and both paper workloads, serialized and bucketed;
+* **Sweep wall-clock** -- a vNMSE sweep grid under the historical
+  configuration (legacy kernels, thread executor) versus the current default
+  (batched kernels, auto executor: processes on multi-core machines).
+
+Run it directly::
+
+    python benchmarks/perf/harness.py --out BENCH_results.json
+    python benchmarks/perf/harness.py --quick   # CI-sized inputs
+
+``benchmarks/perf/check_regression.py`` compares two such snapshots and
+fails on regressions (used by the CI perf-smoke job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import statistics
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api.executors import available_cpus  # noqa: E402
+from repro.api.measures import estimate_throughput, paper_context  # noqa: E402
+from repro.api.session import ExperimentSession  # noqa: E402
+from repro.compression.hadamard import _butterfly_passes  # noqa: E402
+from repro.compression.kernels import (  # noqa: E402
+    KernelBackend,
+    RoundWorkspace,
+    fwht_rows,
+)
+from repro.compression.registry import ALIASES, make_scheme  # noqa: E402
+from repro.simulator.cluster import paper_testbed  # noqa: E402
+from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet  # noqa: E402
+
+#: The THC configuration of the headline microbenchmark (the paper's scheme
+#: with a full randomized Hadamard rotation -- the heaviest kernel path).
+MICROBENCH_SPEC = "thc(q=4, rot=full, agg=sat)"
+
+
+def _timed(function, *, repeats: int, warmup: int = 1) -> list[float]:
+    """Wall-clock samples of ``function()`` after ``warmup`` discarded runs."""
+    for _ in range(warmup):
+        function()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _cluster(num_workers: int):
+    if num_workers % 2:
+        raise ValueError("num_workers must be even (2 GPUs per node)")
+    return dataclasses.replace(
+        paper_testbed(), num_nodes=num_workers // 2, gpus_per_node=2
+    )
+
+
+def _median(samples: list[float]) -> float:
+    return float(statistics.median(samples))
+
+
+# --------------------------------------------------------------------------- #
+# 1. Compression kernels
+# --------------------------------------------------------------------------- #
+def bench_thc_microbench(
+    *, num_workers: int, num_coordinates: int, repeats: int
+) -> dict:
+    """Scheme-level compress + aggregate: batched vs legacy backend."""
+    cluster = _cluster(num_workers)
+    rng = np.random.default_rng(0)
+    gradients = [
+        rng.standard_normal(num_coordinates).astype(np.float32)
+        for _ in range(num_workers)
+    ]
+
+    def run_backend(backend: KernelBackend) -> list[float]:
+        scheme = make_scheme(MICROBENCH_SPEC)
+        ctx = paper_context(cluster, seed=0, kernel_backend=backend)
+        return _timed(lambda: scheme.aggregate(gradients, ctx), repeats=repeats)
+
+    batched = run_backend(KernelBackend.BATCHED)
+    legacy = run_backend(KernelBackend.LEGACY)
+    return {
+        "spec": MICROBENCH_SPEC,
+        "num_workers": num_workers,
+        "num_coordinates": num_coordinates,
+        "batched_seconds": _median(batched),
+        "legacy_seconds": _median(legacy),
+        "speedup": _median(legacy) / _median(batched),
+    }
+
+
+def bench_thc_partial(
+    *, num_workers: int, num_coordinates: int, repeats: int
+) -> dict:
+    """Same microbenchmark on the partial-rotation (shared-memory) variant."""
+    cluster = _cluster(num_workers)
+    rng = np.random.default_rng(1)
+    gradients = [
+        rng.standard_normal(num_coordinates).astype(np.float32)
+        for _ in range(num_workers)
+    ]
+    spec = "thc(q=4, rot=partial, agg=sat)"
+
+    def run_backend(backend: KernelBackend) -> list[float]:
+        scheme = make_scheme(spec)
+        ctx = paper_context(cluster, seed=0, kernel_backend=backend)
+        return _timed(lambda: scheme.aggregate(gradients, ctx), repeats=repeats)
+
+    batched = run_backend(KernelBackend.BATCHED)
+    legacy = run_backend(KernelBackend.LEGACY)
+    return {
+        "spec": spec,
+        "num_workers": num_workers,
+        "num_coordinates": num_coordinates,
+        "batched_seconds": _median(batched),
+        "legacy_seconds": _median(legacy),
+        "speedup": _median(legacy) / _median(batched),
+    }
+
+
+def bench_rotation_kernel(
+    *, num_workers: int, num_coordinates: int, repeats: int
+) -> dict:
+    """Raw rotation kernel: batched Kronecker matmuls vs per-worker butterflies."""
+    depth = int(np.log2(num_coordinates))
+    rng = np.random.default_rng(2)
+    matrix = rng.standard_normal((num_workers, num_coordinates)).astype(np.float32)
+    workspace = RoundWorkspace()
+
+    batched = _timed(
+        lambda: fwht_rows(matrix, depth, workspace=workspace), repeats=repeats
+    )
+
+    rows64 = [row.astype(np.float64) for row in matrix]
+
+    def legacy_pass():
+        for row in rows64:
+            _butterfly_passes(np.array(row, copy=True), depth)
+
+    legacy = _timed(legacy_pass, repeats=max(1, repeats // 2))
+    return {
+        "depth": depth,
+        "num_workers": num_workers,
+        "num_coordinates": num_coordinates,
+        "batched_seconds": _median(batched),
+        "legacy_seconds": _median(legacy),
+        "speedup": _median(legacy) / _median(batched),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 2. Pipeline makespan pricing
+# --------------------------------------------------------------------------- #
+def bench_pricing(*, repeats: int) -> dict:
+    """Analytic round pricing across the registry and both paper workloads."""
+    workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
+    schemes = [make_scheme(alias) for alias in sorted(ALIASES)]
+    ctx = paper_context(paper_testbed(), seed=0)
+
+    def price_all():
+        for workload in workloads:
+            for scheme in schemes:
+                estimate_throughput(scheme, workload, ctx=ctx, num_buckets=1)
+                estimate_throughput(scheme, workload, ctx=ctx, num_buckets=8)
+
+    samples = _timed(price_all, repeats=repeats)
+    return {
+        "num_schemes": len(schemes),
+        "num_workloads": len(workloads),
+        "bucket_variants": [1, 8],
+        "grid_seconds": _median(samples),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# 3. Sweep wall-clock
+# --------------------------------------------------------------------------- #
+def bench_sweep(*, num_coordinates: int, repeats: int) -> dict:
+    """vNMSE sweep: historical configuration vs the current default.
+
+    The "before" session runs the legacy per-worker kernels on the historical
+    GIL-bound thread pool; the "after" session runs the batched kernels with
+    the auto executor (process pool on multi-core machines).  Fresh sessions
+    per run keep the memo out of the measurement.
+    """
+    # A THC-centric grid (the paper's scheme space: quantization width,
+    # rotation depth, and overflow handling), plus the QSGD generalization
+    # and the TopKC sparsifier for cross-family coverage.
+    specs = [
+        "thc(q=4, rot=partial, agg=sat)",
+        "thc(q=4, rot=full, agg=sat)",
+        "thc(q=4, b=8, rot=full, agg=widened)",
+        "thc(q=2, rot=partial, agg=sat)",
+        "thc(q=8, rot=partial, agg=sat)",
+        "qsgd(q=4, agg=sat)",
+        "topkc(b=2)",
+    ]
+    # The session's default vNMSE configuration (3 rounds), at the grid's
+    # gradient size -- the same measurement the experiment drivers sweep.
+    kwargs = dict(num_coordinates=num_coordinates, num_rounds=3)
+
+    def run_with(backend: str, executor: str) -> float:
+        session = ExperimentSession(backend=backend, executor=executor)
+        start = time.perf_counter()
+        session.sweep(specs, metric="vnmse", **kwargs)
+        return time.perf_counter() - start
+
+    before = [run_with("legacy", "thread") for _ in range(repeats)]
+    after = [run_with("batched", "auto") for _ in range(repeats)]
+    return {
+        "metric": "vnmse",
+        "num_points": len(specs),
+        "num_coordinates": num_coordinates,
+        "cpus": available_cpus(),
+        "before_seconds": _median(before),
+        "after_seconds": _median(after),
+        "speedup": _median(before) / _median(after),
+    }
+
+
+# --------------------------------------------------------------------------- #
+def run_harness(*, quick: bool) -> dict:
+    scale = {
+        # Full scale: the acceptance microbenchmark (16 workers, d = 2^20)
+        # and the session's default vNMSE gradient size for the sweep.
+        False: dict(workers=16, d=1 << 20, sweep_d=1 << 17, repeats=3),
+        # CI smoke: same shapes, much smaller payloads.  The sweep grid stays
+        # heavy enough (2^15 coordinates) that executor startup cost cannot
+        # dominate the measurement on multi-core runners.
+        True: dict(workers=8, d=1 << 14, sweep_d=1 << 15, repeats=2),
+    }[quick]
+
+    results = {
+        "meta": {
+            "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "quick": quick,
+            "cpus": available_cpus(),
+            "numpy": np.__version__,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "benchmarks": {},
+    }
+    benches = results["benchmarks"]
+
+    print(f"[perf] THC microbench ({scale['workers']} workers, d=2^{int(np.log2(scale['d']))})...")
+    benches["thc_microbench"] = bench_thc_microbench(
+        num_workers=scale["workers"], num_coordinates=scale["d"], repeats=scale["repeats"]
+    )
+    print(
+        "[perf]   batched {batched_seconds:.3f}s  legacy {legacy_seconds:.3f}s  "
+        "speedup {speedup:.1f}x".format(**benches["thc_microbench"])
+    )
+
+    benches["thc_partial"] = bench_thc_partial(
+        num_workers=scale["workers"], num_coordinates=scale["d"], repeats=scale["repeats"]
+    )
+    print("[perf]   partial-rotation speedup {speedup:.1f}x".format(**benches["thc_partial"]))
+
+    benches["rotation_kernel"] = bench_rotation_kernel(
+        num_workers=scale["workers"],
+        num_coordinates=min(scale["d"], 1 << 18),
+        repeats=scale["repeats"],
+    )
+    print("[perf]   rotation-kernel speedup {speedup:.1f}x".format(**benches["rotation_kernel"]))
+
+    print("[perf] pipeline pricing across the registry...")
+    benches["pricing"] = bench_pricing(repeats=scale["repeats"])
+    print("[perf]   registry grid priced in {grid_seconds:.3f}s".format(**benches["pricing"]))
+
+    print("[perf] sweep wall-clock (legacy+threads vs batched+auto)...")
+    benches["sweep"] = bench_sweep(
+        num_coordinates=scale["sweep_d"], repeats=max(1, scale["repeats"] - 1)
+    )
+    print(
+        "[perf]   before {before_seconds:.3f}s  after {after_seconds:.3f}s  "
+        "speedup {speedup:.1f}x on {cpus} cpu(s)".format(**benches["sweep"])
+    )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_results.json"),
+        help="where to write the results JSON (default: ./BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized inputs (seconds, not minutes)"
+    )
+    args = parser.parse_args(argv)
+
+    results = run_harness(quick=args.quick)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"[perf] wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

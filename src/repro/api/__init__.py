@@ -26,6 +26,7 @@ Typical use::
     print(grid.pivot())
 """
 
+from repro.api.executors import EXECUTORS, available_cpus
 from repro.api.measures import (
     BERT_GRADIENT_PRESET,
     ThroughputEstimate,
@@ -35,6 +36,7 @@ from repro.api.measures import (
     mean_vnmse,
     paper_context,
 )
+from repro.compression.kernels import KernelBackend
 from repro.api.session import (
     DEFAULT_BASELINE_SPEC,
     SWEEP_METRICS,
@@ -46,11 +48,14 @@ __all__ = [
     "ANY",
     "BERT_GRADIENT_PRESET",
     "DEFAULT_BASELINE_SPEC",
+    "EXECUTORS",
     "ExperimentSession",
+    "KernelBackend",
     "SWEEP_METRICS",
     "SweepPoint",
     "SweepResult",
     "ThroughputEstimate",
+    "available_cpus",
     "bert_like_gradients",
     "cluster_label",
     "configure_for_workload",

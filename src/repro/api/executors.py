@@ -1,0 +1,133 @@
+"""Execution strategies for sweep grids: serial, threads, or processes.
+
+The sweep points of :meth:`repro.api.ExperimentSession.sweep` are CPU-bound
+NumPy work (functional aggregation, end-to-end training), so the historical
+thread pool was GIL-bound: concurrency without parallelism.  This module
+provides the process-based executor that actually scales across cores --
+points are shipped to worker processes as picklable task descriptions with
+chunked scheduling -- plus the serial and thread fallbacks that keep tests
+deterministic and callable metrics (unpicklable closures) working.
+
+Executor names:
+
+* ``"auto"`` -- processes for CPU-heavy metrics on multi-core machines,
+  threads otherwise (the safe default);
+* ``"process"`` -- a :class:`~concurrent.futures.ProcessPoolExecutor` over
+  forked workers with chunked grid scheduling;
+* ``"thread"`` -- the historical thread pool (fine for cheap analytic
+  metrics, required for callable metrics);
+* ``"serial"`` -- in-order execution in the calling thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+#: Executor names accepted by :meth:`ExperimentSession.sweep`.
+EXECUTORS = ("auto", "serial", "thread", "process")
+
+#: Sweep metrics heavy enough that forking a worker process pays off.
+CPU_HEAVY_METRICS = ("vnmse", "tta")
+
+_TaskT = TypeVar("_TaskT")
+_ResultT = TypeVar("_ResultT")
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def validate_executor(name: str) -> str:
+    """Check an executor name and return it normalized."""
+    normalized = str(name).lower()
+    if normalized not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of: {', '.join(EXECUTORS)}"
+        )
+    return normalized
+
+
+def resolve_executor(
+    name: str,
+    *,
+    num_tasks: int,
+    metric_is_callable: bool,
+    metric: str | None = None,
+    cpus: int | None = None,
+) -> str:
+    """Resolve ``"auto"`` (and sanity-check the rest) into a concrete strategy.
+
+    ``auto`` picks processes only when there is real parallelism to win
+    (multiple cores, multiple tasks) and the metric is CPU-heavy
+    (:data:`CPU_HEAVY_METRICS`) *and* picklable -- cheap analytic metrics
+    like ``"throughput"`` finish in well under the process-pool startup
+    cost, so they stay on threads.  Callable metrics stay on threads too,
+    and single-task grids run serially.  An explicit ``"process"`` with a
+    callable metric is rejected rather than silently degraded.
+    """
+    normalized = validate_executor(name)
+    if normalized == "process" and metric_is_callable:
+        raise ValueError(
+            "callable metrics cannot cross process boundaries; "
+            "use executor='thread' or a named metric"
+        )
+    if normalized != "auto":
+        return normalized
+    if num_tasks <= 1:
+        return "serial"
+    if metric_is_callable or (metric is not None and metric not in CPU_HEAVY_METRICS):
+        return "thread"
+    if (cpus if cpus is not None else available_cpus()) > 1:
+        return "process"
+    return "thread"
+
+
+def process_chunksize(num_tasks: int, max_workers: int) -> int:
+    """Chunked grid scheduling: a few chunks per worker to balance load."""
+    if num_tasks <= 0:
+        return 1
+    return max(1, -(-num_tasks // (max_workers * 4)))
+
+
+def _fork_context():
+    """Prefer fork (cheap, inherits the imported NumPy) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_tasks(
+    tasks: Sequence[_TaskT],
+    function: Callable[[_TaskT], _ResultT],
+    *,
+    executor: str,
+    max_workers: int | None = None,
+) -> list[_ResultT]:
+    """Run ``function`` over ``tasks`` with the chosen strategy, in order.
+
+    ``function`` (and every task) must be picklable for the process executor;
+    results come back in task order regardless of completion order.
+    """
+    strategy = validate_executor(executor)
+    if strategy == "auto":
+        raise ValueError("resolve 'auto' with resolve_executor() before run_tasks()")
+    if not tasks:
+        return []
+    if strategy == "serial" or len(tasks) == 1:
+        return [function(task) for task in tasks]
+    if strategy == "thread":
+        workers = max_workers or min(8, len(tasks))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(function, tasks))
+    workers = max_workers or min(available_cpus(), len(tasks))
+    chunksize = process_chunksize(len(tasks), workers)
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_fork_context()) as pool:
+        return list(pool.map(function, tasks, chunksize=chunksize))

@@ -30,11 +30,12 @@ sweep definition is pure data::
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.api.executors import resolve_executor, run_tasks, validate_executor
 from repro.api.measures import (
     ThroughputEstimate,
     bert_like_gradients,
@@ -45,6 +46,7 @@ from repro.api.sweep import SweepPoint, SweepResult, cluster_label, expand_grid
 from repro.collectives.api import CollectiveBackend
 from repro.compression.base import AggregationResult, AggregationScheme, SimContext
 from repro.compression.error_feedback import ErrorFeedback
+from repro.compression.kernels import KernelBackend
 from repro.compression.registry import make_scheme
 from repro.core.evaluation import EndToEndResult, run_end_to_end
 from repro.core.utility import UtilityReport, compute_utility
@@ -62,6 +64,40 @@ DEFAULT_BASELINE_SPEC = "baseline(p=fp16)"
 SWEEP_METRICS = ("throughput", "vnmse", "tta")
 
 
+@dataclass(frozen=True)
+class _SweepTask:
+    """One picklable sweep point shipped to a worker process.
+
+    Carries everything a fresh child-side session needs to reproduce the
+    point exactly: the base cluster, the session seed, the kernel backend,
+    and the metric call.  Results are deterministic, so parent- and
+    child-side execution agree.
+    """
+
+    spec: str
+    workload: WorkloadSpec | None
+    cluster: ClusterSpec | None
+    base_cluster: ClusterSpec
+    seed: int
+    backend: str
+    metric: str
+    kwargs: dict = field(default_factory=dict)
+
+
+def _run_sweep_task(task: _SweepTask) -> tuple[float, object]:
+    """Process-pool entry point: evaluate one sweep point in a child process."""
+    session = ExperimentSession(
+        cluster=task.base_cluster,
+        seed=task.seed,
+        backend=task.backend,
+        record_timeline=False,
+        executor="serial",
+    )
+    return session._evaluate_metric(
+        task.metric, task.spec, task.workload, task.cluster, dict(task.kwargs)
+    )
+
+
 class ExperimentSession:
     """Cluster, kernels, rng policy, and timeline in one experiment façade.
 
@@ -72,10 +108,18 @@ class ExperimentSession:
             results are reproducible regardless of execution order.  The
             vNMSE measurement is the exception: it is seeded by its own
             ``gradient_seed`` so error numbers compare across sessions.
-        max_workers: Thread count for :meth:`sweep`; defaults to the number
-            of grid points (capped at 8).
+        max_workers: Worker count for :meth:`sweep` (threads or processes);
+            defaults to the number of grid points capped at 8 for threads and
+            at the available CPUs for processes.
         record_timeline: Keep a session-level :class:`RoundTimeline` that
             :meth:`aggregate` records kernel/collective time on.
+        backend: Kernel backend every measurement of this session runs --
+            ``"batched"`` (default; fused vectorized kernels over the stacked
+            worker matrix) or ``"legacy"`` (the per-worker float64 reference
+            path).  Pricing is identical on both.
+        executor: Default sweep execution strategy: ``"auto"`` (processes for
+            CPU-heavy metrics on multi-core machines, threads otherwise),
+            ``"process"``, ``"thread"``, or ``"serial"``.
     """
 
     def __init__(
@@ -85,9 +129,13 @@ class ExperimentSession:
         seed: int = 0,
         max_workers: int | None = None,
         record_timeline: bool = True,
+        backend: KernelBackend | str = KernelBackend.BATCHED,
+        executor: str = "auto",
     ):
         self.cluster = cluster or paper_testbed()
         self.seed = seed
+        self.backend = KernelBackend.coerce(backend)
+        self.executor = validate_executor(executor)
         self.kernels = KernelCostModel(gpu=self.cluster.gpu)
         self.timeline: RoundTimeline | None = RoundTimeline() if record_timeline else None
         self.max_workers = max_workers
@@ -121,6 +169,7 @@ class ExperimentSession:
             kernels=self.kernels if cluster is self.cluster else KernelCostModel(gpu=cluster.gpu),
             rng=np.random.default_rng(self.seed if seed is None else seed),
             timeline=timeline,
+            kernel_backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -225,6 +274,7 @@ class ExperimentSession:
             error_feedback=error_feedback,
             rolling_window=rolling_window,
             num_buckets=num_buckets,
+            kernel_backend=self.backend,
         )
 
     # ------------------------------------------------------------------ #
@@ -277,6 +327,7 @@ class ExperimentSession:
         metric: str | Callable = "throughput",
         parallel: bool = True,
         memoize: bool = True,
+        executor: str | None = None,
         **metric_kwargs,
     ) -> SweepResult:
         """Measure every (spec, workload, cluster) grid point.
@@ -296,8 +347,15 @@ class ExperimentSession:
                 returning a value or a ``(value, detail)`` pair.
             parallel: Execute points concurrently (results are identical to
                 the sequential order because every point draws its own rng
-                from the session seed).
-            memoize: Reuse previously computed points of this session.
+                from the session seed).  ``False`` forces serial execution.
+            memoize: Reuse previously computed points of this session.  Grid
+                entries that share a memo key (an alias and its spec form,
+                say) are computed once per sweep either way.
+            executor: Execution strategy for uncached points -- ``"auto"``,
+                ``"process"``, ``"thread"``, or ``"serial"``; defaults to the
+                session's ``executor``.  Processes win real parallelism for
+                CPU-bound metrics (vNMSE, TTA); callable metrics cannot cross
+                process boundaries and run on threads under ``"auto"``.
             **metric_kwargs: Passed through to the metric for every point.
 
         Returns:
@@ -345,10 +403,8 @@ class ExperimentSession:
                 repr(sorted(metric_kwargs.items(), key=lambda item: item[0])),
             )
 
-        def compute(spec: str, workload, cluster) -> SweepPoint:
-            value, detail = self._evaluate_metric(
-                metric, spec, workload, cluster, metric_kwargs
-            )
+        def as_point(spec: str, workload, cluster, outcome: tuple[float, object]) -> SweepPoint:
+            value, detail = outcome
             return SweepPoint(
                 spec=spec,
                 canonical_spec=canonical_by_spec[spec],
@@ -359,36 +415,111 @@ class ExperimentSession:
                 detail=detail,
             )
 
-        def run_point(point_args) -> SweepPoint:
-            spec, workload, cluster = point_args
-            if not memoize:
-                return compute(spec, workload, cluster)
-            key = key_for(spec, workload, cluster)
-            with self._memo_lock:
-                cached = self._memo.get(key)
-            if cached is not None:
-                # Preserve the caller's spelling of the spec in the result.
-                return SweepPoint(
-                    spec=spec,
-                    canonical_spec=cached.canonical_spec,
-                    workload=cached.workload,
-                    cluster=cached.cluster,
-                    metric=cached.metric,
-                    value=cached.value,
-                    detail=cached.detail,
-                )
-            point = compute(spec, workload, cluster)
-            with self._memo_lock:
-                self._memo[key] = point
-            return point
+        def respell(point: SweepPoint, spec: str) -> SweepPoint:
+            # Preserve the caller's spelling of the spec in the result.
+            if point.spec == spec:
+                return point
+            return SweepPoint(
+                spec=spec,
+                canonical_spec=point.canonical_spec,
+                workload=point.workload,
+                cluster=point.cluster,
+                metric=point.metric,
+                value=point.value,
+                detail=point.detail,
+            )
 
-        if parallel and len(grid) > 1:
-            max_workers = self.max_workers or min(8, len(grid))
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
-                points = list(executor.map(run_point, grid))
+        # Split the grid into memo hits and the pending work-list; grid
+        # entries sharing a memo key (aliases and their spec forms, repeated
+        # clusters) are computed once and fanned back out.
+        results: dict[int, SweepPoint] = {}
+        if memoize:
+            pending: dict[tuple, list[int]] = {}
+            with self._memo_lock:
+                for position, (spec, workload, cluster) in enumerate(grid):
+                    cached = self._memo.get(key_for(spec, workload, cluster))
+                    if cached is not None:
+                        results[position] = respell(cached, spec)
+                    else:
+                        pending.setdefault(key_for(spec, workload, cluster), []).append(position)
+            work_positions = [positions[0] for positions in pending.values()]
         else:
-            points = [run_point(args) for args in grid]
+            pending = {}
+            work_positions = list(range(len(grid)))
+
+        outcomes = self._execute_points(
+            [grid[position] for position in work_positions],
+            metric,
+            metric_name,
+            metric_kwargs,
+            executor=executor,
+            parallel=parallel,
+        )
+
+        if memoize:
+            with self._memo_lock:
+                for positions, outcome in zip(pending.values(), outcomes):
+                    spec, workload, cluster = grid[positions[0]]
+                    point = as_point(spec, workload, cluster, outcome)
+                    self._memo[key_for(spec, workload, cluster)] = point
+                    for position in positions:
+                        results[position] = respell(point, grid[position][0])
+        else:
+            for position, outcome in zip(work_positions, outcomes):
+                spec, workload, cluster = grid[position]
+                results[position] = as_point(spec, workload, cluster, outcome)
+
+        points = [results[position] for position in range(len(grid))]
         return SweepResult(metric=metric_name, points=points)
+
+    def _execute_points(
+        self,
+        entries: list[tuple],
+        metric: str | Callable,
+        metric_name: str,
+        metric_kwargs: dict,
+        *,
+        executor: str | None,
+        parallel: bool,
+    ) -> list[tuple[float, object]]:
+        """Evaluate uncached grid entries with the chosen execution strategy."""
+        if not entries:
+            return []
+        strategy = validate_executor(executor if executor is not None else self.executor)
+        if not parallel:
+            strategy = "serial"
+        else:
+            strategy = resolve_executor(
+                strategy,
+                num_tasks=len(entries),
+                metric_is_callable=callable(metric),
+                metric=metric_name if not callable(metric) else None,
+            )
+
+        if strategy == "process":
+            tasks = [
+                _SweepTask(
+                    spec=spec,
+                    workload=workload,
+                    cluster=cluster,
+                    base_cluster=self.cluster,
+                    seed=self.seed,
+                    backend=self.backend.value,
+                    metric=metric_name,
+                    kwargs=dict(metric_kwargs),
+                )
+                for spec, workload, cluster in entries
+            ]
+            return run_tasks(
+                tasks, _run_sweep_task, executor="process", max_workers=self.max_workers
+            )
+
+        def evaluate(entry: tuple) -> tuple[float, object]:
+            spec, workload, cluster = entry
+            return self._evaluate_metric(metric, spec, workload, cluster, metric_kwargs)
+
+        max_workers = self.max_workers or min(8, len(entries))
+        return run_tasks(entries, evaluate, executor=strategy, max_workers=max_workers)
 
     def clear_cache(self) -> None:
         """Forget every memoized sweep point."""

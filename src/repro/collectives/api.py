@@ -14,6 +14,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.collectives.allgather import allgather
+from repro.collectives.batched import (
+    hierarchical_aggregate_matrix,
+    ring_allreduce_matrix,
+    tree_allreduce_matrix,
+)
 from repro.collectives.cost_model import CollectiveCost, CollectiveCostModel
 from repro.collectives.ops import ReduceOp, SumOp
 from repro.collectives.parameter_server import ParameterServer
@@ -111,6 +116,50 @@ class CollectiveBackend:
         elif collective is Collective.SWITCH_AGGREGATION:
             aggregate = hierarchical_aggregate(
                 worker_vectors, op, self.cluster.rack_assignment()
+            )
+            cost = self.cost_model.switch_aggregation(payload_bits)
+        else:
+            raise ValueError(f"{collective} is not an all-reduce collective")
+        return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)
+
+    def allreduce_matrix(
+        self,
+        matrix: np.ndarray,
+        *,
+        wire_bits_per_value: float,
+        op: ReduceOp | None = None,
+        collective: Collective = Collective.RING_ALLREDUCE,
+    ) -> CollectiveResult:
+        """All-reduce a stacked ``(n_workers, d)`` matrix (batched backend).
+
+        Functionally identical to :meth:`allreduce` on the matrix's rows --
+        the vectorized folds replay the exact per-hop order of the legacy
+        collectives, so even non-associative (saturating) operators agree bit
+        for bit -- and priced by the same cost-model calls.  The input matrix
+        is not modified.
+        """
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (one row per worker)")
+        if matrix.shape[0] != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} worker rows, got {matrix.shape[0]}"
+            )
+        op = op or SumOp()
+        payload_bits = matrix.shape[1] * wire_bits_per_value
+        if collective is Collective.RING_ALLREDUCE:
+            if self.cluster.has_active_fabric:
+                aggregate = hierarchical_aggregate_matrix(
+                    matrix, op, self.cluster.rack_assignment()
+                )
+            else:
+                aggregate = ring_allreduce_matrix(matrix, op)
+            cost = self.cost_model.ring_allreduce(payload_bits)
+        elif collective is Collective.TREE_ALLREDUCE:
+            aggregate = tree_allreduce_matrix(matrix, op)
+            cost = self.cost_model.tree_allreduce(payload_bits)
+        elif collective is Collective.SWITCH_AGGREGATION:
+            aggregate = hierarchical_aggregate_matrix(
+                matrix, op, self.cluster.rack_assignment()
             )
             cost = self.cost_model.switch_aggregation(payload_bits)
         else:

@@ -27,6 +27,19 @@ class ReduceOp(abc.ABC):
     def combine(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
         """Combine a partial aggregate with one worker's contribution."""
 
+    def combine_into(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        """In-place combine used by the batched backend's vectorized folds.
+
+        Semantically identical to :meth:`combine` but writes the result into
+        ``accumulator`` without allocating.  The caller guarantees the
+        accumulator dtype can represent every intermediate value (the batched
+        integer folds pick their wire dtype with headroom via
+        :func:`repro.compression.kernels.smallest_int_dtype`).
+        """
+        result = self.combine(accumulator, incoming)
+        np.copyto(accumulator, result, casting="unsafe")
+        return accumulator
+
     def identity_like(self, vector: np.ndarray) -> np.ndarray:
         """The identity element for this operator, shaped like ``vector``."""
         return np.zeros_like(vector)
@@ -44,6 +57,10 @@ class SumOp(ReduceOp):
     def combine(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
         return accumulator + incoming
 
+    def combine_into(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        np.add(accumulator, incoming, out=accumulator)
+        return accumulator
+
 
 @dataclass(frozen=True)
 class MeanOp(ReduceOp):
@@ -51,6 +68,10 @@ class MeanOp(ReduceOp):
 
     def combine(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
         return accumulator + incoming
+
+    def combine_into(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        np.add(accumulator, incoming, out=accumulator)
+        return accumulator
 
     def finalize(self, accumulator: np.ndarray, world_size: int) -> np.ndarray:
         if world_size < 1:
@@ -64,6 +85,10 @@ class MaxOp(ReduceOp):
 
     def combine(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
         return np.maximum(accumulator, incoming)
+
+    def combine_into(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        np.maximum(accumulator, incoming, out=accumulator)
+        return accumulator
 
     def identity_like(self, vector: np.ndarray) -> np.ndarray:
         return np.full_like(vector, -np.inf)
@@ -98,6 +123,15 @@ class SaturatingSumOp(ReduceOp):
         total = accumulator.astype(np.int64) + incoming.astype(np.int64)
         limit = self.max_value
         return np.clip(total, -limit, limit)
+
+    def combine_into(self, accumulator: np.ndarray, incoming: np.ndarray) -> np.ndarray:
+        # Exact as long as the accumulator dtype holds 2 * max_value (both
+        # operands are already clipped); the batched backend sizes its integer
+        # wire buffers accordingly.
+        limit = self.max_value
+        np.add(accumulator, incoming, out=accumulator)
+        np.clip(accumulator, -limit, limit, out=accumulator)
+        return accumulator
 
     def saturation_fraction(self, aggregate: np.ndarray) -> float:
         """Fraction of coordinates pinned at the saturation limit."""

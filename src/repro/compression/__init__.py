@@ -30,6 +30,11 @@ from repro.compression.base import (
     AggregationScheme,
     SimContext,
 )
+from repro.compression.kernels import (
+    KernelBackend,
+    LazyTransmitted,
+    RoundWorkspace,
+)
 from repro.compression.precision import PrecisionBaseline
 from repro.compression.topk import GlobalTopKOracle, TopKCompressor
 from repro.compression.topkc import TopKChunkedCompressor
@@ -65,6 +70,9 @@ from repro.compression.spec import (
 __all__ = [
     "AggregationResult",
     "AggregationScheme",
+    "KernelBackend",
+    "LazyTransmitted",
+    "RoundWorkspace",
     "SimContext",
     "PrecisionBaseline",
     "TopKCompressor",

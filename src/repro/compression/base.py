@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.collectives.api import CollectiveBackend
+from repro.compression.kernels import KernelBackend, RoundWorkspace
 from repro.simulator.kernel_cost import KernelCostModel
 from repro.simulator.timeline import RoundTimeline
 
@@ -39,17 +41,37 @@ class SimContext:
         rng: Source of randomness (stochastic rounding, rotation seeds...).
         timeline: Optional per-round timeline; when present, schemes record
             their compression/communication time on it.
+        kernel_backend: Which compression hot path to run --
+            :attr:`~repro.compression.kernels.KernelBackend.BATCHED` (default,
+            one fused float32 pass over the stacked worker matrix) or
+            :attr:`~repro.compression.kernels.KernelBackend.LEGACY` (the
+            original per-worker float64 reference loops).  Both paths price
+            rounds identically.
+        workspace: Preallocated scratch buffers reused across rounds by the
+            batched kernels; a long-lived context (e.g. inside
+            :class:`~repro.training.ddp.DDPTrainer`) allocates nothing on the
+            hot path after its first round.
     """
 
     backend: CollectiveBackend
     kernels: KernelCostModel = field(default_factory=KernelCostModel)
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     timeline: RoundTimeline | None = None
+    kernel_backend: KernelBackend = KernelBackend.BATCHED
+    workspace: RoundWorkspace = field(default_factory=RoundWorkspace)
+
+    def __post_init__(self) -> None:
+        self.kernel_backend = KernelBackend.coerce(self.kernel_backend)
 
     @property
     def world_size(self) -> int:
         """Number of workers whose gradients are aggregated."""
         return self.backend.world_size
+
+    @property
+    def batched(self) -> bool:
+        """Whether schemes should run their batched (vectorized) kernels."""
+        return self.kernel_backend is KernelBackend.BATCHED
 
     def add_time(self, phase: str, label: str, seconds: float) -> None:
         """Record simulated time if a timeline is attached (no-op otherwise)."""
@@ -71,7 +93,9 @@ class AggregationResult:
             contribution became after compression, expressed in the original
             gradient space.  ``None`` when the scheme is lossless from the
             worker's perspective (precision baselines) or when the notion
-            does not apply.
+            does not apply.  The batched backend may return a
+            :class:`~repro.compression.kernels.LazyTransmitted` sequence that
+            defers the per-worker decompression until first access.
         communication_seconds: Simulated time of all collective calls.
         compression_seconds: Simulated time of all compression and
             decompression kernels (one worker's critical path).
@@ -79,7 +103,7 @@ class AggregationResult:
 
     mean_estimate: np.ndarray
     bits_per_coordinate: float
-    per_worker_transmitted: list[np.ndarray] | None = None
+    per_worker_transmitted: Sequence[np.ndarray] | None = None
     communication_seconds: float = 0.0
     compression_seconds: float = 0.0
 
@@ -135,6 +159,23 @@ class AggregationScheme(abc.ABC):
 
         Implementations must not modify the input gradients.
         """
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        """Aggregate a stacked ``(n_workers, d)`` gradient matrix.
+
+        The batched entry point: wrappers (error feedback) and the batched
+        dispatch in :meth:`aggregate` hand the whole worker matrix over in
+        one piece.  Implementations must not modify ``matrix``.  The default
+        falls back to the per-worker path over row views, so schemes without
+        a vectorized kernel keep working under the batched backend; schemes
+        whose :meth:`aggregate` dispatches on ``ctx.batched`` MUST override
+        this method (the fallback would recurse otherwise).
+        """
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (one row per worker)")
+        return self.aggregate([matrix[i] for i in range(matrix.shape[0])], ctx)
 
     @abc.abstractmethod
     def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
@@ -194,6 +235,38 @@ class AggregationScheme(abc.ABC):
     # ------------------------------------------------------------------ #
     # Shared validation helpers
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_matrix(matrix: np.ndarray, world_size: int) -> tuple[int, int]:
+        """Check a stacked worker matrix and return ``(n_workers, d)``."""
+        if matrix.ndim != 2:
+            raise ValueError("matrix must be 2-D (one row per worker)")
+        if matrix.shape[0] != world_size:
+            raise ValueError(
+                f"expected {world_size} worker rows, got {matrix.shape[0]}"
+            )
+        if matrix.shape[1] == 0:
+            raise ValueError("gradients must be non-empty")
+        return matrix.shape[0], matrix.shape[1]
+
+    @staticmethod
+    def _gather_rows(
+        rows: "np.ndarray | list[np.ndarray]",
+        out: np.ndarray,
+        *,
+        columns: int | None = None,
+    ) -> np.ndarray:
+        """Copy worker rows (a matrix or a list of vectors) into ``out``.
+
+        ``columns`` restricts the copy to the first columns of ``out`` (the
+        padded tail is left for the caller to clear).  Casting follows the
+        destination dtype -- this is where the batched path drops to its
+        float32 compute precision.
+        """
+        width = out.shape[1] if columns is None else columns
+        for index in range(out.shape[0]):
+            np.copyto(out[index, :width], rows[index], casting="unsafe")
+        return out
+
     @staticmethod
     def _validate_gradients(
         worker_gradients: list[np.ndarray], world_size: int

@@ -22,6 +22,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.kernels import LazyTransmitted
 from repro.compression.spec import Param, register
 
 
@@ -47,7 +48,9 @@ class ErrorFeedback(AggregationScheme):
             raise ValueError("decay must be in [0, 1]")
         self.scheme = scheme
         self.decay = decay
-        self._residuals: list[np.ndarray] | None = None
+        #: Residual state, stored as one (n_workers, d) float32 matrix shared
+        #: by both kernel backends (the legacy path views its rows).
+        self._residual_matrix: np.ndarray | None = None
         self.name = f"ef({scheme.name})"
 
     def expected_bits_per_coordinate(self, num_coordinates: int, world_size: int) -> float:
@@ -86,44 +89,91 @@ class ErrorFeedback(AggregationScheme):
 
     def reset_state(self) -> None:
         """Clear the residuals (e.g. between independent experiments)."""
-        self._residuals = None
+        self._residual_matrix = None
         if hasattr(self.scheme, "reset_state"):
             self.scheme.reset_state()
 
     @property
     def residuals(self) -> list[np.ndarray] | None:
         """The per-worker residuals carried to the next round (None before the first)."""
-        return self._residuals
+        if self._residual_matrix is None:
+            return None
+        return list(self._residual_matrix)
+
+    def _residuals_for(self, n: int, d: int) -> np.ndarray:
+        """The residual matrix, initialised on first use and shape-checked."""
+        if self._residual_matrix is None:
+            self._residual_matrix = np.zeros((n, d), dtype=np.float32)
+        if self._residual_matrix.shape != (n, d):
+            raise ValueError(
+                "gradient size changed between rounds; call reset_state() first"
+            )
+        return self._residual_matrix
 
     def aggregate(
         self, worker_gradients: list[np.ndarray], ctx: SimContext
     ) -> AggregationResult:
         d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
         n = ctx.world_size
+        residuals = self._residuals_for(n, d)
 
-        if self._residuals is None:
-            self._residuals = [np.zeros(d, dtype=np.float32) for _ in range(n)]
-        if self._residuals[0].size != d:
-            raise ValueError(
-                "gradient size changed between rounds; call reset_state() first"
-            )
+        if ctx.batched:
+            # The label is instance-unique so nested wrappers never alias
+            # each other's adjusted-gradient buffers.
+            adjusted = ctx.workspace.buf(f"ef.adjusted.{id(self)}", (n, d), np.float32)
+            self._gather_rows(worker_gradients, adjusted)
+            adjusted += residuals
+            return self._finish_batched(adjusted, residuals, ctx)
 
         adjusted = [
             np.asarray(grad, dtype=np.float32) + residual
-            for grad, residual in zip(worker_gradients, self._residuals)
+            for grad, residual in zip(worker_gradients, residuals)
         ]
         result = self.scheme.aggregate(adjusted, ctx)
 
         if result.per_worker_transmitted is not None:
-            self._residuals = [
-                (adj - transmitted).astype(np.float32) * self.decay
-                for adj, transmitted in zip(adjusted, result.per_worker_transmitted)
-            ]
+            for index, (adj, transmitted) in enumerate(
+                zip(adjusted, result.per_worker_transmitted)
+            ):
+                residuals[index] = (adj - transmitted).astype(np.float32) * self.decay
         else:
             # Without a per-worker report, fall back to the aggregate-based
             # residual (what PowerSGD's reference implementation does).
-            self._residuals = [
-                (adj - result.mean_estimate).astype(np.float32) * self.decay
-                for adj in adjusted
-            ]
+            for index, adj in enumerate(adjusted):
+                residuals[index] = (adj - result.mean_estimate).astype(np.float32) * self.decay
+        return result
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        n, d = self._validate_matrix(matrix, ctx.world_size)
+        residuals = self._residuals_for(n, d)
+        adjusted = ctx.workspace.buf(f"ef.adjusted.{id(self)}", (n, d), np.float32)
+        np.add(matrix, residuals, out=adjusted, casting="unsafe")
+        return self._finish_batched(adjusted, residuals, ctx)
+
+    def _finish_batched(
+        self, adjusted: np.ndarray, residuals: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        """Run the wrapped scheme on the adjusted matrix and fold the residual.
+
+        The residual update is two fused elementwise passes over the
+        ``(n, d)`` matrix -- and when the wrapped scheme reports its
+        transmitted payloads lazily, this is the single place that pays for
+        materializing them.
+        """
+        result = self.scheme.aggregate_matrix(adjusted, ctx)
+        transmitted = result.per_worker_transmitted
+        if transmitted is not None:
+            if isinstance(transmitted, LazyTransmitted):
+                transmitted_matrix = transmitted.matrix()
+            else:
+                transmitted_matrix = np.asarray(transmitted, dtype=np.float32)
+            np.subtract(adjusted, transmitted_matrix, out=residuals, casting="unsafe")
+        else:
+            np.subtract(
+                adjusted, result.mean_estimate[None, :], out=residuals, casting="unsafe"
+            )
+        if self.decay != 1.0:
+            residuals *= np.float32(self.decay)
         return result

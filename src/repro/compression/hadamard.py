@@ -19,18 +19,36 @@ import math
 
 import numpy as np
 
+from repro.compression.kernels import cached_signs
 
-def pad_to_power_of_two(vector: np.ndarray) -> np.ndarray:
-    """Zero-pad a vector to the next power-of-two length (at least 2)."""
+
+def padded_size_for(num_coordinates: int) -> int:
+    """The next power-of-two length (at least 2) a vector is padded to."""
+    if num_coordinates <= 0:
+        raise ValueError("vector must be non-empty")
+    if num_coordinates == 1:
+        return 2
+    return 1 << max(1, math.ceil(math.log2(num_coordinates)))
+
+
+def pad_to_power_of_two(vector: np.ndarray, *, copy: bool = False) -> np.ndarray:
+    """Zero-pad a vector to the next power-of-two length (at least 2).
+
+    Dtype-preserving: the result has the input's dtype (the historical
+    implementation silently promoted everything to float64 -- a 2x memory and
+    bandwidth tax on float32 gradients).  When the length is already a power
+    of two and ``copy`` is False, the input is returned as-is (no copy);
+    callers that mutate the result must pass ``copy=True``.
+    """
     if vector.ndim != 1:
         raise ValueError("vector must be 1-D")
     d = vector.size
     if d == 0:
         raise ValueError("vector must be non-empty")
-    padded_size = 1 << max(1, math.ceil(math.log2(d))) if d > 1 else 2
+    padded_size = padded_size_for(d)
     if padded_size == d:
-        return np.array(vector, dtype=np.float64, copy=True)
-    out = np.zeros(padded_size, dtype=np.float64)
+        return np.array(vector, copy=True) if copy else vector
+    out = np.zeros(padded_size, dtype=vector.dtype)
     out[:d] = vector
     return out
 
@@ -83,6 +101,16 @@ class HadamardRotation:
         rng = np.random.default_rng(self.seed)
         return rng.integers(0, 2, size=padded_size).astype(np.float64) * 2.0 - 1.0
 
+    def signs(self, padded_size: int, dtype: np.dtype | type = np.float64) -> np.ndarray:
+        """The +/-1 sign diagonal, cached across rounds and workers.
+
+        Value-identical to the per-call :meth:`_signs` generation (the signs
+        are exactly +/-1 in any float dtype) but generated once per
+        (seed, size) instead of once per worker per round.  The returned
+        array is read-only.
+        """
+        return cached_signs(self.seed, padded_size, dtype)
+
     def effective_depth(self, padded_size: int) -> int:
         """The number of passes actually applied to a ``padded_size`` vector."""
         full = full_depth(padded_size)
@@ -95,10 +123,15 @@ class HadamardRotation:
         return 1 << self.effective_depth(padded_size)
 
     def forward(self, vector: np.ndarray) -> tuple[np.ndarray, int]:
-        """Rotate ``vector``; returns (rotated padded vector, original length)."""
+        """Rotate ``vector``; returns (rotated padded vector, original length).
+
+        The reference (legacy) path computes in float64 regardless of the
+        input dtype -- it serves as the correctness oracle the batched
+        float32 kernels are verified against.
+        """
         original_size = vector.size
-        padded = pad_to_power_of_two(vector)
-        padded *= self._signs(padded.size)
+        padded = pad_to_power_of_two(vector).astype(np.float64)
+        padded *= self.signs(padded.size)
         rotated = _butterfly_passes(padded, self.effective_depth(padded.size))
         return rotated, original_size
 
@@ -114,7 +147,7 @@ class HadamardRotation:
             np.array(rotated, dtype=np.float64, copy=True),
             self.effective_depth(rotated.size),
         )
-        unrotated *= self._signs(rotated.size)
+        unrotated *= self.signs(rotated.size)
         return unrotated[:original_size]
 
 

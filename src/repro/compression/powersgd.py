@@ -53,14 +53,12 @@ def default_layer_shapes(num_coordinates: int) -> list[tuple[int, int]]:
     return [(rows, cols)]
 
 
-def orthogonalize(matrix: np.ndarray) -> np.ndarray:
-    """Orthonormalize the columns of ``matrix`` with modified Gram-Schmidt.
+def _gram_schmidt(matrix: np.ndarray) -> np.ndarray:
+    """Modified Gram-Schmidt fallback for wide matrices (more columns than rows).
 
-    Columns that vanish (up to numerical noise) are replaced by zero columns
-    rather than raising, matching the robustness of production implementations.
+    Kept as the reference orthogonalization and for the ``cols > rows`` case,
+    where a reduced QR cannot produce one output column per input column.
     """
-    if matrix.ndim != 2:
-        raise ValueError("matrix must be 2-D")
     result = np.array(matrix, dtype=np.float64, copy=True)
     num_cols = result.shape[1]
     for col in range(num_cols):
@@ -73,6 +71,31 @@ def orthogonalize(matrix: np.ndarray) -> np.ndarray:
         else:
             result[:, col] = 0.0
     return result
+
+
+def orthogonalize(matrix: np.ndarray) -> np.ndarray:
+    """Orthonormalize the columns of ``matrix``.
+
+    Runs a LAPACK Householder QR -- O(rows * cols^2) in compiled code instead
+    of the historical O(cols^2) *Python-loop* Gram-Schmidt, which dominated
+    PowerSGD's round time at larger ranks.  The sign convention (diagonal of
+    ``R`` non-negative) matches Gram-Schmidt's direction choice, and columns
+    that vanish numerically are replaced by zero columns rather than the
+    arbitrary orthonormal completion QR would return, matching the robustness
+    of production implementations.  Wide matrices (more columns than rows)
+    fall back to modified Gram-Schmidt.
+    """
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    rows, cols = matrix.shape
+    if cols > rows:
+        return _gram_schmidt(matrix)
+    q, r = np.linalg.qr(np.asarray(matrix, dtype=np.float64))
+    diagonal = np.diagonal(r)
+    flip = np.where(diagonal < 0.0, -1.0, 1.0)
+    q = q * flip
+    q[:, np.abs(diagonal) <= 1e-12] = 0.0
+    return q
 
 
 @register(
@@ -242,6 +265,125 @@ class PowerSGDCompressor(AggregationScheme):
         self, worker_gradients: list[np.ndarray], ctx: SimContext
     ) -> AggregationResult:
         d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        if ctx.batched:
+            return self._aggregate_batched(worker_gradients, ctx, d)
+        return self._aggregate_legacy(worker_gradients, ctx, d)
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        _, d = self._validate_matrix(matrix, ctx.world_size)
+        return self._aggregate_batched(matrix, ctx, d)
+
+    def _aggregate_batched(self, rows_in, ctx: SimContext, d: int) -> AggregationResult:
+        """Per-layer power iteration with the workers stacked on a batch axis.
+
+        ``P_i = M_i Q`` and ``Q_i = M_i^T P`` become single batched float64
+        matmuls over an ``(n, rows, cols)`` tensor instead of per-worker
+        GEMM calls, and the factor all-reduces fold the stacked factors with
+        the exact legacy ring order.
+        """
+        n = ctx.world_size
+        shapes = self._shapes_for(d)
+        covered = sum(rows * cols for rows, cols in shapes)
+
+        compression_seconds = 0.0
+        communication_seconds = 0.0
+        mean_estimate = np.zeros(d, dtype=np.float32)
+
+        offset = 0
+        for layer_index, (rows, cols) in enumerate(shapes):
+            size = rows * cols
+            segment = min(size, d - offset)
+            stacked = np.zeros((n, size), dtype=np.float64)
+            self._gather_rows(
+                [np.asarray(rows_in[i])[offset : offset + segment] for i in range(n)],
+                stacked,
+                columns=segment,
+            )
+            tensor = stacked.reshape(n, rows, cols)
+
+            q = self._initial_q(layer_index, cols, ctx.rng)
+
+            # Step 1: P_i = M_i Q, all-reduce P (mean).
+            p_locals = np.matmul(tensor, q)
+            p_reduce = ctx.backend.allreduce_matrix(
+                p_locals.reshape(n, rows * self.rank),
+                wire_bits_per_value=float(self.factor_bits),
+                op=MeanOp(),
+            )
+            communication_seconds += p_reduce.cost.seconds
+            p_mean = np.asarray(p_reduce.aggregate).reshape(rows, self.rank)
+
+            # Step 2: orthogonalize P.
+            p_hat = orthogonalize(p_mean)
+
+            # Step 3: Q_i = M_i^T P_hat, all-reduce Q (mean).
+            q_locals = np.matmul(tensor.transpose(0, 2, 1), p_hat)
+            q_reduce = ctx.backend.allreduce_matrix(
+                q_locals.reshape(n, cols * self.rank),
+                wire_bits_per_value=float(self.factor_bits),
+                op=MeanOp(),
+            )
+            communication_seconds += q_reduce.cost.seconds
+            q_mean = np.asarray(q_reduce.aggregate).reshape(cols, self.rank)
+
+            if self.warm_start:
+                self._q_state[layer_index] = q_mean
+
+            # Step 4: rank-r reconstruction of the mean gradient.
+            approx = (p_hat @ q_mean.T).reshape(-1)[:segment]
+            mean_estimate[offset : offset + approx.size] = approx.astype(np.float32)
+
+            # Kernel costs: the two matmuls + orthogonalization.
+            layer_compute = ctx.kernels.powersgd_time(size, self.rank, rows=rows)
+            ortho_only = ctx.kernels.orthogonalization_time(size, self.rank, rows=rows)
+            compression_seconds += layer_compute
+            ctx.add_time(
+                PHASE_COMPRESSION, f"{self.name}:layer{layer_index}:matmuls",
+                layer_compute - ortho_only,
+            )
+            ctx.add_time(
+                PHASE_COMPRESSION, f"{self.name}:layer{layer_index}:orthogonalize", ortho_only
+            )
+            offset += size
+
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:factor_allreduce", communication_seconds
+        )
+
+        # Uncompressed tail (coordinates not covered by any layer matrix).
+        tail = d - covered
+        if tail > 0:
+            tail_matrix = np.empty((n, tail), dtype=np.float32)
+            self._gather_rows(
+                [np.asarray(rows_in[i])[covered:] for i in range(n)], tail_matrix
+            )
+            np.copyto(tail_matrix, tail_matrix.astype(np.float16), casting="unsafe")
+            tail_reduce = ctx.backend.allreduce_matrix(
+                tail_matrix, wire_bits_per_value=16.0, op=MeanOp()
+            )
+            communication_seconds += tail_reduce.cost.seconds
+            ctx.add_time(
+                PHASE_COMMUNICATION, f"{self.name}:tail_allreduce", tail_reduce.cost.seconds
+            )
+            mean_estimate[covered:] = np.asarray(tail_reduce.aggregate, dtype=np.float32)
+
+        reconstruct_seconds = ctx.kernels.elementwise_sum_time(d)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:reconstruct", reconstruct_seconds)
+        compression_seconds += reconstruct_seconds
+
+        return AggregationResult(
+            mean_estimate=mean_estimate,
+            bits_per_coordinate=self.expected_bits_per_coordinate(d, ctx.world_size),
+            per_worker_transmitted=[np.array(mean_estimate, copy=True) for _ in range(n)],
+            communication_seconds=communication_seconds,
+            compression_seconds=compression_seconds,
+        )
+
+    def _aggregate_legacy(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext, d: int
+    ) -> AggregationResult:
         shapes = self._shapes_for(d)
         covered = sum(rows * cols for rows, cols in shapes)
 

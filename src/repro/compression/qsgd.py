@@ -24,6 +24,7 @@ from repro.compression.base import (
     CostEstimate,
     SimContext,
 )
+from repro.compression.kernels import LazyTransmitted, smallest_int_dtype
 from repro.compression.quantization import StochasticQuantizer
 from repro.compression.spec import Param, register
 from repro.compression.thc import AggregationMode
@@ -107,6 +108,104 @@ class QSGDCompressor(AggregationScheme):
         self, worker_gradients: list[np.ndarray], ctx: SimContext
     ) -> AggregationResult:
         d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        if ctx.batched:
+            return self._aggregate_batched(worker_gradients, ctx, d)
+        return self._aggregate_legacy(worker_gradients, ctx, d)
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        _, d = self._validate_matrix(matrix, ctx.world_size)
+        return self._aggregate_batched(matrix, ctx, d)
+
+    def _wire_headroom(self, world_size: int) -> int:
+        """Largest magnitude the integer wire buffer must represent."""
+        if self.aggregation is AggregationMode.WIDENED:
+            return world_size * self.quantizer.max_level
+        return 2 * ((1 << (self.wire_bits - 1)) - 1)
+
+    def _aggregate_batched(self, rows, ctx: SimContext, d: int) -> AggregationResult:
+        """Fused float32 quantization over the stacked worker matrix."""
+        n = ctx.world_size
+        workspace = ctx.workspace
+        collective = self.aggregation.collective()
+
+        # Shared norm consensus (same exchange and pricing as the legacy path;
+        # per-row norms are computed with the same BLAS reduction).
+        per_worker_norms = np.array(
+            [[float(np.linalg.norm(rows[i]))] for i in range(n)]
+        )
+        norm_reduce = ctx.backend.allreduce_matrix(
+            per_worker_norms, wire_bits_per_value=32.0, op=MaxOp(), collective=collective
+        )
+        shared_norm = float(np.asarray(norm_reduce.aggregate)[0])
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:norm_allreduce", norm_reduce.cost.seconds
+        )
+        if shared_norm == 0.0:
+            zero = np.zeros(d, dtype=np.float32)
+            return AggregationResult(
+                mean_estimate=zero,
+                bits_per_coordinate=self.expected_bits_per_coordinate(d, n),
+                per_worker_transmitted=[zero.copy() for _ in range(n)],
+                communication_seconds=norm_reduce.cost.seconds,
+            )
+
+        quantize_seconds = ctx.kernels.quantize_time(d, self.quantization_bits)
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:quantize", quantize_seconds)
+
+        max_level = float(self.quantizer.max_level)
+        scale = 1.0 / max_level  # value_range is exactly 1 after norm scaling
+        work = workspace.buf("qsgd.work", (n, d), np.float32)
+        self._gather_rows(rows, work)
+        work *= np.float32(max_level / shared_norm)
+        np.clip(work, -max_level, max_level, out=work)
+        floors = workspace.buf("qsgd.floor", (n, d), np.float32)
+        np.floor(work, out=floors)
+        work -= floors  # fractional parts
+        uniforms = workspace.buf("qsgd.uniform", (n, d), np.float32)
+        ctx.rng.random(out=uniforms, dtype=np.float32)
+        round_up = workspace.buf("qsgd.round_up", (n, d), np.bool_)
+        np.less(uniforms, work, out=round_up)
+        np.add(floors, round_up, out=floors)
+        np.clip(floors, -max_level, max_level, out=floors)
+        levels = workspace.buf("qsgd.levels", (n, d), smallest_int_dtype(self._wire_headroom(n)))
+        np.copyto(levels, floors, casting="unsafe")
+
+        op = self.aggregation.reduce_op(self.wire_bits)
+        level_reduce = ctx.backend.allreduce_matrix(
+            levels,
+            wire_bits_per_value=float(self.wire_bits),
+            op=op,
+            collective=collective,
+        )
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:level_allreduce", level_reduce.cost.seconds
+        )
+
+        dequantize_seconds = ctx.kernels.dequantize_time(d, self.quantization_bits)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:dequantize", dequantize_seconds)
+        mean = np.asarray(level_reduce.aggregate).astype(np.float32)
+        mean *= np.float32(scale * shared_norm / n)
+
+        levels_snapshot = np.array(levels, copy=True)
+
+        def materialize_transmitted() -> np.ndarray:
+            dense = levels_snapshot.astype(np.float32)
+            dense *= np.float32(scale * shared_norm)
+            return dense
+
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=self.expected_bits_per_coordinate(d, n),
+            per_worker_transmitted=LazyTransmitted(n, materialize_transmitted),
+            communication_seconds=norm_reduce.cost.seconds + level_reduce.cost.seconds,
+            compression_seconds=quantize_seconds + dequantize_seconds,
+        )
+
+    def _aggregate_legacy(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext, d: int
+    ) -> AggregationResult:
         n = ctx.world_size
 
         # Agree on a shared norm so the dequantization scale is identical on

@@ -35,6 +35,13 @@ from repro.compression.hadamard import (
     HadamardRotation,
     depth_for_shared_memory,
     pad_to_power_of_two,
+    padded_size_for,
+)
+from repro.compression.kernels import (
+    LazyTransmitted,
+    fwht_normalization,
+    fwht_rows,
+    smallest_int_dtype,
 )
 from repro.compression.quantization import StochasticQuantizer
 from repro.compression.spec import Param, register
@@ -206,6 +213,178 @@ class THCCompressor(AggregationScheme):
         self, worker_gradients: list[np.ndarray], ctx: SimContext
     ) -> AggregationResult:
         d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        if ctx.batched:
+            return self._aggregate_batched(worker_gradients, ctx, d)
+        return self._aggregate_legacy(worker_gradients, ctx, d)
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        _, d = self._validate_matrix(matrix, ctx.world_size)
+        return self._aggregate_batched(matrix, ctx, d)
+
+    def _wire_headroom(self, world_size: int) -> int:
+        """Largest magnitude the integer wire buffer must represent.
+
+        Saturation-style folds clip after every pairwise add (intermediate
+        bound ``2 * (2^(b-1) - 1)``); the widened adaptation sums exactly,
+        so the bound is ``n`` unclipped ``q``-bit levels.
+        """
+        if self.aggregation is AggregationMode.WIDENED:
+            return world_size * self.quantizer.max_level
+        return 2 * ((1 << (self.wire_bits - 1)) - 1)
+
+    def _aggregate_batched(
+        self, rows, ctx: SimContext, d: int
+    ) -> AggregationResult:
+        """One fused float32 pass over the stacked ``(n, d)`` worker matrix.
+
+        Same protocol, timeline labels, and priced costs as the legacy path;
+        the rotation runs unnormalized (the ``2^(-depth/2)`` factors are
+        folded into the quantization scales) and the integer payloads travel
+        in the narrowest dtype that cannot overflow the fold.
+        """
+        n = ctx.world_size
+        workspace = ctx.workspace
+        rotation = self._make_rotation(ctx)
+        padded_size = padded_size_for(d)
+        wire = workspace.buf("thc.wire", (n, padded_size), np.float32)
+        self._gather_rows(rows, wire, columns=d)
+        if padded_size > d:
+            wire[:, d:] = 0.0
+
+        compression_seconds = 0.0
+        communication_seconds = 0.0
+
+        # --- Rotation (unnormalized; one matmul chain for all workers) ----- #
+        if rotation is None:
+            depth = 0
+            chunk_elements = padded_size
+            work = wire
+        else:
+            depth = rotation.effective_depth(padded_size)
+            chunk_elements = rotation.chunk_elements(padded_size)
+            wire *= rotation.signs(padded_size, np.float32)
+            work = fwht_rows(wire, depth, workspace=workspace, label="thc")
+            rotate_seconds = ctx.kernels.hadamard_time(d, depth)
+            compression_seconds += rotate_seconds
+            ctx.add_time(PHASE_COMPRESSION, f"{self.name}:rotate", rotate_seconds)
+        normalization = np.float32(fwht_normalization(depth))
+        num_chunks = padded_size // chunk_elements
+        chunked = work.reshape(n, num_chunks, chunk_elements)
+
+        # --- Agree on a per-chunk quantization range ----------------------- #
+        # max(|.|) per chunk without materializing |work|; the shared range is
+        # scale-equivariant, so the unnormalized units cancel in the ratio
+        # used for quantization below.
+        per_worker_ranges = np.maximum(chunked.max(axis=2), -chunked.min(axis=2))
+        range_reduce = ctx.backend.allreduce_matrix(
+            per_worker_ranges,
+            wire_bits_per_value=16.0,
+            op=MaxOp(),
+            collective=self.aggregation.collective(),
+        )
+        shared_ranges = np.asarray(range_reduce.aggregate)
+        communication_seconds += range_reduce.cost.seconds
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:range_allreduce", range_reduce.cost.seconds
+        )
+
+        # --- Quantize (fused stochastic rounding over the whole matrix) --- #
+        quantize_seconds = ctx.kernels.quantize_time(d, self.quantization_bits)
+        compression_seconds += quantize_seconds
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:quantize", quantize_seconds)
+
+        max_level = float(self.quantizer.max_level)
+        inverse_scale = np.zeros(num_chunks, dtype=np.float32)
+        np.divide(
+            max_level, shared_ranges, out=inverse_scale, where=shared_ranges > 0
+        )
+        chunked *= inverse_scale[None, :, None]
+        np.clip(work, -max_level, max_level, out=work)
+        floors = workspace.buf("thc.floor", (n, padded_size), np.float32)
+        np.floor(work, out=floors)
+        work -= floors  # `work` now holds the fractional parts
+        uniforms = workspace.buf("thc.uniform", (n, padded_size), np.float32)
+        ctx.rng.random(out=uniforms, dtype=np.float32)
+        round_up = workspace.buf("thc.round_up", (n, padded_size), np.bool_)
+        np.less(uniforms, work, out=round_up)
+        np.add(floors, round_up, out=floors)
+        np.clip(floors, -max_level, max_level, out=floors)
+
+        wire_dtype = smallest_int_dtype(self._wire_headroom(n))
+        levels = workspace.buf("thc.levels", (n, padded_size), wire_dtype)
+        np.copyto(levels, floors, casting="unsafe")
+
+        # --- Integer all-reduce (host rings or in-network switches) -------- #
+        op = self.aggregation.reduce_op(self.wire_bits)
+        reduce_result = ctx.backend.allreduce_matrix(
+            levels,
+            wire_bits_per_value=float(self.wire_bits),
+            op=op,
+            collective=self.aggregation.collective(),
+        )
+        communication_seconds += reduce_result.cost.seconds
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:int_allreduce", reduce_result.cost.seconds
+        )
+        aggregated_levels = np.asarray(reduce_result.aggregate)
+
+        # --- Dequantize and un-rotate -------------------------------------- #
+        dequantize_seconds = ctx.kernels.dequantize_time(d, self.quantization_bits)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:dequantize", dequantize_seconds)
+        # True-unit quantization step per chunk (normalization folded back in).
+        scales = (shared_ranges * (normalization / max_level)).astype(np.float32)
+        mean_rotated = aggregated_levels.astype(np.float32)
+        shaped_mean = mean_rotated.reshape(num_chunks, chunk_elements)
+        shaped_mean *= (scales / n)[:, None]
+
+        if rotation is None:
+            mean = np.array(mean_rotated[:d], copy=True)
+        else:
+            unrotate_seconds = ctx.kernels.hadamard_time(d, depth)
+            ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:unrotate", unrotate_seconds)
+            dequantize_seconds += unrotate_seconds
+            unrotated = fwht_rows(
+                mean_rotated.reshape(1, padded_size),
+                depth,
+                workspace=workspace,
+                label="thc.mean",
+            ).reshape(-1)
+            unrotated *= normalization
+            unrotated *= rotation.signs(padded_size, np.float32)
+            mean = np.array(unrotated[:d], copy=True)
+
+        # Per-worker transmitted contributions, deferred: plain rounds never
+        # pay for the extra inverse rotation over the worker matrix.  The
+        # closure snapshots the (narrow) integer levels because the workspace
+        # buffers are recycled by later rounds.
+        levels_snapshot = np.array(levels, copy=True)
+        sign_vector = (
+            rotation.signs(padded_size, np.float32) if rotation is not None else None
+        )
+
+        def materialize_transmitted() -> np.ndarray:
+            dense = levels_snapshot.astype(np.float32)
+            shaped = dense.reshape(n, num_chunks, chunk_elements)
+            shaped *= scales[None, :, None]
+            if depth:
+                dense = fwht_rows(dense, depth)
+                dense *= normalization
+                dense *= sign_vector
+            return np.ascontiguousarray(dense[:, :d])
+
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=float(self.wire_bits),
+            per_worker_transmitted=LazyTransmitted(n, materialize_transmitted),
+            communication_seconds=communication_seconds,
+            compression_seconds=compression_seconds + dequantize_seconds,
+        )
+
+    def _aggregate_legacy(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext, d: int
+    ) -> AggregationResult:
         n = ctx.world_size
         rotation = self._make_rotation(ctx)
 

@@ -204,6 +204,114 @@ class TopKChunkedCompressor(AggregationScheme):
         self, worker_gradients: list[np.ndarray], ctx: SimContext
     ) -> AggregationResult:
         d, _ = self._validate_gradients(worker_gradients, ctx.world_size)
+        if ctx.batched:
+            return self._aggregate_batched(worker_gradients, ctx, d)
+        return self._aggregate_legacy(worker_gradients, ctx, d)
+
+    def aggregate_matrix(
+        self, matrix: np.ndarray, ctx: SimContext
+    ) -> AggregationResult:
+        _, d = self._validate_matrix(matrix, ctx.world_size)
+        return self._aggregate_batched(matrix, ctx, d)
+
+    def _aggregate_batched(self, rows, ctx: SimContext, d: int) -> AggregationResult:
+        """Vectorized chunk-norm consensus over the stacked worker matrix.
+
+        Chunk norms are computed in float64 (as the legacy path does) so the
+        FP16-rounded consensus -- and therefore the selected chunk set -- is
+        bit-identical to the per-worker path; the heavy value stage runs in
+        float32.
+        """
+        n = ctx.world_size
+        chunk = self.chunk_size
+        num_chunks = self.num_chunks(d)
+        j = self.num_top_chunks(d)
+        workspace = ctx.workspace
+
+        work = workspace.buf("topkc.work", (n, d), np.float32)
+        self._gather_rows(rows, work)
+        if self.permute:
+            permutation = self._permutation(d)
+            inverse = np.argsort(permutation)
+            work = work[:, permutation]
+        else:
+            inverse = None
+
+        # --- Stage 1: chunk-norm consensus ------------------------------- #
+        norm_compute = ctx.kernels.chunk_norm_time(d, chunk)
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:chunk_norms", norm_compute)
+
+        padded = workspace.buf("topkc.padded", (n, num_chunks * chunk), np.float64)
+        padded[:, :d] = work
+        if padded.shape[1] > d:
+            padded[:, d:] = 0.0
+        np.square(padded, out=padded)
+        norms = padded.reshape(n, num_chunks, chunk).sum(axis=2)
+        per_worker_norms = _as_fp16(norms).astype(np.float32)
+        norm_reduce = ctx.backend.allreduce_matrix(
+            per_worker_norms, wire_bits_per_value=STAGE_BITS, op=SumOp()
+        )
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:norm_allreduce", norm_reduce.cost.seconds
+        )
+        summed_norms = np.asarray(norm_reduce.aggregate)
+
+        select_seconds = ctx.kernels.topk_select_time(num_chunks, j)
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:chunk_select", select_seconds)
+        if j < summed_norms.size:
+            top_chunks = np.sort(np.argpartition(summed_norms, -j)[-j:])
+        else:
+            top_chunks = np.arange(summed_norms.size)
+
+        # --- Stage 2: all-reduce the agreed-upon chunks ------------------- #
+        selected_mask = np.zeros(num_chunks * chunk, dtype=bool)
+        for chunk_id in top_chunks:
+            selected_mask[chunk_id * chunk : (chunk_id + 1) * chunk] = True
+        selected_mask = selected_mask[:d]
+        selected_indices = np.flatnonzero(selected_mask)
+
+        gather_seconds = ctx.kernels.chunk_gather_time(selected_indices.size)
+        ctx.add_time(PHASE_COMPRESSION, f"{self.name}:chunk_gather", gather_seconds)
+
+        payload = work[:, selected_indices].astype(np.float16).astype(np.float32)
+        value_reduce = ctx.backend.allreduce_matrix(
+            payload, wire_bits_per_value=STAGE_BITS, op=SumOp()
+        )
+        ctx.add_time(
+            PHASE_COMMUNICATION, f"{self.name}:value_allreduce", value_reduce.cost.seconds
+        )
+
+        scatter_seconds = ctx.kernels.chunk_gather_time(selected_indices.size)
+        ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:scatter", scatter_seconds)
+
+        mean_permuted = np.zeros(d, dtype=np.float32)
+        mean_permuted[selected_indices] = np.asarray(value_reduce.aggregate) / n
+
+        transmitted_permuted = np.zeros((n, d), dtype=np.float32)
+        transmitted_permuted[:, selected_indices] = payload
+
+        if inverse is not None:
+            mean = mean_permuted[inverse]
+            transmitted = list(transmitted_permuted[:, inverse])
+        else:
+            mean = mean_permuted
+            transmitted = list(transmitted_permuted)
+
+        communication_seconds = norm_reduce.cost.seconds + value_reduce.cost.seconds
+        compression_seconds = (
+            norm_compute + select_seconds + gather_seconds + scatter_seconds
+        )
+        return AggregationResult(
+            mean_estimate=mean,
+            bits_per_coordinate=self.expected_bits_per_coordinate(d, n),
+            per_worker_transmitted=transmitted,
+            communication_seconds=communication_seconds,
+            compression_seconds=compression_seconds,
+        )
+
+    def _aggregate_legacy(
+        self, worker_gradients: list[np.ndarray], ctx: SimContext, d: int
+    ) -> AggregationResult:
         n = ctx.world_size
         chunk = self.chunk_size
         num_chunks = self.num_chunks(d)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.compression.base import AggregationScheme
+from repro.compression.kernels import KernelBackend
 from repro.compression.registry import configure_scheme_for_shapes, make_scheme
 from repro.compression.spec import SpecSyntaxError, parse_spec
 from repro.core.early_stopping import EarlyStopping
@@ -92,6 +93,7 @@ def build_trainer(
     error_feedback: bool | None = None,
     total_rounds_hint: int | None = None,
     num_buckets: int = 1,
+    kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
 ) -> DDPTrainer:
     """Assemble dataset, model, optimizer, and trainer for one scheme."""
     cluster = cluster or paper_testbed()
@@ -124,6 +126,7 @@ def build_trainer(
         eval_every=eval_every,
         seed=seed,
         num_buckets=num_buckets,
+        kernel_backend=kernel_backend,
     )
 
 
@@ -139,6 +142,7 @@ def run_end_to_end(
     early_stopping: EarlyStopping | None = None,
     rolling_window: int = 5,
     num_buckets: int = 1,
+    kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
 ) -> EndToEndResult:
     """Train one scheme on one workload and return its TTA curve.
 
@@ -159,6 +163,9 @@ def run_end_to_end(
             to the TTA curve, mirroring the paper's smoothing.
         num_buckets: Gradient buckets per simulated round; more than one
             prices the round through the bucketed pipeline simulator.
+        kernel_backend: Compression hot-path implementation (``"batched"``
+            or ``"legacy"``); functional results differ only within the
+            schemes' quantization tolerance.
     """
     trainer = build_trainer(
         scheme_name,
@@ -169,6 +176,7 @@ def run_end_to_end(
         error_feedback=error_feedback,
         total_rounds_hint=num_rounds,
         num_buckets=num_buckets,
+        kernel_backend=kernel_backend,
     )
     if early_stopping is None:
         early_stopping = EarlyStopping(

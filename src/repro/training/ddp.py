@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.collectives.api import CollectiveBackend
 from repro.compression.base import AggregationScheme, CostEstimate, SimContext
+from repro.compression.kernels import KernelBackend
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
@@ -135,6 +136,9 @@ class DDPTrainer:
             buckets' collectives interleave with the rest of the backward
             pass and with later buckets' compression, and heterogeneous
             clusters (stragglers, mixed NIC tiers) are priced exactly.
+        kernel_backend: Compression hot-path implementation: ``"batched"``
+            (default, fused vectorized kernels over the stacked worker
+            matrix) or ``"legacy"`` (per-worker float64 reference loops).
         overlap_fraction: Deprecated scalar shim -- fraction of communication
             hidden behind compute (0 = fully exposed).  Evaluated through the
             pipeline simulator's two-stage legacy schedule, which matches
@@ -160,6 +164,7 @@ class DDPTrainer:
         seed: int = 0,
         num_buckets: int = 1,
         overlap_fraction: float | None = None,
+        kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
     ):
         if eval_every <= 0:
             raise ValueError("eval_every must be positive")
@@ -184,10 +189,13 @@ class DDPTrainer:
         self.overlap_fraction = overlap_fraction
 
         backend = CollectiveBackend(self.cluster)
+        # One context for the whole run: the batched kernels' workspace is
+        # reused round after round, so steady-state rounds allocate nothing.
         self._ctx = SimContext(
             backend=backend,
             kernels=KernelCostModel(gpu=self.cluster.gpu),
             rng=np.random.default_rng(seed),
+            kernel_backend=KernelBackend.coerce(kernel_backend),
         )
         self.workers = [
             DDPWorker(

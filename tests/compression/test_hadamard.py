@@ -26,6 +26,22 @@ class TestPadding:
     def test_scalar_padded_to_two(self):
         assert pad_to_power_of_two(np.ones(1)).size == 2
 
+    def test_preserves_dtype(self):
+        """No silent float64 promotion: float32 stays float32 (half the memory)."""
+        assert pad_to_power_of_two(np.ones(5, dtype=np.float32)).dtype == np.float32
+        assert pad_to_power_of_two(np.ones(8, dtype=np.float32)).dtype == np.float32
+        assert pad_to_power_of_two(np.ones(5, dtype=np.float64)).dtype == np.float64
+
+    def test_power_of_two_is_copy_free_by_default(self):
+        vector = np.arange(16, dtype=np.float32)
+        assert pad_to_power_of_two(vector) is vector
+
+    def test_copy_flag_forces_a_copy(self):
+        vector = np.arange(16, dtype=np.float32)
+        padded = pad_to_power_of_two(vector, copy=True)
+        assert padded is not vector
+        np.testing.assert_array_equal(padded, vector)
+
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             pad_to_power_of_two(np.array([]))
