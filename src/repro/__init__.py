@@ -23,6 +23,7 @@ from repro.compression import (
     parse_spec,
 )
 from repro.simulator.cluster import ClusterSpec, multirack_cluster, paper_testbed
+from repro.simulator.scenario import Scenario, parse_scenario, scenario
 from repro.topology import FabricSpec, SwitchModel, two_tier_fabric
 
 
@@ -46,8 +47,11 @@ __all__ = [
     "parse_spec",
     "ClusterSpec",
     "FabricSpec",
+    "Scenario",
     "SwitchModel",
     "multirack_cluster",
     "paper_testbed",
+    "parse_scenario",
+    "scenario",
     "two_tier_fabric",
 ]

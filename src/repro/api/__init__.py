@@ -43,6 +43,7 @@ from repro.api.session import (
     ExperimentSession,
 )
 from repro.api.sweep import ANY, SweepPoint, SweepResult, cluster_label, expand_grid
+from repro.simulator.scenario import Scenario, ScenarioMetrics, scenario
 
 __all__ = [
     "ANY",
@@ -52,6 +53,8 @@ __all__ = [
     "ExperimentSession",
     "KernelBackend",
     "SWEEP_METRICS",
+    "Scenario",
+    "ScenarioMetrics",
     "SweepPoint",
     "SweepResult",
     "ThroughputEstimate",
@@ -63,4 +66,5 @@ __all__ = [
     "expand_grid",
     "mean_vnmse",
     "paper_context",
+    "scenario",
 ]

@@ -27,6 +27,13 @@ from repro.simulator.pipeline import (
     serialized_schedule,
     simulate_schedule,
 )
+from repro.simulator.scenario import (
+    Scenario,
+    ScenarioMetrics,
+    run_scenario,
+    scenario as as_scenario,
+    scenario_metrics,
+)
 from repro.simulator.timeline import RoundTimeline
 from repro.training.gradients import SyntheticGradientModel
 from repro.training.workloads import WorkloadSpec
@@ -75,10 +82,18 @@ class ThroughputEstimate:
 
     Attributes:
         cost: Per-round kernel and collective costs (summed over all buckets
-            when the round is bucketed).
+            when the round is bucketed).  Under a scenario this is the
+            *nominal* breakdown on the unperturbed cluster.
         num_buckets: How many gradient buckets the round was scheduled with
             (1 = fully serialized, the historical model).
-        pipeline: The bucket-level schedule behind ``round_seconds``.
+        pipeline: The bucket-level schedule behind the nominal round time.
+        scenario: Canonical spec of the scenario the estimate was priced
+            under, or None for a plain static estimate.
+        scenario_metrics: Tail summary of the scenario run (p50/p95/p99 round
+            time, excess cost, recovery); None for a plain static estimate.
+            Under a scenario, ``round_seconds`` is the mean round time and
+            ``rounds_per_second`` the run-level throughput
+            (``num_rounds / total_seconds``).
     """
 
     scheme_name: str
@@ -88,6 +103,8 @@ class ThroughputEstimate:
     cost: CostEstimate
     num_buckets: int = 1
     pipeline: PipelineResult | None = None
+    scenario: str | None = None
+    scenario_metrics: ScenarioMetrics | None = None
 
     def compression_fraction(self) -> float:
         """Fraction of the round spent in compression kernels (Table 6 metric)."""
@@ -105,6 +122,8 @@ def estimate_throughput(
     ctx: SimContext | None = None,
     num_buckets: int = 1,
     overlap_fraction: float | None = None,
+    scenario: "Scenario | str | None" = None,
+    num_rounds: int | None = None,
 ) -> ThroughputEstimate:
     """Price one training round of ``scheme`` on ``workload`` at paper scale.
 
@@ -119,52 +138,115 @@ def estimate_throughput(
 
     Heterogeneous clusters (worker straggler slowdowns, mixed NIC tiers) are
     priced exactly: the schedule runs on the cluster's worker profiles.
+
+    ``scenario`` (a :class:`~repro.simulator.scenario.Scenario` or a spec
+    string like ``"flap(rack=1)@20..25 + churn(p=0.05)"``) prices a
+    ``num_rounds``-round run under dynamic events instead of one steady-state
+    round: every round is scheduled on the scenario's effective cluster for
+    that round (pricing memoized per distinct configuration), and the
+    estimate carries per-scenario tail metrics (p50/p95/p99 round time,
+    excess cost, recovery).  ``num_rounds`` defaults to the scenario's
+    horizon plus a small recovery margin.  A scenario with no events is
+    bit-exact with the static estimate.
     """
     if num_buckets < 1:
         raise ValueError("num_buckets must be >= 1")
     if overlap_fraction is not None and num_buckets > 1:
         raise ValueError("overlap_fraction is a legacy shim; use num_buckets without it")
+    if num_rounds is not None and scenario is None:
+        raise ValueError("num_rounds only applies to scenario runs; pass scenario=")
+    if num_rounds is not None and num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
     ctx = ctx or paper_context(cluster)
     scheme = configure_for_workload(scheme, workload)
     compute_seconds = workload.compute_seconds_for(training_precision)
-    cluster_spec = ctx.backend.cluster
+    base_cluster = ctx.backend.cluster
 
-    if overlap_fraction is not None:
-        cost = scheme.estimate_costs(workload.paper_num_coordinates, ctx)
-        schedule = legacy_overlap_schedule(
-            compute_seconds,
-            cost.compression_seconds,
-            cost.communication_seconds,
-            overlap_fraction=overlap_fraction,
-        )
-    else:
-        bucket_costs = scheme.estimate_bucket_costs(
-            workload.paper_num_coordinates, num_buckets, ctx
-        )
-        cost = CostEstimate(
-            compression_seconds=sum(b.compression_seconds for b in bucket_costs),
-            communication_seconds=sum(b.communication_seconds for b in bucket_costs),
-            bits_per_coordinate=bucket_costs[0].bits_per_coordinate,
-        )
-        if len(bucket_costs) == 1:
-            schedule = serialized_schedule(
-                compute_seconds, cost.compression_seconds, cost.communication_seconds
+    def price(cluster_spec: ClusterSpec, price_ctx: SimContext):
+        if overlap_fraction is not None:
+            round_cost = scheme.estimate_costs(workload.paper_num_coordinates, price_ctx)
+            schedule = legacy_overlap_schedule(
+                compute_seconds,
+                round_cost.compression_seconds,
+                round_cost.communication_seconds,
+                overlap_fraction=overlap_fraction,
             )
         else:
-            schedule = bucketed_schedule(
-                compute_seconds,
-                [(b.compression_seconds, b.communication_seconds) for b in bucket_costs],
+            bucket_costs = scheme.estimate_bucket_costs(
+                workload.paper_num_coordinates, num_buckets, price_ctx
             )
-    result = simulate_schedule(schedule, cluster_spec)
+            round_cost = CostEstimate(
+                compression_seconds=sum(b.compression_seconds for b in bucket_costs),
+                communication_seconds=sum(b.communication_seconds for b in bucket_costs),
+                bits_per_coordinate=bucket_costs[0].bits_per_coordinate,
+            )
+            if len(bucket_costs) == 1:
+                schedule = serialized_schedule(
+                    compute_seconds,
+                    round_cost.compression_seconds,
+                    round_cost.communication_seconds,
+                )
+            else:
+                schedule = bucketed_schedule(
+                    compute_seconds,
+                    [
+                        (b.compression_seconds, b.communication_seconds)
+                        for b in bucket_costs
+                    ],
+                )
+        return round_cost, len(schedule), simulate_schedule(schedule, cluster_spec)
+
+    cost, scheduled_buckets, result = price(base_cluster, ctx)
     round_seconds = result.makespan_seconds
+    reported_buckets = scheduled_buckets if overlap_fraction is None else 1
+
+    if scenario is None:
+        scenario_obj = None
+        metrics = None
+        rounds_per_second = 1.0 / round_seconds
+    else:
+        scenario_obj = as_scenario(scenario)
+        rounds = (
+            num_rounds if num_rounds is not None else scenario_obj.default_num_rounds()
+        )
+        if scenario_obj.is_static:
+            # No events: every round is the static round, bit-exactly.
+            metrics = scenario_metrics([round_seconds] * rounds, round_seconds)
+            rounds_per_second = 1.0 / round_seconds
+        else:
+
+            def price_effective(effective: ClusterSpec) -> float:
+                if effective is base_cluster:
+                    return round_seconds
+                # No scenario event changes the GPU model, so the caller's
+                # kernel cost model (custom factors included) carries over.
+                effective_ctx = SimContext(
+                    backend=CollectiveBackend(effective),
+                    kernels=(
+                        ctx.kernels
+                        if effective.gpu == base_cluster.gpu
+                        else KernelCostModel(gpu=effective.gpu)
+                    ),
+                    rng=np.random.default_rng(0),
+                    kernel_backend=ctx.kernel_backend,
+                )
+                return price(effective, effective_ctx)[2].makespan_seconds
+
+            run = run_scenario(base_cluster, scenario_obj, rounds, price_effective)
+            metrics = run.metrics
+            rounds_per_second = run.metrics.num_rounds / run.metrics.total_seconds
+            round_seconds = run.metrics.mean_round_seconds
+
     return ThroughputEstimate(
         scheme_name=scheme.name,
         workload_name=workload.name,
-        rounds_per_second=1.0 / round_seconds,
+        rounds_per_second=rounds_per_second,
         round_seconds=round_seconds,
         cost=cost,
-        num_buckets=len(schedule) if overlap_fraction is None else 1,
+        num_buckets=reported_buckets,
         pipeline=result,
+        scenario=scenario_obj.spec() if scenario_obj is not None else None,
+        scenario_metrics=metrics,
     )
 
 

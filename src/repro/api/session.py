@@ -53,6 +53,7 @@ from repro.core.utility import UtilityReport, compute_utility
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.scenario import Scenario, scenario as as_scenario
 from repro.simulator.timeline import RoundTimeline
 from repro.topology.fabric import FabricSpec
 from repro.training.workloads import WorkloadSpec
@@ -82,6 +83,7 @@ class _SweepTask:
     backend: str
     metric: str
     kwargs: dict = field(default_factory=dict)
+    scenario: Scenario | None = None
 
 
 def _run_sweep_task(task: _SweepTask) -> tuple[float, object]:
@@ -94,7 +96,12 @@ def _run_sweep_task(task: _SweepTask) -> tuple[float, object]:
         executor="serial",
     )
     return session._evaluate_metric(
-        task.metric, task.spec, task.workload, task.cluster, dict(task.kwargs)
+        task.metric,
+        task.spec,
+        task.workload,
+        task.cluster,
+        dict(task.kwargs),
+        scenario=task.scenario,
     )
 
 
@@ -201,12 +208,17 @@ class ExperimentSession:
         error_feedback: bool = False,
         num_buckets: int = 1,
         overlap_fraction: float | None = None,
+        scenario: Scenario | str | None = None,
+        num_rounds: int | None = None,
     ) -> ThroughputEstimate:
         """Price one training round of a scheme on a workload at paper scale.
 
         ``num_buckets > 1`` prices the round through the bucketed pipeline
         simulator (per-bucket collectives interleaved with backward compute);
-        ``overlap_fraction`` is the deprecated scalar shim.
+        ``overlap_fraction`` is the deprecated scalar shim.  ``scenario``
+        (a :class:`~repro.simulator.scenario.Scenario` or spec string such as
+        ``"flap(rack=1)@20..25 + churn(p=0.05)"``) prices a ``num_rounds``
+        run under dynamic events and attaches per-scenario tail metrics.
         """
         scheme = self.scheme(spec, error_feedback=error_feedback)
         return estimate_throughput(
@@ -216,6 +228,8 @@ class ExperimentSession:
             ctx=self.context(cluster=cluster),
             num_buckets=num_buckets,
             overlap_fraction=overlap_fraction,
+            scenario=scenario,
+            num_rounds=num_rounds,
         )
 
     def vnmse(
@@ -258,11 +272,14 @@ class ExperimentSession:
         rolling_window: int = 5,
         cluster: ClusterSpec | None = None,
         num_buckets: int = 1,
+        scenario: Scenario | str | None = None,
     ) -> EndToEndResult:
         """Train a scheme end-to-end and return its time-to-accuracy result.
 
         ``num_buckets > 1`` prices each simulated round through the bucketed
-        pipeline simulator instead of serializing the phases.
+        pipeline simulator instead of serializing the phases.  ``scenario``
+        runs the training under dynamic events: per-round effective-cluster
+        pricing, elastic membership, and tail behaviour in the history.
         """
         return run_end_to_end(
             spec,
@@ -275,6 +292,7 @@ class ExperimentSession:
             rolling_window=rolling_window,
             num_buckets=num_buckets,
             kernel_backend=self.backend,
+            scenario=scenario,
         )
 
     # ------------------------------------------------------------------ #
@@ -324,13 +342,14 @@ class ExperimentSession:
         clusters: Sequence[ClusterSpec] | ClusterSpec | None = None,
         *,
         fabrics: "Sequence[FabricSpec] | FabricSpec | None" = None,
+        scenarios: "Sequence[Scenario | str] | Scenario | str | None" = None,
         metric: str | Callable = "throughput",
         parallel: bool = True,
         memoize: bool = True,
         executor: str | None = None,
         **metric_kwargs,
     ) -> SweepResult:
-        """Measure every (spec, workload, cluster) grid point.
+        """Measure every (spec, workload, cluster, scenario) grid point.
 
         Args:
             specs: Scheme spec strings (one or several).
@@ -342,9 +361,18 @@ class ExperimentSession:
                 one grid point per fabric via
                 :meth:`~repro.simulator.cluster.ClusterSpec.with_fabric`, so
                 oversubscription / rack-count sweeps are pure data.
+            scenarios: Optional dynamic-events axis
+                (:class:`~repro.simulator.scenario.Scenario` instances or
+                spec strings like ``"flap(rack=1)@20..25 + churn(p=0.05)"``);
+                every grid point is measured once per scenario.  Memoization
+                keys include the scenario's full cache key, so two scenarios
+                on the same cluster never share a memo entry.  Supported by
+                the ``throughput`` and ``tta`` metrics (and callables taking
+                a ``scenario`` keyword).
             metric: ``"throughput"``, ``"vnmse"``, ``"tta"``, or a callable
                 ``metric(session, spec, workload, cluster, **kwargs)``
-                returning a value or a ``(value, detail)`` pair.
+                returning a value or a ``(value, detail)`` pair (called with
+                an extra ``scenario=`` keyword under a scenarios axis).
             parallel: Execute points concurrently (results are identical to
                 the sequential order because every point draws its own rng
                 from the session seed).  ``False`` forces serial execution.
@@ -377,7 +405,14 @@ class ExperimentSession:
                 for cluster in base_clusters
                 for fabric in fabric_list
             ]
-        grid = expand_grid(specs, workloads, clusters)
+        scenario_axis: Sequence[Scenario] | Scenario | None
+        if scenarios is None:
+            scenario_axis = None
+        elif isinstance(scenarios, (Scenario, str)):
+            scenario_axis = as_scenario(scenarios)
+        else:
+            scenario_axis = [as_scenario(entry) for entry in scenarios]
+        grid = expand_grid(specs, workloads, clusters, scenario_axis)
         metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
         if isinstance(metric, str) and metric not in SWEEP_METRICS:
             raise ValueError(
@@ -388,22 +423,27 @@ class ExperimentSession:
         # One parse/build/format per distinct spec spelling; the canonical
         # form keys the memo so aliases and their spec forms share entries.
         canonical_by_spec = {
-            spec: self._canonical(spec) for spec in dict.fromkeys(s for s, _, _ in grid)
+            spec: self._canonical(spec) for spec in dict.fromkeys(s for s, _, _, _ in grid)
         }
 
-        def key_for(spec: str, workload, cluster) -> tuple:
-            # The cluster is keyed by its full identity, not its display
-            # label: two same-shape clusters with different GPUs, NICs, or
-            # worker profiles must never share memoized points.
+        def key_for(spec: str, workload, cluster, scenario) -> tuple:
+            # The cluster and scenario are keyed by their full identities,
+            # not their display labels: two same-shape clusters with
+            # different GPUs, NICs, or worker profiles -- and two scenarios
+            # on the same cluster (or one scenario at two seeds) -- must
+            # never share memoized points.
             return (
                 metric_name,
                 canonical_by_spec[spec] if isinstance(metric, str) else spec,
                 workload.name if workload is not None else None,
                 cluster.cache_key() if cluster is not None else None,
+                scenario.cache_key() if scenario is not None else None,
                 repr(sorted(metric_kwargs.items(), key=lambda item: item[0])),
             )
 
-        def as_point(spec: str, workload, cluster, outcome: tuple[float, object]) -> SweepPoint:
+        def as_point(
+            spec: str, workload, cluster, scenario, outcome: tuple[float, object]
+        ) -> SweepPoint:
             value, detail = outcome
             return SweepPoint(
                 spec=spec,
@@ -413,11 +453,16 @@ class ExperimentSession:
                 metric=metric_name,
                 value=value,
                 detail=detail,
+                scenario=scenario.label() if scenario is not None else None,
             )
 
-        def respell(point: SweepPoint, spec: str) -> SweepPoint:
-            # Preserve the caller's spelling of the spec in the result.
-            if point.spec == spec:
+        def respell(point: SweepPoint, spec: str, scenario) -> SweepPoint:
+            # Preserve the caller's spelling of the spec -- and the caller's
+            # scenario display name -- in the result.  Two scenarios equal in
+            # identity but differently named share one memo entry, yet each
+            # grid point must stay addressable by its own label.
+            label = scenario.label() if scenario is not None else None
+            if point.spec == spec and point.scenario == label:
                 return point
             return SweepPoint(
                 spec=spec,
@@ -427,6 +472,7 @@ class ExperimentSession:
                 metric=point.metric,
                 value=point.value,
                 detail=point.detail,
+                scenario=label,
             )
 
         # Split the grid into memo hits and the pending work-list; grid
@@ -436,12 +482,12 @@ class ExperimentSession:
         if memoize:
             pending: dict[tuple, list[int]] = {}
             with self._memo_lock:
-                for position, (spec, workload, cluster) in enumerate(grid):
-                    cached = self._memo.get(key_for(spec, workload, cluster))
+                for position, entry in enumerate(grid):
+                    cached = self._memo.get(key_for(*entry))
                     if cached is not None:
-                        results[position] = respell(cached, spec)
+                        results[position] = respell(cached, entry[0], entry[3])
                     else:
-                        pending.setdefault(key_for(spec, workload, cluster), []).append(position)
+                        pending.setdefault(key_for(*entry), []).append(position)
             work_positions = [positions[0] for positions in pending.values()]
         else:
             pending = {}
@@ -459,15 +505,16 @@ class ExperimentSession:
         if memoize:
             with self._memo_lock:
                 for positions, outcome in zip(pending.values(), outcomes):
-                    spec, workload, cluster = grid[positions[0]]
-                    point = as_point(spec, workload, cluster, outcome)
-                    self._memo[key_for(spec, workload, cluster)] = point
+                    entry = grid[positions[0]]
+                    point = as_point(*entry, outcome)
+                    self._memo[key_for(*entry)] = point
                     for position in positions:
-                        results[position] = respell(point, grid[position][0])
+                        results[position] = respell(
+                            point, grid[position][0], grid[position][3]
+                        )
         else:
             for position, outcome in zip(work_positions, outcomes):
-                spec, workload, cluster = grid[position]
-                results[position] = as_point(spec, workload, cluster, outcome)
+                results[position] = as_point(*grid[position], outcome)
 
         points = [results[position] for position in range(len(grid))]
         return SweepResult(metric=metric_name, points=points)
@@ -507,16 +554,19 @@ class ExperimentSession:
                     backend=self.backend.value,
                     metric=metric_name,
                     kwargs=dict(metric_kwargs),
+                    scenario=scenario,
                 )
-                for spec, workload, cluster in entries
+                for spec, workload, cluster, scenario in entries
             ]
             return run_tasks(
                 tasks, _run_sweep_task, executor="process", max_workers=self.max_workers
             )
 
         def evaluate(entry: tuple) -> tuple[float, object]:
-            spec, workload, cluster = entry
-            return self._evaluate_metric(metric, spec, workload, cluster, metric_kwargs)
+            spec, workload, cluster, scenario = entry
+            return self._evaluate_metric(
+                metric, spec, workload, cluster, metric_kwargs, scenario=scenario
+            )
 
         max_workers = self.max_workers or min(8, len(entries))
         return run_tasks(entries, evaluate, executor=strategy, max_workers=max_workers)
@@ -551,23 +601,35 @@ class ExperimentSession:
         workload: WorkloadSpec | None,
         cluster: ClusterSpec | None,
         kwargs: dict,
+        *,
+        scenario: Scenario | None = None,
     ) -> tuple[float, object]:
+        # Scenario-free points call the metric exactly as they always have,
+        # so the historical three-axis sweeps stay byte-for-byte identical.
+        scenario_kwargs = {} if scenario is None else {"scenario": scenario}
         if callable(metric):
-            outcome = metric(self, spec, workload, cluster, **kwargs)
+            outcome = metric(self, spec, workload, cluster, **scenario_kwargs, **kwargs)
             if isinstance(outcome, tuple) and len(outcome) == 2:
                 return float(outcome[0]), outcome[1]
             return float(outcome), None
         if metric == "throughput":
             if workload is None:
                 raise ValueError("the throughput metric needs a workload axis")
-            estimate = self.throughput(spec, workload, cluster=cluster, **kwargs)
+            estimate = self.throughput(
+                spec, workload, cluster=cluster, **scenario_kwargs, **kwargs
+            )
             return estimate.rounds_per_second, estimate
         if metric == "vnmse":
+            if scenario is not None:
+                raise ValueError(
+                    "the vnmse metric has no time dimension; scenarios do not "
+                    "apply (use the throughput or tta metric)"
+                )
             error = self.vnmse(spec, cluster=cluster, **kwargs)
             return error, error
         if metric == "tta":
             if workload is None:
                 raise ValueError("the tta metric needs a workload axis")
-            result = self.tta(spec, workload, cluster=cluster, **kwargs)
+            result = self.tta(spec, workload, cluster=cluster, **scenario_kwargs, **kwargs)
             return result.curve.best_value(), result
         raise ValueError(f"unknown sweep metric {metric!r}")

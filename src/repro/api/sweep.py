@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.simulator.cluster import ClusterSpec
+from repro.simulator.scenario import Scenario
 from repro.training.workloads import WorkloadSpec
 
 
@@ -48,6 +49,8 @@ class SweepPoint:
         value: The scalar headline value of the point.
         detail: The full measurement object (ThroughputEstimate,
             EndToEndResult, ...) when the metric produces one.
+        scenario: The scenario's display label (name or canonical spec), or
+            None when the sweep had no scenarios axis.
     """
 
     spec: str
@@ -57,6 +60,7 @@ class SweepPoint:
     metric: str
     value: float
     detail: object = None
+    scenario: str | None = None
 
 
 @dataclass
@@ -82,24 +86,40 @@ class SweepResult:
         """Distinct workload names, in first-seen order."""
         return list(dict.fromkeys(point.workload for point in self.points))
 
+    @property
+    def scenarios(self) -> list[str | None]:
+        """Distinct scenario labels, in first-seen order."""
+        return list(dict.fromkeys(point.scenario for point in self.points))
+
     def point(
         self,
         spec: str,
         workload: str | WorkloadSpec | None | _AnySentinel = ANY,
         cluster: str | None | _AnySentinel = ANY,
+        scenario: "str | Scenario | None | _AnySentinel" = ANY,
     ) -> SweepPoint:
         """Look up one point by spec (as written or canonical) and workload.
 
         The axis filters default to :data:`ANY` (match whatever is there).
         Passing ``None`` explicitly matches only points whose workload (or
-        cluster) actually is ``None`` -- a workload-free metric like vNMSE,
-        or the session's own cluster -- so those points stay addressable in
-        mixed grids.
+        cluster, or scenario) actually is ``None`` -- a workload-free metric
+        like vNMSE, the session's own cluster, or a scenario-free point --
+        so those points stay addressable in mixed grids.  A scenario filter
+        accepts the label, the canonical spec, or a :class:`Scenario`.
         """
         if isinstance(workload, _AnySentinel):
             workload_name: str | None | _AnySentinel = ANY
         else:
             workload_name = workload.name if isinstance(workload, WorkloadSpec) else workload
+        if isinstance(scenario, Scenario):
+            scenario_labels: tuple[str | None, ...] | _AnySentinel = (
+                scenario.label(),
+                scenario.spec(),
+            )
+        elif isinstance(scenario, _AnySentinel):
+            scenario_labels = ANY
+        else:
+            scenario_labels = (scenario,)
         for point in self.points:
             if point.spec != spec and point.canonical_spec != spec:
                 continue
@@ -107,28 +127,55 @@ class SweepResult:
                 continue
             if not isinstance(cluster, _AnySentinel) and point.cluster != cluster:
                 continue
+            if (
+                not isinstance(scenario_labels, _AnySentinel)
+                and point.scenario not in scenario_labels
+            ):
+                continue
             return point
         raise KeyError(
             f"no sweep point for spec={spec!r}, workload={workload_name!r}, "
-            f"cluster={cluster!r} in this {self.metric} sweep"
+            f"cluster={cluster!r}, scenario={scenario!r} in this {self.metric} sweep"
         )
 
-    def value(self, spec: str, workload=ANY, cluster=ANY) -> float:
+    def value(self, spec: str, workload=ANY, cluster=ANY, scenario=ANY) -> float:
         """The scalar value of one point."""
-        return self.point(spec, workload, cluster).value
+        return self.point(spec, workload, cluster, scenario).value
 
-    def detail(self, spec: str, workload=ANY, cluster=ANY):
+    def detail(self, spec: str, workload=ANY, cluster=ANY, scenario=ANY):
         """The full measurement object of one point."""
-        return self.point(spec, workload, cluster).detail
+        return self.point(spec, workload, cluster, scenario).detail
+
+    @property
+    def has_scenarios(self) -> bool:
+        """Whether any point of this sweep was measured under a scenario."""
+        return any(point.scenario is not None for point in self.points)
 
     def rows(self) -> list[list[object]]:
-        """Long-format rows ``[spec, workload, cluster, value]`` for reporting."""
+        """Long-format rows ``[spec, workload, cluster[, scenario], value]``.
+
+        The scenario column appears only when the sweep had a scenarios axis,
+        so scenario-free sweeps render exactly as before.
+        """
+        if self.has_scenarios:
+            return [
+                [
+                    point.spec,
+                    point.workload or "-",
+                    point.cluster or "-",
+                    point.scenario or "-",
+                    point.value,
+                ]
+                for point in self.points
+            ]
         return [
             [point.spec, point.workload or "-", point.cluster or "-", point.value]
             for point in self.points
         ]
 
     def header(self) -> list[str]:
+        if self.has_scenarios:
+            return ["Scheme", "Workload", "Cluster", "Scenario", self.metric]
         return ["Scheme", "Workload", "Cluster", self.metric]
 
     def pivot(self) -> tuple[list[str], list[list[object]]]:
@@ -165,8 +212,13 @@ def expand_grid(
     specs: Sequence[str] | str,
     workloads: Sequence[WorkloadSpec] | WorkloadSpec | None,
     clusters: Sequence[ClusterSpec] | ClusterSpec | None,
-) -> list[tuple[str, WorkloadSpec | None, ClusterSpec | None]]:
-    """The cross product of the three sweep axes, in deterministic order."""
+    scenarios: "Sequence[Scenario] | Scenario | None" = None,
+) -> list[tuple[str, WorkloadSpec | None, ClusterSpec | None, Scenario | None]]:
+    """The cross product of the four sweep axes, in deterministic order.
+
+    ``scenarios=None`` (no axis) yields one scenario-free entry per grid
+    point, preserving the historical three-axis behaviour.
+    """
     spec_list = [specs] if isinstance(specs, str) else list(specs)
     if not spec_list:
         raise ValueError("sweep needs at least one scheme spec")
@@ -184,8 +236,18 @@ def expand_grid(
         cluster_list = [clusters]
     else:
         cluster_list = list(clusters)
+    scenario_list: list[Scenario | None]
+    if scenarios is None:
+        scenario_list = [None]
+    elif isinstance(scenarios, Scenario):
+        scenario_list = [scenarios]
+    else:
+        scenario_list = list(scenarios)
+        if not scenario_list:
+            raise ValueError("scenarios axis must not be empty when given")
     return [
-        (spec, workload, cluster)
+        (spec, workload, cluster, scenario)
+        for scenario in scenario_list
         for cluster in cluster_list
         for workload in workload_list
         for spec in spec_list

@@ -101,7 +101,18 @@ class ErrorFeedback(AggregationScheme):
         return list(self._residual_matrix)
 
     def _residuals_for(self, n: int, d: int) -> np.ndarray:
-        """The residual matrix, initialised on first use and shape-checked."""
+        """The residual matrix, initialised on first use and shape-checked.
+
+        A changed *worker count* (elastic membership: a scenario's join/leave
+        events) resets the residuals -- a real elastic job cannot carry a
+        departed worker's residual, and a joiner starts with none.  A changed
+        gradient *size* is still an error: that is a different model, not a
+        membership change.
+        """
+        if self._residual_matrix is not None and (
+            self._residual_matrix.shape[0] != n and self._residual_matrix.shape[1] == d
+        ):
+            self._residual_matrix = None
         if self._residual_matrix is None:
             self._residual_matrix = np.zeros((n, d), dtype=np.float32)
         if self._residual_matrix.shape != (n, d):

@@ -22,6 +22,7 @@ from repro.core.early_stopping import EarlyStopping
 from repro.core.tta import TTACurve
 from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.scenario import Scenario
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.ddp import DDPTrainer, TrainingHistory
 from repro.training.models import MLPClassifier
@@ -94,6 +95,7 @@ def build_trainer(
     total_rounds_hint: int | None = None,
     num_buckets: int = 1,
     kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
+    scenario: Scenario | str | None = None,
 ) -> DDPTrainer:
     """Assemble dataset, model, optimizer, and trainer for one scheme."""
     cluster = cluster or paper_testbed()
@@ -127,6 +129,7 @@ def build_trainer(
         seed=seed,
         num_buckets=num_buckets,
         kernel_backend=kernel_backend,
+        scenario=scenario,
     )
 
 
@@ -143,6 +146,7 @@ def run_end_to_end(
     rolling_window: int = 5,
     num_buckets: int = 1,
     kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
+    scenario: Scenario | str | None = None,
 ) -> EndToEndResult:
     """Train one scheme on one workload and return its TTA curve.
 
@@ -166,6 +170,10 @@ def run_end_to_end(
         kernel_backend: Compression hot-path implementation (``"batched"``
             or ``"legacy"``); functional results differ only within the
             schemes' quantization tolerance.
+        scenario: Optional dynamic-events scenario
+            (:class:`~repro.simulator.scenario.Scenario` or spec string):
+            rounds are priced on the scenario's per-round effective cluster
+            and membership events change the contributing workers.
     """
     trainer = build_trainer(
         scheme_name,
@@ -177,6 +185,7 @@ def run_end_to_end(
         total_rounds_hint=num_rounds,
         num_buckets=num_buckets,
         kernel_backend=kernel_backend,
+        scenario=scenario,
     )
     if early_stopping is None:
         early_stopping = EarlyStopping(
@@ -189,7 +198,10 @@ def run_end_to_end(
         workload_name=workload.name,
         history=history,
         curve=curve,
-        rounds_per_second=history.throughput_rounds_per_second(),
+        # Scenario-aware: under dynamic events this is the run-level
+        # throughput over the recorded round times; static runs keep the
+        # exact nominal 1 / round_seconds.
+        rounds_per_second=history.effective_rounds_per_second(),
         bits_per_coordinate=trainer.round_cost_estimate.bits_per_coordinate,
     )
 

@@ -22,6 +22,7 @@ EXPERIMENTS.md document records the measured values next to the paper's.
 
 from repro.experiments import (  # noqa: F401
     common,
+    faults,
     figure1,
     figure2,
     figure3,
@@ -37,6 +38,7 @@ from repro.experiments import (  # noqa: F401
 
 __all__ = [
     "common",
+    "faults",
     "table1",
     "table2",
     "table4",

@@ -39,6 +39,24 @@ from repro.simulator.cluster import (
     multirack_cluster,
     paper_testbed,
 )
+from repro.simulator.scenario import (
+    Scenario,
+    ScenarioEvent,
+    ScenarioMetrics,
+    ScenarioRun,
+    available_events,
+    churn,
+    join,
+    leave,
+    link_flap,
+    nic_degrade,
+    parse_scenario,
+    run_scenario,
+    scenario,
+    scenario_metrics,
+    slowdown,
+    switch_memory_pressure,
+)
 
 __all__ = [
     "BucketCost",
@@ -51,14 +69,30 @@ __all__ = [
     "PipelineResult",
     "Precision",
     "RoundTimeline",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioMetrics",
+    "ScenarioRun",
     "TimelineEntry",
     "WorkerProfile",
+    "available_events",
     "bucketed_schedule",
+    "churn",
+    "join",
+    "leave",
     "legacy_overlap_makespan",
     "legacy_overlap_schedule",
+    "link_flap",
     "multirack_cluster",
+    "nic_degrade",
     "paper_testbed",
+    "parse_scenario",
+    "run_scenario",
+    "scenario",
+    "scenario_metrics",
     "serialized_schedule",
     "simulate_schedule",
+    "slowdown",
     "split_coordinates",
+    "switch_memory_pressure",
 ]

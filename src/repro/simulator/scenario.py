@@ -1,0 +1,955 @@
+"""Dynamic-events scenario engine: faults, churn, and elastic membership.
+
+The paper evaluates its aggregation schemes on a static cluster, but real
+deployments are anything but static: stragglers come and go, links degrade
+and recover, switches run out of aggregation memory under competing tenants,
+and elastic training jobs gain and lose workers mid-run.  Steady-state
+averages hide all of that -- transient hotspots dominate *tail* round times,
+and scheme rankings that hold on a quiet cluster can invert under churn.
+
+A :class:`Scenario` is a timed sequence of cluster mutations.  Each
+:class:`ScenarioEvent` owns a half-open round window ``[start_round,
+until_round)`` (``until_round=None`` means "until the end of the run") and a
+pure rewrite of the effective :class:`~repro.simulator.cluster.ClusterSpec`
+for the rounds in its window:
+
+* :func:`slowdown` -- one worker's compute/kernel clock runs ``x`` times
+  slower (a straggler);
+* :func:`nic_degrade` -- one worker's NIC drops to ``1/x`` bandwidth;
+* :func:`link_flap` -- every worker in one rack loses NIC bandwidth (an
+  uplink flapping down to a degraded rate);
+* :func:`switch_memory_pressure` -- the fabric switches' aggregation pool
+  shrinks to a fraction of its size (competing in-network tenants);
+* :func:`churn` -- every round, each worker independently becomes a
+  straggler with probability ``p`` (deterministic per scenario seed);
+* :func:`join` / :func:`leave` -- elastic membership at node granularity.
+
+Scenarios are expressed programmatically (``Scenario.of(slowdown(3, 2.5,
+at_round=10, until=40))``) or as composable spec strings mirroring the
+scheme-spec language::
+
+    scenario("flap(rack=1)@20..25 + churn(p=0.05)")
+
+The engine rewrites the effective cluster per round (:meth:`
+Scenario.cluster_at`); rounds with no active events return the base cluster
+*object itself*, so static stretches price bit-exactly like the static
+simulator and sweep memoization keys (:meth:`Scenario.cache_key`) stay
+correct.  :func:`run_scenario` drives any per-cluster pricing function over
+a scenario and summarises the tail behaviour (:class:`ScenarioMetrics`:
+p50/p95/p99 round time, excess time attributable to events, recovery).
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.cluster import ClusterSpec
+
+
+class UnknownEventError(KeyError):
+    """An unknown scenario event name, with close-match suggestions."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = sorted(known)
+        self.suggestions = difflib.get_close_matches(name, self.known, n=3, cutoff=0.5)
+        message = f"unknown scenario event {name!r}"
+        if self.suggestions:
+            message += f"; did you mean: {', '.join(self.suggestions)}?"
+        message += f" (known: {', '.join(self.known)})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ shows the repr of args[0]
+        return self.args[0]
+
+
+class ScenarioSyntaxError(ValueError):
+    """A scenario spec string that does not conform to the grammar."""
+
+    def __init__(self, text: str, position: int, reason: str):
+        self.text = text
+        self.position = position
+        self.reason = reason
+        pointer = " " * position + "^"
+        super().__init__(f"invalid scenario spec: {reason}\n  {text}\n  {pointer}")
+
+
+class ScenarioParamError(ValueError):
+    """A well-formed scenario spec whose arguments do not fit the event."""
+
+
+class ScenarioApplicationError(ValueError):
+    """An event that cannot be applied to the cluster it meets at runtime."""
+
+
+# --------------------------------------------------------------------------- #
+# Events
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed cluster mutation.
+
+    Attributes:
+        start_round: First round (0-indexed) the event is active.
+        until_round: First round the event is no longer active (half-open
+            window, matching Python ranges); ``None`` means the event never
+            ends within the run.
+    """
+
+    start_round: int = field(default=0, kw_only=True)
+    until_round: int | None = field(default=None, kw_only=True)
+
+    #: Spec-language family name (set per subclass).
+    kind = "abstract"
+
+    def __post_init__(self) -> None:
+        if self.start_round < 0:
+            raise ValueError("start_round must be non-negative")
+        if self.until_round is not None and self.until_round <= self.start_round:
+            raise ValueError(
+                f"until_round ({self.until_round}) must be greater than "
+                f"start_round ({self.start_round})"
+            )
+
+    def active_at(self, round_index: int) -> bool:
+        """Whether the event's window covers ``round_index``."""
+        if round_index < self.start_round:
+            return False
+        return self.until_round is None or round_index < self.until_round
+
+    def apply(
+        self, cluster: "ClusterSpec", round_index: int, rng: np.random.Generator
+    ) -> "ClusterSpec":
+        """The effective cluster after this event (must not mutate the input)."""
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """Canonical spec-string form of this event, window suffix included."""
+        args = ", ".join(self._spec_args())
+        text = f"{self.kind}({args})" if args else self.kind
+        if self.until_round is not None:
+            return f"{text}@{self.start_round}..{self.until_round}"
+        if self.start_round > 0:
+            return f"{text}@{self.start_round}"
+        return text
+
+    def _spec_args(self) -> list[str]:
+        raise NotImplementedError
+
+    def _window_bound(self) -> int:
+        """Last round (exclusive) this event can perturb; open windows count 1."""
+        return self.until_round if self.until_round is not None else self.start_round + 1
+
+
+def _scale_profiles(
+    cluster: "ClusterSpec", ranks: Iterable[int], *, slowdown: float = 1.0, nic: float = 1.0
+) -> "ClusterSpec":
+    """Multiply the given ranks' slowdown / nic_scale factors (compositional)."""
+    from repro.simulator.cluster import WorkerProfile
+
+    profiles = [cluster.profile_of(rank) for rank in range(cluster.world_size)]
+    for rank in ranks:
+        if not 0 <= rank < cluster.world_size:
+            raise ScenarioApplicationError(
+                f"event targets worker {rank} but the effective cluster has "
+                f"world size {cluster.world_size}"
+            )
+        profile = profiles[rank]
+        profiles[rank] = WorkerProfile(
+            slowdown=profile.slowdown * slowdown,
+            nic_scale=profile.nic_scale * nic,
+        )
+    return replace(cluster, worker_profiles=tuple(profiles))
+
+
+@dataclass(frozen=True)
+class SlowdownEvent(ScenarioEvent):
+    """Worker ``worker`` computes (and runs kernels) ``factor`` times slower."""
+
+    worker: int
+    factor: float
+    kind = "slowdown"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.worker < 0:
+            raise ValueError("worker must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply(self, cluster, round_index, rng):
+        return _scale_profiles(cluster, [self.worker], slowdown=self.factor)
+
+    def _spec_args(self) -> list[str]:
+        return [f"w={self.worker}", f"x={self.factor:g}"]
+
+
+@dataclass(frozen=True)
+class NicDegradeEvent(ScenarioEvent):
+    """Worker ``worker``'s NIC drops to ``1/factor`` of nominal bandwidth."""
+
+    worker: int
+    factor: float
+    kind = "nic_degrade"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.worker < 0:
+            raise ValueError("worker must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply(self, cluster, round_index, rng):
+        return _scale_profiles(cluster, [self.worker], nic=self.factor)
+
+    def _spec_args(self) -> list[str]:
+        return [f"w={self.worker}", f"x={self.factor:g}"]
+
+
+@dataclass(frozen=True)
+class LinkFlapEvent(ScenarioEvent):
+    """Rack ``rack``'s uplink flaps down: every member NIC runs ``factor`` x slower."""
+
+    rack: int
+    factor: float = 8.0
+    kind = "flap"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.rack < 0:
+            raise ValueError("rack must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply(self, cluster, round_index, rng):
+        if self.rack >= cluster.num_racks:
+            raise ScenarioApplicationError(
+                f"flap targets rack {self.rack} but the effective cluster has "
+                f"{cluster.num_racks} rack(s)"
+            )
+        members = [
+            rank for rank in range(cluster.world_size) if cluster.rack_of(rank) == self.rack
+        ]
+        return _scale_profiles(cluster, members, nic=self.factor)
+
+    def _spec_args(self) -> list[str]:
+        return [f"rack={self.rack}", f"x={self.factor:g}"]
+
+
+@dataclass(frozen=True)
+class SwitchMemoryPressureEvent(ScenarioEvent):
+    """The fabric switches' aggregation pool shrinks to ``factor`` of its size.
+
+    A no-op on clusters without a fabric (there is no switch to pressure);
+    on fabric clusters the smaller pool forces in-network aggregation into
+    more chunks, each paying the recirculation overhead.
+    """
+
+    factor: float = 0.25
+    kind = "switch_mem"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 < self.factor <= 1:
+            raise ValueError("factor must be in (0, 1]")
+
+    def apply(self, cluster, round_index, rng):
+        if cluster.fabric is None or self.factor == 1.0:
+            return cluster
+        switch = cluster.fabric.switch
+        squeezed = replace(
+            switch,
+            aggregation_memory_bytes=max(
+                1, int(switch.aggregation_memory_bytes * self.factor)
+            ),
+        )
+        return replace(cluster, fabric=replace(cluster.fabric, switch=squeezed))
+
+    def _spec_args(self) -> list[str]:
+        return [f"x={self.factor:g}"]
+
+
+@dataclass(frozen=True)
+class ChurnEvent(ScenarioEvent):
+    """Transient stragglers: each worker slows by ``factor`` w.p. ``p`` per round.
+
+    The draw is deterministic given the scenario seed, the event's position
+    in the scenario, and the round index -- identical scenarios replay
+    identical churn regardless of execution order or executor.
+    """
+
+    p: float
+    factor: float = 4.0
+    kind = "churn"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.p <= 1:
+            raise ValueError("p must be in [0, 1]")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply(self, cluster, round_index, rng):
+        hit = np.flatnonzero(rng.random(cluster.world_size) < self.p)
+        if hit.size == 0:
+            return cluster
+        return _scale_profiles(cluster, hit.tolist(), slowdown=self.factor)
+
+    def _spec_args(self) -> list[str]:
+        return [f"p={self.p:g}", f"x={self.factor:g}"]
+
+
+def _resize_nodes(cluster: "ClusterSpec", new_num_nodes: int) -> "ClusterSpec":
+    """A copy of the cluster with ``new_num_nodes`` nodes (profiles adjusted)."""
+    from repro.simulator.cluster import WorkerProfile
+
+    if new_num_nodes < 1:
+        raise ScenarioApplicationError("membership events cannot empty the cluster")
+    if cluster.fabric is not None and cluster.fabric.num_racks > 1:
+        if new_num_nodes % cluster.fabric.num_racks != 0:
+            raise ScenarioApplicationError(
+                f"membership event leaves {new_num_nodes} nodes, which does not "
+                f"divide into the fabric's {cluster.fabric.num_racks} racks; "
+                "join/leave whole rack-multiples on multi-rack clusters"
+            )
+    profiles = cluster.worker_profiles
+    if profiles is not None:
+        new_world = new_num_nodes * cluster.gpus_per_node
+        if new_world <= len(profiles):
+            profiles = tuple(profiles[:new_world])
+        else:
+            profiles = profiles + (WorkerProfile(),) * (new_world - len(profiles))
+    return replace(cluster, num_nodes=new_num_nodes, worker_profiles=profiles)
+
+
+@dataclass(frozen=True)
+class JoinEvent(ScenarioEvent):
+    """``nodes`` extra nominal nodes join for the duration of the window."""
+
+    nodes: int = 1
+    kind = "join"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+
+    def apply(self, cluster, round_index, rng):
+        return _resize_nodes(cluster, cluster.num_nodes + self.nodes)
+
+    def _spec_args(self) -> list[str]:
+        return [f"n={self.nodes}"]
+
+
+@dataclass(frozen=True)
+class LeaveEvent(ScenarioEvent):
+    """The last ``nodes`` nodes leave for the duration of the window."""
+
+    nodes: int = 1
+    kind = "leave"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+
+    def apply(self, cluster, round_index, rng):
+        return _resize_nodes(cluster, cluster.num_nodes - self.nodes)
+
+    def _spec_args(self) -> list[str]:
+        return [f"n={self.nodes}"]
+
+
+# --------------------------------------------------------------------------- #
+# The scenario container
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A timed sequence of cluster mutations, applied in declaration order.
+
+    Attributes:
+        events: The events, applied left to right within each round so later
+            events compose onto earlier ones (two slowdowns on one worker
+            multiply).
+        seed: Seed of the scenario's stochastic events (churn).  Part of the
+            scenario's identity: two scenarios differing only in seed never
+            share sweep memo entries.
+        name: Optional display name (not part of equality / cache identity).
+    """
+
+    events: tuple[ScenarioEvent, ...] = ()
+    seed: int = 0
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, ScenarioEvent):
+                raise TypeError(f"not a ScenarioEvent: {event!r}")
+
+    @classmethod
+    def of(cls, *events: ScenarioEvent, seed: int = 0, name: str = "") -> "Scenario":
+        """Build a scenario from events given positionally."""
+        return cls(events=tuple(events), seed=seed, name=name)
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the scenario has no events (the provably bit-exact case)."""
+        return not self.events
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether the scenario replays identically regardless of its seed."""
+        return not any(isinstance(event, ChurnEvent) for event in self.events)
+
+    def horizon(self) -> int:
+        """First round index at which no (bounded) event is still pending.
+
+        Open-ended events count from their start round only, so the horizon
+        is always finite; it is the natural lower bound on ``num_rounds``
+        for a run that wants to observe every event.
+        """
+        if not self.events:
+            return 0
+        return max(event._window_bound() for event in self.events)
+
+    def default_num_rounds(self, recovery_margin: int = 5) -> int:
+        """A run length that covers every event plus a recovery margin."""
+        if self.is_static:
+            return 1
+        return self.horizon() + recovery_margin
+
+    def cluster_at(self, base: "ClusterSpec", round_index: int) -> "ClusterSpec":
+        """The effective cluster of round ``round_index`` (0-indexed).
+
+        Rounds with no active events return ``base`` itself (identity, not a
+        copy), so static stretches are indistinguishable -- bit-exactly --
+        from the static simulator, and per-cluster pricing memoization hits.
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        cluster = base
+        for position, event in enumerate(self.events):
+            if event.active_at(round_index):
+                rng = np.random.default_rng((self.seed, position, round_index))
+                cluster = event.apply(cluster, round_index, rng)
+        return cluster
+
+    def clusters(self, base: "ClusterSpec", num_rounds: int) -> "list[ClusterSpec]":
+        """The effective cluster of every round of a ``num_rounds`` run."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be >= 1")
+        return [self.cluster_at(base, index) for index in range(num_rounds)]
+
+    def max_world_size(self, base: "ClusterSpec", num_rounds: int) -> int:
+        """The largest world size any round of the run sees (join events)."""
+        return max(cluster.world_size for cluster in self.clusters(base, num_rounds))
+
+    def cache_key(self) -> "Scenario":
+        """Hashable full identity for sweep memoization.
+
+        The frozen dataclass is its own key: equality covers the events and
+        the seed (``name`` is display-only and excluded), so two scenarios on
+        the same cluster never share a memo entry unless they genuinely
+        replay the same mutations.
+        """
+        return self
+
+    def spec(self) -> str:
+        """The canonical, round-trippable spec string of this scenario."""
+        if not self.events:
+            return STATIC_SPEC
+        return " + ".join(event.spec() for event in self.events)
+
+    def label(self) -> str:
+        """Display label: the name when given, the canonical spec otherwise."""
+        return self.name or self.spec()
+
+
+#: Spec spelling of the empty scenario (``scenario("static")`` parses to it).
+STATIC_SPEC = "static"
+
+
+# --------------------------------------------------------------------------- #
+# The spec-string language
+# --------------------------------------------------------------------------- #
+
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class _EventParam:
+    """One spec-language parameter of an event family."""
+
+    names: tuple[str, ...]  # first name is canonical
+    kind: type
+    attr: str
+    default: object = _REQUIRED
+
+    def coerce(self, value: object, family: str) -> object:
+        if self.kind is int:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+        elif self.kind is float:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        raise ScenarioParamError(
+            f"{family}: parameter {self.names[0]!r} expects {self.kind.__name__}, "
+            f"got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class _EventFamily:
+    """A scenario event family: class, aliases, and typed parameters."""
+
+    name: str
+    cls: type
+    params: tuple[_EventParam, ...]
+    aliases: tuple[str, ...] = ()
+
+    def param_named(self, key: str) -> _EventParam:
+        for param in self.params:
+            if key in param.names:
+                return param
+        valid = ", ".join(p.names[0] for p in self.params) or "(none)"
+        raise ScenarioParamError(
+            f"{self.name}: unknown parameter {key!r}; valid parameters: {valid}"
+        )
+
+    def build(
+        self,
+        args: Sequence[tuple[str | None, object]],
+        start_round: int,
+        until_round: int | None,
+    ) -> ScenarioEvent:
+        bound: dict[_EventParam, object] = {}
+        positional_cursor = 0
+        for key, value in args:
+            if key is None:
+                if positional_cursor >= len(self.params):
+                    raise ScenarioParamError(
+                        f"{self.name}: too many positional arguments "
+                        f"(takes {len(self.params)})"
+                    )
+                param = self.params[positional_cursor]
+                positional_cursor += 1
+            else:
+                param = self.param_named(key)
+            if param in bound:
+                raise ScenarioParamError(
+                    f"{self.name}: parameter {param.names[0]!r} given twice"
+                )
+            bound[param] = param.coerce(value, self.name)
+        kwargs = {param.attr: value for param, value in bound.items()}
+        for param in self.params:
+            if param.default is _REQUIRED and param.attr not in kwargs:
+                raise ScenarioParamError(
+                    f"{self.name}: missing required parameter {param.names[0]!r}"
+                )
+        try:
+            return self.cls(**kwargs, start_round=start_round, until_round=until_round)
+        except ValueError as error:
+            raise ScenarioParamError(f"{self.name}: {error}") from None
+
+
+_EVENT_FAMILIES: dict[str, _EventFamily] = {}
+_EVENT_NAMES: dict[str, _EventFamily] = {}  # aliases included
+
+
+def _register_event(family: _EventFamily) -> None:
+    _EVENT_FAMILIES[family.name] = family
+    for alias in (family.name, *family.aliases):
+        _EVENT_NAMES[alias] = family
+
+
+_register_event(
+    _EventFamily(
+        "slowdown",
+        SlowdownEvent,
+        (
+            _EventParam(("w", "worker"), int, "worker"),
+            _EventParam(("x", "factor"), float, "factor"),
+        ),
+    )
+)
+_register_event(
+    _EventFamily(
+        "nic_degrade",
+        NicDegradeEvent,
+        (
+            _EventParam(("w", "worker"), int, "worker"),
+            _EventParam(("x", "factor"), float, "factor"),
+        ),
+        aliases=("nic",),
+    )
+)
+_register_event(
+    _EventFamily(
+        "flap",
+        LinkFlapEvent,
+        (
+            _EventParam(("rack",), int, "rack"),
+            _EventParam(("x", "factor"), float, "factor", default=8.0),
+        ),
+        aliases=("link_flap",),
+    )
+)
+_register_event(
+    _EventFamily(
+        "switch_mem",
+        SwitchMemoryPressureEvent,
+        (_EventParam(("x", "factor"), float, "factor", default=0.25),),
+        aliases=("switch_memory_pressure",),
+    )
+)
+_register_event(
+    _EventFamily(
+        "churn",
+        ChurnEvent,
+        (
+            _EventParam(("p",), float, "p"),
+            _EventParam(("x", "factor"), float, "factor", default=4.0),
+        ),
+    )
+)
+_register_event(
+    _EventFamily("join", JoinEvent, (_EventParam(("n", "nodes"), int, "nodes", default=1),))
+)
+_register_event(
+    _EventFamily("leave", LeaveEvent, (_EventParam(("n", "nodes"), int, "nodes", default=1),))
+)
+
+
+def available_events() -> list[str]:
+    """Canonical scenario event names, sorted."""
+    return sorted(_EVENT_FAMILIES)
+
+
+_TERM_RE = re.compile(
+    r"""
+    (?P<name>[a-z_][a-z0-9_]*)
+    \s*
+    (?:\( (?P<args>[^()]*) \))?
+    \s*
+    (?:@ \s* (?P<start>\d+) \s* (?:\.\.\s*(?P<until>\d+))? )?
+    """,
+    re.VERBOSE,
+)
+
+_NUMBER_RE = re.compile(r"^[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?$")
+
+
+def _parse_literal(text: str, spec: str, position: int) -> object:
+    token = text.strip()
+    if _NUMBER_RE.match(token):
+        try:
+            return int(token)
+        except ValueError:
+            return float(token)
+    raise ScenarioSyntaxError(spec, position, f"expected a number, got {token!r}")
+
+
+def _parse_term(spec: str, position: int) -> tuple[ScenarioEvent, int]:
+    match = _TERM_RE.match(spec, position)
+    if match is None or not match.group("name"):
+        raise ScenarioSyntaxError(spec, position, "expected an event name")
+    name = match.group("name")
+    family = _EVENT_NAMES.get(name)
+    if family is None:
+        raise UnknownEventError(name, sorted(_EVENT_NAMES))
+    args: list[tuple[str | None, object]] = []
+    raw_args = match.group("args")
+    if raw_args is not None and raw_args.strip():
+        args_offset = match.start("args")
+        for fragment in raw_args.split(","):
+            fragment_offset = args_offset + raw_args.index(fragment)
+            if "=" in fragment:
+                key, _, raw_value = fragment.partition("=")
+                key = key.strip()
+                if not key.isidentifier():
+                    raise ScenarioSyntaxError(
+                        spec, fragment_offset, f"bad parameter name {key!r}"
+                    )
+                args.append((key, _parse_literal(raw_value, spec, fragment_offset)))
+            else:
+                args.append((None, _parse_literal(fragment, spec, fragment_offset)))
+    start = int(match.group("start")) if match.group("start") else 0
+    until = int(match.group("until")) if match.group("until") else None
+    if match.group("start") and not match.group("until"):
+        until = None  # "@20" means "from round 20, forever"
+    event = family.build(tuple(args), start, until)
+    return event, match.end()
+
+
+def parse_scenario(text: str, *, seed: int = 0, name: str = "") -> Scenario:
+    """Parse a scenario spec string into a :class:`Scenario`.
+
+    Grammar (whitespace-insensitive)::
+
+        scenario := "static" | term ("+" term)*
+        term     := EVENT [ "(" [ arg ("," arg)* ] ")" ] [ "@" START [".." UNTIL] ]
+        arg      := NAME "=" NUMBER | NUMBER
+
+    ``@A..B`` is the half-open round window ``[A, B)``; ``@A`` alone means
+    "from round A until the end of the run"; no ``@`` means "always".
+
+    Raises:
+        ScenarioSyntaxError: Malformed spec text.
+        UnknownEventError: Unknown event name (with suggestions).
+        ScenarioParamError: Arguments not matching the event's parameters.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ScenarioSyntaxError(str(text), 0, "empty scenario spec")
+    stripped = text.strip()
+    if stripped == STATIC_SPEC:
+        return Scenario(seed=seed, name=name)
+    events: list[ScenarioEvent] = []
+    position = 0
+    while True:
+        while position < len(text) and text[position].isspace():
+            position += 1
+        event, position = _parse_term(text, position)
+        events.append(event)
+        while position < len(text) and text[position].isspace():
+            position += 1
+        if position >= len(text):
+            break
+        if text[position] != "+":
+            raise ScenarioSyntaxError(
+                text, position, f"expected '+' between events, got {text[position]!r}"
+            )
+        position += 1
+    return Scenario(events=tuple(events), seed=seed, name=name)
+
+
+def scenario(
+    value: "str | Scenario | ScenarioEvent | Sequence[ScenarioEvent]",
+    *,
+    seed: int = 0,
+    name: str = "",
+) -> Scenario:
+    """Coerce a spec string, an event (or sequence), or a Scenario to a Scenario.
+
+    The public constructor mirroring :func:`repro.compression.registry.
+    make_scheme`: ``scenario("flap(rack=1)@20..25 + churn(p=0.05)")``.
+    Passing an existing :class:`Scenario` returns it unchanged (the ``seed``
+    and ``name`` arguments are ignored in that case).
+    """
+    if isinstance(value, Scenario):
+        return value
+    if isinstance(value, str):
+        return parse_scenario(value, seed=seed, name=name)
+    if isinstance(value, ScenarioEvent):
+        return Scenario(events=(value,), seed=seed, name=name)
+    return Scenario(events=tuple(value), seed=seed, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Programmatic event constructors
+# --------------------------------------------------------------------------- #
+
+
+def slowdown(
+    worker: int, x: float = 2.0, *, at_round: int = 0, until: int | None = None
+) -> SlowdownEvent:
+    """Worker ``worker`` runs ``x`` times slower for rounds ``[at_round, until)``."""
+    return SlowdownEvent(worker=worker, factor=x, start_round=at_round, until_round=until)
+
+
+def nic_degrade(
+    worker: int, x: float = 4.0, *, at_round: int = 0, until: int | None = None
+) -> NicDegradeEvent:
+    """Worker ``worker``'s NIC drops to ``1/x`` bandwidth for the window."""
+    return NicDegradeEvent(worker=worker, factor=x, start_round=at_round, until_round=until)
+
+
+def link_flap(
+    rack: int, x: float = 8.0, *, at_round: int = 0, until: int | None = None
+) -> LinkFlapEvent:
+    """Rack ``rack``'s members lose NIC bandwidth (``x`` times slower) for the window."""
+    return LinkFlapEvent(rack=rack, factor=x, start_round=at_round, until_round=until)
+
+
+def switch_memory_pressure(
+    x: float = 0.25, *, at_round: int = 0, until: int | None = None
+) -> SwitchMemoryPressureEvent:
+    """The switches' aggregation pool shrinks to ``x`` of its size for the window."""
+    return SwitchMemoryPressureEvent(factor=x, start_round=at_round, until_round=until)
+
+
+def churn(
+    p: float, x: float = 4.0, *, at_round: int = 0, until: int | None = None
+) -> ChurnEvent:
+    """Each worker independently slows by ``x`` with probability ``p`` per round."""
+    return ChurnEvent(p=p, factor=x, start_round=at_round, until_round=until)
+
+
+def join(
+    nodes: int = 1, *, at_round: int = 0, until: int | None = None
+) -> JoinEvent:
+    """``nodes`` extra nominal nodes participate for rounds ``[at_round, until)``."""
+    return JoinEvent(nodes=nodes, start_round=at_round, until_round=until)
+
+
+def leave(
+    nodes: int = 1, *, at_round: int = 0, until: int | None = None
+) -> LeaveEvent:
+    """The last ``nodes`` nodes drop out for rounds ``[at_round, until)``."""
+    return LeaveEvent(nodes=nodes, start_round=at_round, until_round=until)
+
+
+# --------------------------------------------------------------------------- #
+# Running a scenario and summarising its tail behaviour
+# --------------------------------------------------------------------------- #
+
+#: Relative slack above the baseline round time before a round counts as
+#: degraded (absorbs float noise in the pricing arithmetic).
+DEGRADED_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """Tail summary of one scenario run's per-round times.
+
+    Attributes:
+        num_rounds: Rounds simulated.
+        total_seconds: Sum of all round times.
+        mean_round_seconds: Average round time.
+        p50_round_seconds / p95_round_seconds / p99_round_seconds: Round-time
+            percentiles -- the tail behaviour static averages hide.
+        max_round_seconds: The single worst round.
+        baseline_round_seconds: Static round time of the unperturbed cluster.
+        degraded_rounds: Rounds measurably slower than the baseline.
+        excess_seconds: Total time above baseline accumulated over degraded
+            rounds -- the cost attributable to the scenario's events.
+        recovery_round: First round index (0-indexed) after the last degraded
+            round, i.e. when round times return to the static baseline;
+            ``None`` if the run never degrades or never recovers within it.
+        recovery_seconds: Simulated time from the onset of the first degraded
+            round until recovery (the total span the job runs perturbed).
+    """
+
+    num_rounds: int
+    total_seconds: float
+    mean_round_seconds: float
+    p50_round_seconds: float
+    p95_round_seconds: float
+    p99_round_seconds: float
+    max_round_seconds: float
+    baseline_round_seconds: float
+    degraded_rounds: int
+    excess_seconds: float
+    recovery_round: int | None
+    recovery_seconds: float
+
+    @property
+    def tail_amplification(self) -> float:
+        """p99 round time relative to the static baseline (1.0 = no tail)."""
+        if self.baseline_round_seconds <= 0:
+            return float("nan")
+        return self.p99_round_seconds / self.baseline_round_seconds
+
+
+def scenario_metrics(
+    round_seconds: Sequence[float], baseline_round_seconds: float
+) -> ScenarioMetrics:
+    """Summarise per-round times against the unperturbed baseline."""
+    if not round_seconds:
+        raise ValueError("need at least one round time")
+    times = np.asarray(round_seconds, dtype=float)
+    threshold = baseline_round_seconds * (1.0 + DEGRADED_RELATIVE_TOLERANCE)
+    degraded = times > threshold
+    degraded_indices = np.flatnonzero(degraded)
+    if degraded_indices.size:
+        first = int(degraded_indices[0])
+        last = int(degraded_indices[-1])
+        recovery_round = last + 1 if last + 1 < len(times) else None
+        recovery_seconds = float(times[first : last + 1].sum())
+    else:
+        recovery_round = None
+        recovery_seconds = 0.0
+    return ScenarioMetrics(
+        num_rounds=len(times),
+        total_seconds=float(times.sum()),
+        mean_round_seconds=float(times.mean()),
+        p50_round_seconds=float(np.percentile(times, 50)),
+        p95_round_seconds=float(np.percentile(times, 95)),
+        p99_round_seconds=float(np.percentile(times, 99)),
+        max_round_seconds=float(times.max()),
+        baseline_round_seconds=float(baseline_round_seconds),
+        degraded_rounds=int(degraded.sum()),
+        excess_seconds=float((times[degraded] - baseline_round_seconds).sum()),
+        recovery_round=recovery_round,
+        recovery_seconds=recovery_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Per-round times of one scenario run plus their tail summary.
+
+    Attributes:
+        scenario: The scenario that was run.
+        round_seconds: Time of every simulated round, in round order.
+        metrics: Tail summary (:class:`ScenarioMetrics`).
+        distinct_clusters: How many distinct effective cluster configurations
+            the run priced (1 for a static scenario; churn typically many).
+    """
+
+    scenario: Scenario
+    round_seconds: tuple[float, ...]
+    metrics: ScenarioMetrics
+    distinct_clusters: int
+
+
+def run_scenario(
+    base: "ClusterSpec",
+    scenario: Scenario,
+    num_rounds: int,
+    price_round: "Callable[[ClusterSpec], float]",
+) -> ScenarioRun:
+    """Drive a per-cluster pricing function over a scenario's rounds.
+
+    ``price_round`` maps an effective :class:`ClusterSpec` to that round's
+    simulated duration; it is called once per *distinct* effective cluster
+    (results are memoized by :meth:`ClusterSpec.cache_key`), so a 1000-round
+    scenario with one slowdown window prices exactly two configurations.
+
+    The baseline for the tail metrics is ``price_round(base)`` -- the static
+    round time of the unperturbed cluster.
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
+    cache: dict[object, float] = {}
+
+    def priced(cluster: "ClusterSpec") -> float:
+        key = cluster.cache_key()
+        if key not in cache:
+            cache[key] = price_round(cluster)
+        return cache[key]
+
+    baseline = priced(base)
+    round_seconds = tuple(
+        priced(scenario.cluster_at(base, index)) for index in range(num_rounds)
+    )
+    return ScenarioRun(
+        scenario=scenario,
+        round_seconds=round_seconds,
+        metrics=scenario_metrics(round_seconds, baseline),
+        distinct_clusters=len(cache),
+    )
+
+
+def _event_field_names() -> set[str]:  # pragma: no cover - debugging aid
+    return {f.name for cls in _EVENT_FAMILIES.values() for f in fields(cls.cls)}

@@ -35,6 +35,7 @@ from repro.simulator.pipeline import (
     serialized_schedule,
     simulate_schedule,
 )
+from repro.simulator.scenario import Scenario, scenario as as_scenario
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.models import Model
 from repro.training.optimizer import SGD
@@ -67,9 +68,15 @@ class TrainingHistory:
         scheme_name: Name of the aggregation scheme.
         metric_name: The goal metric ("perplexity" or "accuracy").
         metric_improves: "up" or "down".
-        round_seconds: Simulated duration of one round (constant per run).
+        round_seconds: Nominal simulated duration of one round on the
+            unperturbed cluster (the constant round time of a static run).
         train_losses: Per-round training loss of worker 0's batch.
         evaluations: Periodic held-out evaluations.
+        round_times: Simulated duration of every executed round, in round
+            order.  Constant (== ``round_seconds``) for static runs; under a
+            dynamic scenario each round is priced on its effective cluster.
+        scenario: Canonical spec of the scenario the run executed under, or
+            None for a static run.
     """
 
     workload_name: str
@@ -79,6 +86,8 @@ class TrainingHistory:
     round_seconds: float
     train_losses: list[float] = field(default_factory=list)
     evaluations: list[EvaluationRecord] = field(default_factory=list)
+    round_times: list[float] = field(default_factory=list)
+    scenario: str | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -111,6 +120,24 @@ class TrainingHistory:
         if self.round_seconds <= 0:
             raise ValueError("round_seconds must be positive")
         return 1.0 / self.round_seconds
+
+    def effective_rounds_per_second(self) -> float:
+        """Throughput over the rounds actually simulated.
+
+        Under a dynamic scenario this is ``num_rounds / total_time`` of the
+        recorded per-round times -- the run-level throughput the tail events
+        actually allowed -- while static runs keep the exact nominal
+        ``1 / round_seconds`` (no re-derivation through a sum, so static
+        numbers stay bit-identical to the historical closed form).
+        """
+        if not self.round_times or all(
+            time == self.round_seconds for time in self.round_times
+        ):
+            return self.throughput_rounds_per_second()
+        total = sum(self.round_times)
+        if total <= 0:
+            raise ValueError("round times must be positive")
+        return len(self.round_times) / total
 
 
 class DDPTrainer:
@@ -147,6 +174,15 @@ class DDPTrainer:
             rounds no longer hide time that had nothing to hide behind (the
             trainer's old unclamped ``comm * (1 - f)`` overstated overlap
             there).  Cannot be combined with ``num_buckets > 1``.
+        scenario: Optional dynamic-events scenario
+            (:class:`~repro.simulator.scenario.Scenario` or a spec string).
+            Each round is then priced on the scenario's effective cluster for
+            that round (stragglers, link flaps, switch memory pressure), and
+            elastic membership events (join/leave) change which workers
+            contribute gradients: leave drops the highest ranks, join adds
+            fresh workers (error-feedback residuals reset on membership
+            changes, as a real elastic job's would).  A scenario with no
+            events is bit-exact with a static run.
     """
 
     def __init__(
@@ -165,6 +201,7 @@ class DDPTrainer:
         num_buckets: int = 1,
         overlap_fraction: float | None = None,
         kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
+        scenario: Scenario | str | None = None,
     ):
         if eval_every <= 0:
             raise ValueError("eval_every must be positive")
@@ -187,6 +224,7 @@ class DDPTrainer:
         self.seed = seed
         self.num_buckets = num_buckets
         self.overlap_fraction = overlap_fraction
+        self.scenario = as_scenario(scenario) if scenario is not None else None
 
         backend = CollectiveBackend(self.cluster)
         # One context for the whole run: the batched kernels' workspace is
@@ -207,19 +245,34 @@ class DDPTrainer:
             for rank in range(self.cluster.world_size)
         ]
 
-        pricing = pricing_scheme or scheme
-        compute_seconds = workload.compute_seconds_for(training_precision)
-        if overlap_fraction is not None:
-            costs = pricing.estimate_costs(workload.paper_num_coordinates, self._ctx)
+        self._pricing = pricing_scheme or scheme
+        self._compute_seconds = workload.compute_seconds_for(training_precision)
+        costs, self.round_pipeline = self._price_round_on(self.cluster, self._ctx)
+        self.round_seconds = self.round_pipeline.makespan_seconds
+        self.round_cost_estimate = costs
+        # Per-round pricing and functional contexts under a dynamic scenario,
+        # memoized by effective-cluster identity / world size respectively.
+        self._round_price_cache: dict[object, float] = {
+            self.cluster.cache_key(): self.round_seconds
+        }
+        self._ctx_by_world: dict[int, SimContext] = {self.cluster.world_size: self._ctx}
+
+    # ------------------------------------------------------------------ #
+    def _price_round_on(self, cluster: ClusterSpec, ctx: SimContext):
+        """Price one paper-scale round on ``cluster`` (schedule + simulate)."""
+        if self.overlap_fraction is not None:
+            costs = self._pricing.estimate_costs(
+                self.workload.paper_num_coordinates, ctx
+            )
             schedule = legacy_overlap_schedule(
-                compute_seconds,
+                self._compute_seconds,
                 costs.compression_seconds,
                 costs.communication_seconds,
-                overlap_fraction=overlap_fraction,
+                overlap_fraction=self.overlap_fraction,
             )
         else:
-            bucket_costs = pricing.estimate_bucket_costs(
-                workload.paper_num_coordinates, num_buckets, self._ctx
+            bucket_costs = self._pricing.estimate_bucket_costs(
+                self.workload.paper_num_coordinates, self.num_buckets, ctx
             )
             costs = CostEstimate(
                 compression_seconds=sum(b.compression_seconds for b in bucket_costs),
@@ -228,19 +281,72 @@ class DDPTrainer:
             )
             if len(bucket_costs) == 1:
                 schedule = serialized_schedule(
-                    compute_seconds, costs.compression_seconds, costs.communication_seconds
+                    self._compute_seconds,
+                    costs.compression_seconds,
+                    costs.communication_seconds,
                 )
             else:
                 schedule = bucketed_schedule(
-                    compute_seconds,
+                    self._compute_seconds,
                     [
                         (b.compression_seconds, b.communication_seconds)
                         for b in bucket_costs
                     ],
                 )
-        self.round_pipeline = simulate_schedule(schedule, self.cluster)
-        self.round_seconds = self.round_pipeline.makespan_seconds
-        self.round_cost_estimate = costs
+        return costs, simulate_schedule(schedule, cluster)
+
+    def _round_seconds_for(self, effective: ClusterSpec) -> float:
+        """Round time on an effective cluster, memoized by its cache key."""
+        key = effective.cache_key()
+        cached = self._round_price_cache.get(key)
+        if cached is None:
+            # No scenario event changes the GPU model, so the base context's
+            # kernel cost model (custom factors included) is reused verbatim.
+            kernels = (
+                self._ctx.kernels
+                if effective.gpu == self.cluster.gpu
+                else KernelCostModel(gpu=effective.gpu)
+            )
+            ctx = SimContext(
+                backend=CollectiveBackend(effective),
+                kernels=kernels,
+                kernel_backend=self._ctx.kernel_backend,
+            )
+            cached = self._price_round_on(effective, ctx)[1].makespan_seconds
+            self._round_price_cache[key] = cached
+        return cached
+
+    def _functional_ctx(self, effective: ClusterSpec) -> SimContext:
+        """The aggregation context for an effective cluster's world size.
+
+        Only membership (world size) affects the functional math, so contexts
+        are cached per world size; all of them share the base context's rng
+        stream, keeping scheme randomness a single deterministic sequence.
+        """
+        ctx = self._ctx_by_world.get(effective.world_size)
+        if ctx is None:
+            ctx = SimContext(
+                backend=CollectiveBackend(effective),
+                kernels=self._ctx.kernels,
+                rng=self._ctx.rng,
+                kernel_backend=self._ctx.kernel_backend,
+            )
+            self._ctx_by_world[effective.world_size] = ctx
+        return ctx
+
+    def _active_workers(self, world_size: int) -> list[DDPWorker]:
+        """The first ``world_size`` workers, growing the pool on join events."""
+        while len(self.workers) < world_size:
+            rank = len(self.workers)
+            self.workers.append(
+                DDPWorker(
+                    rank=rank,
+                    shard=self.dataset.worker_shard(rank, world_size),
+                    batch_size=self.workload.sim_batch_size,
+                    seed=self.seed,
+                )
+            )
+        return self.workers[:world_size]
 
     # ------------------------------------------------------------------ #
     def _evaluate(self, round_index: int, sim_time: float) -> EvaluationRecord:
@@ -263,30 +369,47 @@ class DDPTrainer:
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
 
+        dynamic = self.scenario is not None and not self.scenario.is_static
         history = TrainingHistory(
             workload_name=self.workload.name,
             scheme_name=self.scheme.name,
             metric_name=self.workload.metric,
             metric_improves=self.workload.metric_improves,
             round_seconds=self.round_seconds,
+            scenario=self.scenario.spec() if self.scenario is not None else None,
         )
         history.evaluations.append(self._evaluate(0, 0.0))
 
         params = self.model.get_flat_params()
+        sim_time = 0.0
         for round_index in range(1, num_rounds + 1):
+            if dynamic:
+                effective = self.scenario.cluster_at(self.cluster, round_index - 1)
+                round_time = self._round_seconds_for(effective)
+                ctx = self._functional_ctx(effective)
+                workers = self._active_workers(effective.world_size)
+            else:
+                round_time = self.round_seconds
+                ctx = self._ctx
+                workers = self.workers
             losses = []
             gradients = []
-            for worker in self.workers:
+            for worker in workers:
                 loss, gradient = worker.compute_gradient(self.model)
                 losses.append(loss)
                 gradients.append(gradient)
             history.train_losses.append(float(losses[0]))
+            history.round_times.append(round_time)
 
-            result = self.scheme.aggregate(gradients, self._ctx)
+            result = self.scheme.aggregate(gradients, ctx)
             params = self.optimizer.step(params, result.mean_estimate)
             self.model.set_flat_params(params)
 
-            sim_time = round_index * self.round_seconds
+            # The static accumulation stays the historical closed form
+            # (round_index * round_seconds) so static runs are bit-exact.
+            sim_time = (
+                sim_time + round_time if dynamic else round_index * self.round_seconds
+            )
             if round_index % self.eval_every == 0 or round_index == num_rounds:
                 record = self._evaluate(round_index, sim_time)
                 history.evaluations.append(record)

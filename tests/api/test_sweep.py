@@ -23,7 +23,7 @@ class TestGridExpansion:
     def test_cross_product_order(self):
         workloads = [bert_large_wikitext(), vgg19_tinyimagenet()]
         grid = expand_grid(["a", "b"], workloads, None)
-        assert [(spec, w.name) for spec, w, _ in grid] == [
+        assert [(spec, w.name) for spec, w, _, _ in grid] == [
             ("a", "bert_large"),
             ("b", "bert_large"),
             ("a", "vgg19"),

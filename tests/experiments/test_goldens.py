@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import table6, table8
+from repro.experiments import faults, table6, table8
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -102,6 +102,27 @@ def table8_payload(results) -> dict:
     }
 
 
+def table6_faulty_payload(rows) -> list[dict]:
+    return [
+        {
+            "workload": row.workload_name,
+            "scheme": row.scheme_spec,
+            "scenario": row.scenario_spec,
+            "static_rps": row.static_rps,
+            "faulty_rps": row.faulty_rps,
+            "static_rank": row.static_rank,
+            "faulty_rank": row.faulty_rank,
+            "p50_round_seconds": row.p50_round_seconds,
+            "p95_round_seconds": row.p95_round_seconds,
+            "p99_round_seconds": row.p99_round_seconds,
+            "tail_amplification": row.tail_amplification,
+            "recovery_seconds": row.recovery_seconds,
+            "excess_seconds": row.excess_seconds,
+        }
+        for row in rows
+    ]
+
+
 def table8_multirack_payload(rows) -> list[dict]:
     return [
         {
@@ -127,6 +148,20 @@ class TestTable6Goldens:
     def test_multirack(self, update_goldens):
         rows = table6.run_table6_multirack(num_racks=4, oversubscription=2.0)
         check_golden("table6_multirack", table6_payload(rows), update_goldens)
+
+
+class TestTable6FaultyGoldens:
+    def test_fault_tolerance_driver(self, update_goldens):
+        """The fault drivers are deterministic (churn is seed-derived), so the
+        scenario engine's whole pricing path is pinned by this golden --
+        including the ranking inversion the drivers exist to demonstrate."""
+        rows = faults.run_table6_faulty()
+        check_golden("table6_faulty", table6_faulty_payload(rows), update_goldens)
+        inversions = faults.ranking_inversions(rows)
+        assert any(
+            "powersgd" in static_winner and "thc" in faulty_winner
+            for _, _, static_winner, faulty_winner in inversions
+        ), "the shipped straggler scenario must invert the thc/powersgd ranking"
 
 
 class TestTable8Goldens:
