@@ -8,16 +8,24 @@ Two families of checks:
   snapshot.  Machines differ, so the committed baseline should come from the
   slowest machine the check runs on; faster CI runners pass trivially, and
   only genuine slowdowns of the code exceed the 2x band.
-* **Speedup floors** -- every ``speedup`` entry must stay above the floor in
-  the baseline's ``floors`` table.  Floors are ratios (batched vs legacy on
-  the *same* machine), so they transfer across hardware far better than
-  absolute times; they guard the architectural wins (vectorized kernels,
-  process-parallel sweeps) against silent erosion.
+* **Floors** -- entries in the baseline's ``floors`` table are minimums the
+  current snapshot must stay above.  A bare benchmark name
+  (``"sweep": 1.3``) checks that benchmark's ``speedup`` field; a dotted
+  name (``"service_load.warm_qps": 1000.0``) checks the named field
+  directly.  Speedup floors are same-machine ratios (batched vs legacy), so
+  they transfer across hardware far better than absolute times; throughput
+  floors like ``warm_qps`` guard absolute service-level objectives.
+
+``--only PREFIX`` restricts both check families to benchmarks whose name
+starts with ``PREFIX`` (the CI service-smoke job checks just
+``service_load`` without re-running the kernel benches).
 
 Exit status 0 when everything holds, 1 with a report otherwise::
 
     python benchmarks/perf/check_regression.py BENCH_results.json \\
         benchmarks/perf/baseline.json --max-regression 2.0
+    python benchmarks/perf/check_regression.py SERVICE_results.json \\
+        benchmarks/perf/baseline.json --only service_load
 """
 
 from __future__ import annotations
@@ -38,13 +46,20 @@ def iter_timings(benchmarks: dict):
                 yield name, key, float(value)
 
 
-def check(current: dict, baseline: dict, *, max_regression: float) -> list[str]:
+def check(
+    current: dict, baseline: dict, *, max_regression: float, only: str | None = None
+) -> list[str]:
     """All violated constraints, as human-readable report lines."""
     failures: list[str] = []
     current_benches = current.get("benchmarks", {})
     baseline_benches = baseline.get("benchmarks", {})
 
+    def in_scope(benchmark: str) -> bool:
+        return only is None or benchmark.startswith(only)
+
     for name, key, reference in iter_timings(baseline_benches):
+        if not in_scope(name):
+            continue
         measured = current_benches.get(name, {}).get(key)
         if measured is None:
             failures.append(f"{name}.{key}: missing from current results")
@@ -55,14 +70,20 @@ def check(current: dict, baseline: dict, *, max_regression: float) -> list[str]:
                 f"baseline {reference:.4f}s (limit {max_regression:.1f}x)"
             )
 
-    for name, floor in baseline.get("floors", {}).items():
-        measured = current_benches.get(name, {}).get("speedup")
+    for entry, floor in baseline.get("floors", {}).items():
+        # "sweep" checks sweep.speedup; "service_load.warm_qps" checks the
+        # named field of the named benchmark.
+        name, _, field = entry.partition(".")
+        field = field or "speedup"
+        if not in_scope(name):
+            continue
+        measured = current_benches.get(name, {}).get(field)
         if measured is None:
-            failures.append(f"{name}.speedup: missing from current results")
+            failures.append(f"{name}.{field}: missing from current results")
             continue
         if measured < float(floor):
             failures.append(
-                f"{name}.speedup: {measured:.2f}x is below the floor {float(floor):.2f}x"
+                f"{name}.{field}: {measured:.2f} is below the floor {float(floor):.2f}"
             )
     return failures
 
@@ -77,11 +98,19 @@ def main(argv: list[str] | None = None) -> int:
         default=2.0,
         help="fail when a timing exceeds this multiple of the baseline (default 2.0)",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        metavar="PREFIX",
+        help="check only benchmarks whose name starts with PREFIX",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text())
     baseline = json.loads(args.baseline.read_text())
-    failures = check(current, baseline, max_regression=args.max_regression)
+    failures = check(
+        current, baseline, max_regression=args.max_regression, only=args.only
+    )
     if failures:
         print("perf regression check FAILED:", file=sys.stderr)
         for line in failures:

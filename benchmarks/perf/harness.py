@@ -14,7 +14,10 @@ compare against:
   registry and both paper workloads, serialized and bucketed;
 * **Sweep wall-clock** -- a vNMSE sweep grid under the historical
   configuration (legacy kernels, thread executor) versus the current default
-  (batched kernels, auto executor: processes on multi-core machines).
+  (batched kernels, auto executor: processes on multi-core machines);
+* **Advisor service load** -- the closed/open-loop mixed trace from
+  ``benchmarks/perf/service_load.py`` (cold misses, warm fast-path hits,
+  scenario-heavy queries), reporting sustained qps and tail latency.
 
 Run it directly::
 
@@ -42,6 +45,11 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+
+if str(Path(__file__).resolve().parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from service_load import run_service_bench  # noqa: E402
 
 from repro.api.executors import available_cpus  # noqa: E402
 from repro.api.measures import estimate_throughput, paper_context  # noqa: E402
@@ -302,6 +310,15 @@ def run_harness(*, quick: bool) -> dict:
     print(
         "[perf]   before {before_seconds:.3f}s  after {after_seconds:.3f}s  "
         "speedup {speedup:.1f}x on {cpus} cpu(s)".format(**benches["sweep"])
+    )
+
+    print("[perf] advisor service load (closed + open loop)...")
+    benches["service_load"] = run_service_bench(quick=quick)
+    print(
+        "[perf]   cold {cold_qps:.0f} qps  warm {warm_qps:.0f} qps "
+        "(p99 {warm_p99_seconds:.4f}s)  open-loop p99 {open_loop_p99_seconds:.4f}s".format(
+            **benches["service_load"]
+        )
     )
     return results
 

@@ -30,6 +30,7 @@ sweep definition is pure data::
 from __future__ import annotations
 
 import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -148,6 +149,13 @@ class ExperimentSession:
         self.max_workers = max_workers
         self._memo: dict[tuple, SweepPoint] = {}
         self._memo_lock = threading.Lock()
+        # Cross-thread single-flight: memo keys currently being computed by
+        # some sweep, mapped to the Future that will carry the finished
+        # SweepPoint.  A concurrent sweep that needs one of these keys waits
+        # on the future instead of recomputing the point, so N threads
+        # sharing one session (the advisor service does) evaluate each
+        # distinct point exactly once.
+        self._inflight: dict[tuple, Future] = {}
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -378,7 +386,12 @@ class ExperimentSession:
                 from the session seed).  ``False`` forces serial execution.
             memoize: Reuse previously computed points of this session.  Grid
                 entries that share a memo key (an alias and its spec form,
-                say) are computed once per sweep either way.
+                say) are computed once per sweep either way.  Memoized
+                sweeps are also single-flight across threads: when another
+                thread of this session is already computing a key, this
+                sweep waits for that result instead of recomputing it, so a
+                session shared by a thread pool evaluates each distinct
+                point exactly once.
             executor: Execution strategy for uncached points -- ``"auto"``,
                 ``"process"``, ``"thread"``, or ``"serial"``; defaults to the
                 session's ``executor``.  Processes win real parallelism for
@@ -475,43 +488,78 @@ class ExperimentSession:
                 scenario=label,
             )
 
-        # Split the grid into memo hits and the pending work-list; grid
+        # Split the grid into memo hits, keys another thread is already
+        # computing (single-flight: wait on its future instead of
+        # recomputing), and the pending work-list this sweep claims; grid
         # entries sharing a memo key (aliases and their spec forms, repeated
         # clusters) are computed once and fanned back out.
         results: dict[int, SweepPoint] = {}
         if memoize:
             pending: dict[tuple, list[int]] = {}
+            waiting: dict[tuple, tuple[Future, list[int]]] = {}
             with self._memo_lock:
                 for position, entry in enumerate(grid):
-                    cached = self._memo.get(key_for(*entry))
+                    key = key_for(*entry)
+                    cached = self._memo.get(key)
                     if cached is not None:
                         results[position] = respell(cached, entry[0], entry[3])
+                    elif key in pending:
+                        pending[key].append(position)
+                    elif key in waiting:
+                        waiting[key][1].append(position)
+                    elif key in self._inflight:
+                        waiting[key] = (self._inflight[key], [position])
                     else:
-                        pending.setdefault(key_for(*entry), []).append(position)
+                        self._inflight[key] = Future()
+                        pending[key] = [position]
             work_positions = [positions[0] for positions in pending.values()]
         else:
             pending = {}
+            waiting = {}
             work_positions = list(range(len(grid)))
 
-        outcomes = self._execute_points(
-            [grid[position] for position in work_positions],
-            metric,
-            metric_name,
-            metric_kwargs,
-            executor=executor,
-            parallel=parallel,
-        )
+        try:
+            outcomes = self._execute_points(
+                [grid[position] for position in work_positions],
+                metric,
+                metric_name,
+                metric_kwargs,
+                executor=executor,
+                parallel=parallel,
+            )
+        except BaseException as error:
+            # Release claimed keys so single-flight waiters fail fast
+            # instead of hanging on a future nobody will complete.
+            if memoize:
+                with self._memo_lock:
+                    for key in pending:
+                        future = self._inflight.pop(key, None)
+                        if future is not None:
+                            future.set_exception(error)
+            raise
 
         if memoize:
             with self._memo_lock:
-                for positions, outcome in zip(pending.values(), outcomes):
+                for (key, positions), outcome in zip(pending.items(), outcomes):
                     entry = grid[positions[0]]
                     point = as_point(*entry, outcome)
-                    self._memo[key_for(*entry)] = point
+                    self._memo[key] = point
+                    future = self._inflight.pop(key, None)
+                    if future is not None:
+                        future.set_result(point)
                     for position in positions:
                         results[position] = respell(
                             point, grid[position][0], grid[position][3]
                         )
+            # Every claimed key is published; now (outside the lock, and
+            # only after publishing, so two sweeps waiting on each other's
+            # keys cannot deadlock) collect the points other threads own.
+            for future, positions in waiting.values():
+                point = future.result()
+                for position in positions:
+                    results[position] = respell(
+                        point, grid[position][0], grid[position][3]
+                    )
         else:
             for position, outcome in zip(work_positions, outcomes):
                 results[position] = as_point(*grid[position], outcome)

@@ -1,0 +1,71 @@
+"""``repro.service`` -- the advisor service subsystem.
+
+A long-lived asyncio layer that answers the paper's core question --
+*which scheme wins for this workload, cluster, and failure scenario?* --
+as a query, at volume:
+
+* :mod:`repro.service.models` -- declarative :class:`AdviseRequest` /
+  :class:`AdviseResponse` schema, canonicalized through the same
+  ``cache_key()`` machinery the sweep memo uses;
+* :mod:`repro.service.advisor` -- the :class:`AdvisorService` core:
+  warm-cache fast path, single-flight dedup, micro-batched grid sweeps,
+  bounded-queue backpressure, deadlines, graceful drain;
+* :mod:`repro.service.cache` -- the two-tier :class:`PricingCache`
+  (in-memory LRU + JSON/sqlite spill that survives restarts);
+* :mod:`repro.service.metrics` -- :class:`ServiceMetrics` telemetry
+  (latency percentiles, queue depth, batch sizes, cache hit rate).
+
+Typical use::
+
+    import asyncio
+    from repro.service import AdviseRequest, AdvisorService
+
+    async def main():
+        async with AdvisorService(spill_path="pricing.sqlite") as advisor:
+            response = await advisor.advise(AdviseRequest(
+                specs=("thc(q=4, rot=partial, agg=sat)", "powersgd(r=4)"),
+                workload="bert_large",
+                scenario="slowdown(w=1, x=8)@10..40",
+                metric_kwargs={"num_rounds": 60},
+            ))
+            print(response.best.spec, response.winner_margin)
+
+    asyncio.run(main())
+"""
+
+from repro.service.advisor import AdvisorService
+from repro.service.cache import CachedPoint, PricingCache
+from repro.service.errors import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceStoppedError,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.models import (
+    ADVISE_METRICS,
+    WORKLOADS,
+    AdviseRequest,
+    AdviseResponse,
+    RankedSpec,
+    resolve_workload,
+)
+
+__all__ = [
+    "ADVISE_METRICS",
+    "WORKLOADS",
+    "AdviseRequest",
+    "AdviseResponse",
+    "AdvisorService",
+    "CachedPoint",
+    "DeadlineExceededError",
+    "InvalidRequestError",
+    "PricingCache",
+    "RankedSpec",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloadedError",
+    "ServiceStoppedError",
+    "resolve_workload",
+]

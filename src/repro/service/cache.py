@@ -1,0 +1,240 @@
+"""Two-tier persistent pricing cache for the advisor service.
+
+Tier 1 is a bounded in-memory LRU over :class:`CachedPoint` entries; tier 2
+is an optional spill keyed by the same restart-stable point keys
+(:meth:`repro.service.models.ResolvedRequest.point_key`), either a JSON file
+(``*.json``) or a sqlite database (any other suffix).  A miss in memory
+falls through to the spill and promotes the hit, so a restarted service
+re-hydrates its pricing lazily instead of re-simulating.
+
+Entries are deliberately small and JSON-safe -- the metric value plus an
+optional tail summary, never the full detail object -- so millions of
+persisted pricings stay cheap to store and load.
+
+Every operation is thread-safe: the advisor's evaluation pool and the
+asyncio event loop share one cache.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Provenance labels reported per hit tier.
+MEMORY_TIER = "memory"
+PERSISTENT_TIER = "persistent"
+
+
+@dataclass(frozen=True)
+class CachedPoint:
+    """One persisted pricing: a point key's metric value and tail summary."""
+
+    key: str
+    value: float
+    canonical_spec: str
+    tail: dict | None = None
+
+    def to_payload(self) -> str:
+        return json.dumps(
+            {"value": self.value, "canonical_spec": self.canonical_spec, "tail": self.tail}
+        )
+
+    @classmethod
+    def from_payload(cls, key: str, payload: str) -> "CachedPoint":
+        data = json.loads(payload)
+        return cls(
+            key=key,
+            value=float(data["value"]),
+            canonical_spec=str(data["canonical_spec"]),
+            tail=data.get("tail"),
+        )
+
+
+class _JsonSpill:
+    """Whole-file JSON spill: loaded eagerly, written on flush."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self._data: dict[str, str] = {}
+        self._dirty = False
+        if path.exists():
+            self._data = {
+                str(key): str(payload)
+                for key, payload in json.loads(path.read_text()).items()
+            }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> str | None:
+        return self._data.get(key)
+
+    def put(self, key: str, payload: str) -> None:
+        self._data[key] = payload
+        self._dirty = True
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self._data, indent=0, sort_keys=True) + "\n")
+        tmp.replace(self.path)
+        self._dirty = False
+
+    def close(self) -> None:
+        self.flush()
+
+
+class _SqliteSpill:
+    """sqlite spill: one ``pricing(key, payload)`` table, committed on flush."""
+
+    def __init__(self, path: Path):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # The PricingCache lock serializes every call, so sharing one
+        # connection across threads is safe.
+        self._conn = sqlite3.connect(str(path), check_same_thread=False)
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS pricing (key TEXT PRIMARY KEY, payload TEXT)"
+        )
+        self._conn.commit()
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM pricing").fetchone()
+        return int(row[0])
+
+    def get(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT payload FROM pricing WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def put(self, key: str, payload: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO pricing (key, payload) VALUES (?, ?)", (key, payload)
+        )
+
+    def flush(self) -> None:
+        self._conn.commit()
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()
+
+
+class PricingCache:
+    """Bounded in-memory LRU with an optional persistent spill tier.
+
+    Args:
+        max_entries: In-memory LRU bound; least-recently-used entries are
+            evicted once exceeded (they remain in the spill tier if one is
+            configured, so eviction never loses a persisted pricing).
+        spill_path: ``None`` for memory-only, a ``*.json`` path for the JSON
+            spill, anything else for sqlite.
+    """
+
+    def __init__(self, max_entries: int = 4096, spill_path: str | Path | None = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._memory: OrderedDict[str, CachedPoint] = OrderedDict()
+        self._spill: _JsonSpill | _SqliteSpill | None = None
+        if spill_path is not None:
+            path = Path(spill_path)
+            self._spill = _JsonSpill(path) if path.suffix == ".json" else _SqliteSpill(path)
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "memory_hits": 0,
+            "persistent_hits": 0,
+            "evictions": 0,
+            "stores": 0,
+        }
+
+    @property
+    def persistent(self) -> bool:
+        """Whether a spill tier is configured."""
+        return self._spill is not None
+
+    def get(self, key: str) -> tuple[CachedPoint, str] | None:
+        """Look a point key up; returns ``(entry, tier)`` or ``None``.
+
+        ``tier`` is ``"memory"`` or ``"persistent"``; persistent hits are
+        promoted into the memory tier (counting as one LRU insertion).
+        """
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self._counters["hits"] += 1
+                self._counters["memory_hits"] += 1
+                return entry, MEMORY_TIER
+            if self._spill is not None:
+                payload = self._spill.get(key)
+                if payload is not None:
+                    entry = CachedPoint.from_payload(key, payload)
+                    self._insert(entry)
+                    self._counters["hits"] += 1
+                    self._counters["persistent_hits"] += 1
+                    return entry, PERSISTENT_TIER
+            self._counters["misses"] += 1
+            return None
+
+    def put(self, entry: CachedPoint) -> None:
+        """Store a freshly computed pricing in both tiers."""
+        with self._lock:
+            self._insert(entry)
+            self._counters["stores"] += 1
+            if self._spill is not None:
+                self._spill.put(entry.key, entry.to_payload())
+
+    def _insert(self, entry: CachedPoint) -> None:
+        self._memory[entry.key] = entry
+        self._memory.move_to_end(entry.key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self._counters["evictions"] += 1
+
+    def flush(self) -> None:
+        """Persist the spill tier (JSON write / sqlite commit)."""
+        with self._lock:
+            if self._spill is not None:
+                self._spill.flush()
+
+    def close(self) -> None:
+        """Flush and release the spill tier; the memory tier stays usable."""
+        with self._lock:
+            if self._spill is not None:
+                self._spill.close()
+                self._spill = None
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier only (spill survives) -- test hook."""
+        with self._lock:
+            self._memory.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self._counters["hits"] + self._counters["misses"]
+            return self._counters["hits"] / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot: hits/misses per tier, evictions, sizes."""
+        with self._lock:
+            total = self._counters["hits"] + self._counters["misses"]
+            stats = dict(self._counters)
+            stats["hit_rate"] = self._counters["hits"] / total if total else 0.0
+            stats["memory_entries"] = len(self._memory)
+            stats["persistent_entries"] = len(self._spill) if self._spill is not None else 0
+            stats["persistent"] = self._spill is not None
+            return stats

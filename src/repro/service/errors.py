@@ -1,0 +1,40 @@
+"""Error taxonomy of the advisor service.
+
+The service fronts the simulator with queueing, batching, and deadlines, so
+its failure modes are service failure modes -- not simulator ones.  Each
+error maps onto the HTTP status a REST shim in front of the service would
+return, which keeps the load-test harness and future transport layers
+honest about what counts as a rejection versus a bug.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(Exception):
+    """Base class of every advisor-service error."""
+
+
+class InvalidRequestError(ServiceError, ValueError):
+    """A request that fails validation before it is ever queued (HTTP 400)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The bounded request queue is full; the request was rejected (HTTP 429).
+
+    Backpressure is deliberate: rejecting at admission keeps the queue wait
+    of accepted requests bounded instead of letting latency grow without
+    limit under overload.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline elapsed before its evaluation finished (HTTP 504).
+
+    The response future is abandoned, but any underlying sweep keeps running
+    and still populates the pricing cache -- a retry of the same request is
+    expected to hit.
+    """
+
+
+class ServiceStoppedError(ServiceError):
+    """The service is stopped (or draining) and admits no new requests (HTTP 503)."""

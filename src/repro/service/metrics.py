@@ -1,0 +1,164 @@
+"""Service telemetry: latency percentiles, queue depth, batch sizes, counters.
+
+The advisor's operational story is modeled on O&M-metrics hotspot
+localization: the service continuously exposes the distributions an
+operator needs to localize a hotspot -- tail latency, queue depth, batch
+efficiency, cache hit rate -- as a cheap :meth:`ServiceMetrics.snapshot`
+dict and a one-line periodic log (:meth:`ServiceMetrics.log_line`).
+
+Samples live in bounded deques (most recent window), so a service that has
+answered millions of queries reports on its *current* behaviour at constant
+memory.  Everything is thread-safe: the event loop, the evaluation pool,
+and scraping callers share one instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a sample list (0.0 on empty input)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+class ServiceMetrics:
+    """Counters and bounded sample windows for one advisor service."""
+
+    #: Request-terminal counter names (see :meth:`record_rejected`).
+    REJECTION_KINDS = ("queue_full", "deadline", "stopped", "invalid", "failed")
+
+    def __init__(self, window: int = 8192):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=window)
+        self._queue_depths: deque[int] = deque(maxlen=window)
+        self._batch_sizes: deque[int] = deque(maxlen=window)
+        self._counts = {
+            "requests": 0,
+            "completed": 0,
+            "fast_path": 0,
+            "batched": 0,
+            "sweep_evaluations": 0,
+            "sweeps_dispatched": 0,
+        }
+        self._counts.update({f"rejected_{kind}": 0 for kind in self.REJECTION_KINDS})
+
+    # ------------------------------------------------------------------ #
+    # Recording (called from the event loop and from pool threads)
+    # ------------------------------------------------------------------ #
+    def record_request(self) -> None:
+        with self._lock:
+            self._counts["requests"] += 1
+
+    def record_completed(self, latency_seconds: float, *, fast_path: bool) -> None:
+        with self._lock:
+            self._counts["completed"] += 1
+            self._counts["fast_path" if fast_path else "batched"] += 1
+            self._latencies.append(float(latency_seconds))
+
+    def record_rejected(self, kind: str) -> None:
+        if kind not in self.REJECTION_KINDS:
+            raise ValueError(f"unknown rejection kind {kind!r}")
+        with self._lock:
+            self._counts[f"rejected_{kind}"] += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            self._queue_depths.append(int(depth))
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batch_sizes.append(int(size))
+
+    def record_evaluations(self, num_points: int, num_sweeps: int = 1) -> None:
+        """Count underlying work: distinct points priced, sweeps dispatched."""
+        with self._lock:
+            self._counts["sweep_evaluations"] += int(num_points)
+            self._counts["sweeps_dispatched"] += int(num_sweeps)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @property
+    def sweep_evaluations(self) -> int:
+        """Distinct grid points actually priced by the backing session."""
+        with self._lock:
+            return self._counts["sweep_evaluations"]
+
+    @property
+    def sweeps_dispatched(self) -> int:
+        """Micro-batched sweep calls dispatched to the evaluation pool."""
+        with self._lock:
+            return self._counts["sweeps_dispatched"]
+
+    def snapshot(self, cache_stats: dict | None = None) -> dict:
+        """One coherent telemetry snapshot (optionally merging cache stats).
+
+        Keys: every counter, ``latency`` (p50/p95/p99/max seconds over the
+        sample window), ``queue`` (current-window depth distribution),
+        ``batch`` (micro-batch size distribution), and -- when given --
+        ``cache`` (the :meth:`PricingCache.stats` dict).
+        """
+        with self._lock:
+            latencies = list(self._latencies)
+            depths = [float(depth) for depth in self._queue_depths]
+            batches = [float(size) for size in self._batch_sizes]
+            counts = dict(self._counts)
+        rejected = sum(counts[f"rejected_{kind}"] for kind in self.REJECTION_KINDS)
+        snapshot = {
+            **counts,
+            "rejected": rejected,
+            "latency": {
+                "count": len(latencies),
+                "p50_seconds": percentile(latencies, 0.50),
+                "p95_seconds": percentile(latencies, 0.95),
+                "p99_seconds": percentile(latencies, 0.99),
+                "max_seconds": max(latencies) if latencies else 0.0,
+            },
+            "queue": {
+                "p50_depth": percentile(depths, 0.50),
+                "p99_depth": percentile(depths, 0.99),
+                "max_depth": max(depths) if depths else 0.0,
+            },
+            "batch": {
+                "count": len(batches),
+                "mean_size": sum(batches) / len(batches) if batches else 0.0,
+                "p99_size": percentile(batches, 0.99),
+                "max_size": max(batches) if batches else 0.0,
+            },
+        }
+        if cache_stats is not None:
+            snapshot["cache"] = dict(cache_stats)
+        return snapshot
+
+    def log_line(self, cache_stats: dict | None = None) -> str:
+        """The periodic operator log line: the snapshot's headline numbers."""
+        snap = self.snapshot(cache_stats)
+        line = (
+            "advisor: {requests} req ({completed} ok, {rejected} rejected, "
+            "{fast_path} fast-path) "
+            "p50={p50:.4f}s p99={p99:.4f}s "
+            "queue_p99={queue_p99:.0f} batch_mean={batch_mean:.1f} "
+            "evals={sweep_evaluations} sweeps={sweeps_dispatched}"
+        ).format(
+            requests=snap["requests"],
+            completed=snap["completed"],
+            rejected=snap["rejected"],
+            fast_path=snap["fast_path"],
+            p50=snap["latency"]["p50_seconds"],
+            p99=snap["latency"]["p99_seconds"],
+            queue_p99=snap["queue"]["p99_depth"],
+            batch_mean=snap["batch"]["mean_size"],
+            sweep_evaluations=snap["sweep_evaluations"],
+            sweeps_dispatched=snap["sweeps_dispatched"],
+        )
+        if cache_stats is not None:
+            line += f" cache_hit_rate={snap['cache']['hit_rate']:.2f}"
+        return line

@@ -1,0 +1,117 @@
+"""Cross-thread single-flight on the session sweep memo.
+
+The advisor service shares one :class:`ExperimentSession` across its
+evaluation pool, so two threads sweeping overlapping grids must not both
+pay for the same point: the second thread waits on the first thread's
+in-flight future instead of recomputing.  These tests drive the memo with
+a slow, counted callable metric to prove each distinct point is evaluated
+exactly once under real thread overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import ExperimentSession
+
+SPECS = ["thc(q=4, rot=partial, agg=sat)", "topkc(b=2)", "qsgd(q=4, agg=sat)"]
+
+
+class CountingMetric:
+    """A sweep metric that counts invocations and can stall to force overlap."""
+
+    __name__ = "counting_metric"
+
+    def __init__(self, delay: float = 0.0):
+        self.delay = delay
+        self.calls: list[str] = []
+        self._lock = threading.Lock()
+        self.started = threading.Event()
+
+    def __call__(self, session, spec, workload, cluster, **kwargs):
+        with self._lock:
+            self.calls.append(spec)
+        self.started.set()
+        if self.delay:
+            time.sleep(self.delay)
+        return float(len(spec))
+
+
+class TestSingleFlight:
+    def test_overlapping_sweeps_compute_each_point_once(self):
+        session = ExperimentSession(executor="thread")
+        metric = CountingMetric(delay=0.15)
+
+        def sweep():
+            return session.sweep(SPECS, metric=metric)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = pool.submit(sweep)
+            assert metric.started.wait(timeout=5.0)
+            second = pool.submit(sweep)  # overlaps: first sweep still inside metric
+            results = [first.result(timeout=10.0), second.result(timeout=10.0)]
+
+        assert sorted(metric.calls) == sorted(SPECS)  # each point exactly once
+        values = [[point.value for point in result] for result in results]
+        assert values[0] == values[1]
+        assert session.cached_points == len(SPECS)
+
+    def test_disjoint_grids_do_not_serialize(self):
+        session = ExperimentSession(executor="thread")
+        metric = CountingMetric()
+
+        def sweep(specs):
+            return session.sweep(specs, metric=metric)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            futures = [pool.submit(sweep, SPECS[:2]), pool.submit(sweep, SPECS[2:])]
+            for future in futures:
+                future.result(timeout=10.0)
+
+        assert sorted(metric.calls) == sorted(SPECS)
+
+    def test_failed_computation_releases_inflight_keys(self):
+        session = ExperimentSession(executor="thread")
+
+        class Flaky:
+            __name__ = "flaky"
+
+            def __init__(self):
+                self.attempts = 0
+
+            def __call__(self, session, spec, workload, cluster, **kwargs):
+                self.attempts += 1
+                if self.attempts == 1:
+                    raise RuntimeError("transient failure")
+                return 1.0
+
+        flaky = Flaky()
+        with pytest.raises(RuntimeError, match="transient failure"):
+            session.sweep(SPECS, metric=flaky, parallel=False)
+        # The failed keys were released, not left as dangling reservations:
+        # a retry recomputes instead of hanging on an abandoned future.
+        result = session.sweep(SPECS, metric=flaky, parallel=False)
+        assert [point.value for point in result] == [1.0] * len(SPECS)
+
+    def test_waiter_sees_respelled_labels(self):
+        """A waiting sweep keeps its own scenario labels on shared points."""
+        session = ExperimentSession(executor="thread")
+        metric = CountingMetric(delay=0.1)
+        from repro.training.workloads import bert_large_wikitext
+
+        workload = bert_large_wikitext()
+
+        def sweep():
+            return session.sweep(SPECS[:1], workloads=workload, metric=metric)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            first = pool.submit(sweep)
+            assert metric.started.wait(timeout=5.0)
+            second = pool.submit(sweep)
+            results = [first.result(timeout=10.0), second.result(timeout=10.0)]
+        assert len(metric.calls) == 1
+        assert results[0].points[0].workload == results[1].points[0].workload

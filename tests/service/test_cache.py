@@ -1,0 +1,120 @@
+"""Two-tier pricing cache: LRU order, counters, persistence, re-hydration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cache import CachedPoint, PricingCache
+
+
+def point(key: str, value: float = 1.0) -> CachedPoint:
+    return CachedPoint(key=key, value=value, canonical_spec=f"spec[{key}]")
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = PricingCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put(point("a", 2.5))
+        entry, tier = cache.get("a")
+        assert entry.value == 2.5 and tier == "memory"
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        """The least-recently-*used* entry goes first, not the oldest insert."""
+        cache = PricingCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.put(point(key))
+        cache.get("a")  # refresh "a": "b" is now the LRU entry
+        cache.put(point("d"))
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.get("d") is not None
+        assert cache.stats()["evictions"] == 1
+        assert len(cache) == 3
+
+    def test_put_refreshes_recency(self):
+        cache = PricingCache(max_entries=2)
+        cache.put(point("a"))
+        cache.put(point("b"))
+        cache.put(point("a", 9.0))  # overwrite refreshes, no eviction
+        assert cache.stats()["evictions"] == 0
+        cache.put(point("c"))  # evicts "b", the stale entry
+        assert cache.get("b") is None
+        entry, _ = cache.get("a")
+        assert entry.value == 9.0
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            PricingCache(max_entries=0)
+
+
+@pytest.mark.parametrize("suffix", [".sqlite", ".json"])
+class TestPersistentTier:
+    def test_restart_rehydrates(self, tmp_path, suffix):
+        path = tmp_path / f"pricing{suffix}"
+        cache = PricingCache(max_entries=8, spill_path=path)
+        cache.put(
+            CachedPoint(key="k", value=3.25, canonical_spec="thc", tail={"p99": 1.5})
+        )
+        cache.close()
+
+        reborn = PricingCache(max_entries=8, spill_path=path)
+        hit = reborn.get("k")
+        assert hit is not None
+        entry, tier = hit
+        assert tier == "persistent"
+        assert entry.value == 3.25
+        assert entry.canonical_spec == "thc"
+        assert entry.tail == {"p99": 1.5}
+        assert reborn.stats()["persistent_hits"] == 1
+        # Promoted: the second read is a memory hit.
+        assert reborn.get("k")[1] == "memory"
+
+    def test_eviction_never_loses_persisted_pricing(self, tmp_path, suffix):
+        cache = PricingCache(max_entries=2, spill_path=tmp_path / f"p{suffix}")
+        for index in range(5):
+            cache.put(point(f"k{index}", float(index)))
+        assert cache.stats()["evictions"] == 3
+        entry, tier = cache.get("k0")
+        assert tier == "persistent" and entry.value == 0.0
+
+    def test_flush_then_separate_reader(self, tmp_path, suffix):
+        path = tmp_path / f"pricing{suffix}"
+        writer = PricingCache(spill_path=path)
+        writer.put(point("shared", 7.0))
+        writer.flush()
+        reader = PricingCache(spill_path=path)
+        entry, tier = reader.get("shared")
+        assert tier == "persistent" and entry.value == 7.0
+        writer.close()
+        reader.close()
+
+    def test_stats_report_persistence(self, tmp_path, suffix):
+        cache = PricingCache(spill_path=tmp_path / f"p{suffix}")
+        assert cache.persistent
+        cache.put(point("x"))
+        assert cache.stats()["persistent_entries"] == 1
+        cache.close()
+        assert not cache.persistent
+
+
+class TestJsonFormat:
+    def test_spill_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "pricing.json"
+        cache = PricingCache(spill_path=path)
+        cache.put(point("k", 1.5))
+        cache.flush()
+        data = json.loads(path.read_text())
+        assert json.loads(data["k"])["value"] == 1.5
+
+    def test_memory_only_survives_clear_memory(self):
+        cache = PricingCache()
+        cache.put(point("a"))
+        cache.clear_memory()
+        assert cache.get("a") is None  # no spill: genuinely gone

@@ -1,0 +1,75 @@
+"""Service telemetry: percentiles, counters, snapshot shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+    def test_known_quantiles(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == pytest.approx(50.0, abs=1.0)
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([5.0, 1.0, 3.0], 1.0) == 5.0
+
+
+class TestServiceMetrics:
+    def test_counters_and_latency_window(self):
+        metrics = ServiceMetrics()
+        for _ in range(3):
+            metrics.record_request()
+        metrics.record_completed(0.010, fast_path=True)
+        metrics.record_completed(0.100, fast_path=False)
+        metrics.record_rejected("queue_full")
+        snap = metrics.snapshot()
+        assert snap["requests"] == 3
+        assert snap["completed"] == 2
+        assert snap["fast_path"] == 1 and snap["batched"] == 1
+        assert snap["rejected"] == 1 and snap["rejected_queue_full"] == 1
+        assert snap["latency"]["count"] == 2
+        assert snap["latency"]["max_seconds"] == pytest.approx(0.100)
+        assert 0.010 <= snap["latency"]["p50_seconds"] <= 0.100
+
+    def test_unknown_rejection_kind(self):
+        with pytest.raises(ValueError):
+            ServiceMetrics().record_rejected("tuesday")
+
+    def test_batch_and_queue_distributions(self):
+        metrics = ServiceMetrics()
+        for size in (1, 4, 16):
+            metrics.record_batch(size)
+        metrics.record_queue_depth(5)
+        snap = metrics.snapshot()
+        assert snap["batch"]["mean_size"] == pytest.approx(7.0)
+        assert snap["batch"]["max_size"] == 16.0
+        assert snap["queue"]["max_depth"] == 5.0
+
+    def test_evaluation_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_evaluations(3, 1)
+        metrics.record_evaluations(2, 1)
+        assert metrics.sweep_evaluations == 5
+        assert metrics.sweeps_dispatched == 2
+
+    def test_bounded_window(self):
+        metrics = ServiceMetrics(window=4)
+        for index in range(10):
+            metrics.record_completed(float(index), fast_path=True)
+        snap = metrics.snapshot()
+        assert snap["latency"]["count"] == 4
+        assert snap["completed"] == 10  # counters are cumulative
+
+    def test_log_line_includes_cache(self):
+        metrics = ServiceMetrics()
+        metrics.record_request()
+        metrics.record_completed(0.001, fast_path=True)
+        line = metrics.log_line({"hit_rate": 0.75})
+        assert "p99=" in line and "cache_hit_rate=0.75" in line
