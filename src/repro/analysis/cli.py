@@ -1,0 +1,120 @@
+"""The reprolint command line: ``python -m repro.analysis`` (alias ``reprolint``).
+
+Exit-code contract (CI relies on it):
+
+* ``0`` -- the pass ran and found nothing;
+* ``1`` -- the pass ran and produced findings (including parse errors);
+* ``2`` -- the tool itself could not run: unknown rule code, malformed
+  configuration, or a missing input path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.config import ConfigError, load_config
+from repro.analysis.engine import run_analysis
+from repro.analysis.registry import UnknownRuleError
+from repro.analysis.reporting import render_json, render_rule_list, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "Domain-invariant static analysis for this repository: seeded "
+            "determinism, float32 hot-path discipline, cache-key purity, "
+            "executor pickling safety, async hygiene, and the scheme-registry "
+            "contract."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact; default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (stdout is always printed)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="analysis root for path scopes and config discovery (default: cwd)",
+    )
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        metavar="TOML",
+        help="explicit config file (default: <root>/pyproject.toml [tool.reprolint])",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="CODE",
+        help="run only this rule (repeatable, e.g. --rule RPL001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule with its scope and invariant, then exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="text format: append a per-rule finding breakdown",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return EXIT_CLEAN
+
+    root = (args.root or Path.cwd()).resolve()
+    try:
+        config = load_config(root, args.config)
+        report = run_analysis(
+            args.paths, root=root, config=config, only_rules=args.rule
+        )
+    except (UnknownRuleError, ConfigError, FileNotFoundError) as error:
+        print(f"reprolint: error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_text(report, verbose=args.verbose)
+    )
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,217 @@
+"""``[tool.reprolint]`` configuration loading.
+
+Configuration lives in ``pyproject.toml`` next to the analysis root::
+
+    [tool.reprolint]
+    disable = ["RPL004"]                      # rule codes off by default
+    exclude = ["tests/analysis/fixtures/*"]   # fnmatch globs, never scanned
+
+    [tool.reprolint.rpl001]
+    paths = ["src/repro/simulator"]           # override the rule's scope
+
+Unknown rule codes anywhere in the configuration raise
+:class:`~repro.analysis.registry.UnknownRuleError` with close-match
+suggestions -- the same fail-loud UX as ``UnknownSchemeError``.
+
+Parsing uses :mod:`tomllib` (Python >= 3.11) or ``tomli`` when available;
+otherwise a minimal built-in parser covers the subset the reprolint tables
+need (tables, strings, string lists, booleans, integers), so the tool works
+on a bare Python 3.10 without new dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import registry
+
+
+class ConfigError(ValueError):
+    """Malformed reprolint configuration (bad types, unreadable file)."""
+
+
+# --------------------------------------------------------------------------- #
+# TOML loading with a dependency-free fallback
+# --------------------------------------------------------------------------- #
+def _load_toml(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - Python 3.10 without tomllib
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return _parse_toml_subset(text)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise ConfigError(f"{path}: invalid TOML: {error}") from error
+
+
+_TABLE_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^(?P<key>[A-Za-z0-9_.-]+)\s*=\s*(?P<value>.+)$")
+
+
+def _parse_scalar(text: str):
+    text = text.strip()
+    if text.startswith(("'", '"')):
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigError(f"unsupported TOML value in fallback parser: {text!r}") from None
+
+
+def _parse_toml_subset(text: str) -> dict:  # pragma: no cover - 3.10 fallback
+    """Parse the small TOML subset reprolint tables use (no dependencies)."""
+    root: dict = {}
+    table = root
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip() if '"' not in raw and "'" not in raw else raw.rstrip()
+        if pending:
+            line = pending + " " + line.strip()
+            pending = ""
+        if not line.strip():
+            continue
+        match = _TABLE_RE.match(line.strip())
+        if match:
+            table = root
+            for part in match.group("name").strip().split("."):
+                table = table.setdefault(part.strip().strip('"').strip("'"), {})
+            continue
+        match = _KEY_RE.match(line.strip())
+        if not match:
+            continue
+        value = match.group("value").strip()
+        if value.startswith("[") and not value.endswith("]"):
+            pending = line.strip()
+            continue
+        if value.startswith("["):
+            inner = value[1:-1].strip()
+            items = [p for p in re.split(r",\s*", inner) if p.strip()]
+            table[match.group("key")] = [_parse_scalar(item) for item in items]
+        else:
+            table[match.group("key")] = _parse_scalar(value)
+    return root
+
+
+# --------------------------------------------------------------------------- #
+# The configuration model
+# --------------------------------------------------------------------------- #
+@dataclass
+class LintConfig:
+    """Validated reprolint configuration.
+
+    Attributes:
+        enable: Explicit rule whitelist (``None`` means every registered rule).
+        disable: Rule codes switched off.
+        exclude: fnmatch globs (on root-relative POSIX paths) never scanned.
+        rule_options: Per-rule option tables (``paths`` plus rule-specific
+            keys), merged over each rule's registered defaults.
+        source: Path of the file the configuration came from, if any.
+    """
+
+    enable: tuple[str, ...] | None = None
+    disable: tuple[str, ...] = ()
+    exclude: tuple[str, ...] = ()
+    rule_options: dict[str, dict] = field(default_factory=dict)
+    source: Path | None = None
+
+    def enabled_rules(self) -> list[registry.Rule]:
+        """The rules this configuration turns on, sorted by code."""
+        codes = (
+            registry.resolve_rule_codes(self.enable)
+            if self.enable is not None
+            else registry.available_rules()
+        )
+        disabled = set(registry.resolve_rule_codes(self.disable))
+        return [registry.get_rule(code) for code in codes if code not in disabled]
+
+    def options_for(self, code: str) -> dict:
+        """The rule's registered defaults merged with configured overrides."""
+        merged = dict(registry.get_rule(code).default_options)
+        merged.update(self.rule_options.get(code.upper(), {}))
+        return merged
+
+    def paths_for(self, code: str) -> tuple[str, ...]:
+        """The path scope of a rule: configured ``paths`` or its default."""
+        configured = self.rule_options.get(code.upper(), {}).get("paths")
+        if configured is not None:
+            return tuple(configured)
+        return registry.get_rule(code).default_paths
+
+
+def _string_list(table: dict, key: str, where: str) -> tuple[str, ...] | None:
+    value = table.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise ConfigError(f"{where}.{key} must be a list of strings, got {value!r}")
+    return tuple(value)
+
+
+def config_from_mapping(mapping: dict, *, source: Path | None = None) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed ``[tool.reprolint]`` table.
+
+    Raises:
+        UnknownRuleError: A rule code in ``enable``/``disable``/per-rule
+            tables matches no registered rule (suggestions included).
+        ConfigError: A value has the wrong type.
+    """
+    where = "[tool.reprolint]"
+    enable = _string_list(mapping, "enable", where)
+    disable = _string_list(mapping, "disable", where) or ()
+    exclude = _string_list(mapping, "exclude", where) or ()
+    if enable is not None:
+        enable = tuple(registry.resolve_rule_codes(enable))
+    disable = tuple(registry.resolve_rule_codes(disable))
+
+    rule_options: dict[str, dict] = {}
+    for key, value in mapping.items():
+        if key in ("enable", "disable", "exclude"):
+            continue
+        if not isinstance(value, dict):
+            raise ConfigError(f"{where}.{key} must be a table, got {value!r}")
+        code = registry.get_rule(key).code  # raises UnknownRuleError with hints
+        options = dict(value)
+        paths = _string_list(value, "paths", f"{where}.{key}")
+        if paths is not None:
+            options["paths"] = paths
+        rule_options[code] = options
+
+    return LintConfig(
+        enable=enable,
+        disable=disable,
+        exclude=exclude,
+        rule_options=rule_options,
+        source=source,
+    )
+
+
+def load_config(root: Path, explicit: Path | None = None) -> LintConfig:
+    """Load configuration for an analysis root.
+
+    ``explicit`` (the CLI's ``--config``) must exist; otherwise
+    ``<root>/pyproject.toml`` is used when present, and an empty
+    configuration (all rules, default scopes) when not.
+    """
+    if explicit is not None:
+        if not explicit.is_file():
+            raise ConfigError(f"config file not found: {explicit}")
+        path = explicit
+    else:
+        path = root / "pyproject.toml"
+        if not path.is_file():
+            return LintConfig()
+    data = _load_toml(path)
+    table = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        raise ConfigError(f"{path}: [tool.reprolint] must be a table")
+    return config_from_mapping(table, source=path)

@@ -1,0 +1,233 @@
+"""The reprolint engine: file walking, rule dispatch, suppression filtering.
+
+:func:`run_analysis` is the single entry point the CLI and the tests share:
+it expands the given paths to Python files under the analysis root, parses
+each file once, runs every enabled rule whose path scope matches, filters
+findings through the file's inline suppressions, and returns an
+:class:`AnalysisReport` with stable, sorted findings plus the wall-clock
+duration of the pass (the CLI prints it; the CI job keeps it under budget).
+
+Files that fail to parse surface as findings under the reserved code
+:data:`PARSE_ERROR_CODE` -- a broken file must fail the CI gate, not
+silently skip analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+import time
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule
+from repro.analysis.suppressions import SuppressionMap, parse_suppressions
+
+#: Reserved code for files the engine cannot parse.
+PARSE_ERROR_CODE = "RPL000"
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "node_modules"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule sees about the file under analysis."""
+
+    path: Path
+    relpath: str
+    source: str
+    #: Options of the rule currently running (defaults merged with config).
+    options: dict = field(default_factory=dict)
+    #: Code of the rule currently running (set by the engine per dispatch).
+    rule_code: str = ""
+
+    def finding(self, node: ast.AST | None, message: str) -> Finding:
+        """A finding by the current rule, anchored at ``node`` (or line 1)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=self.relpath, line=line, col=col, rule=self.rule_code, message=message
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one reprolint pass."""
+
+    findings: list[Finding]
+    files_scanned: int
+    duration_seconds: float
+    rules: tuple[str, ...]
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the pass is clean (drives the exit-code contract)."""
+        return not self.findings
+
+    def by_rule(self) -> dict[str, int]:
+        """Finding counts per rule code, sorted by code."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def scope_matches(relpath: str, patterns: Sequence[str]) -> bool:
+    """Whether a root-relative POSIX path falls inside a rule's scope.
+
+    Each pattern is a file path, a directory prefix, or an fnmatch glob;
+    an empty pattern list matches everything.
+    """
+    if not patterns:
+        return True
+    for pattern in patterns:
+        normalized = pattern.rstrip("/")
+        if relpath == normalized or relpath.startswith(normalized + "/"):
+            return True
+        if fnmatch(relpath, pattern):
+            return True
+    return False
+
+
+def _is_excluded(relpath: str, exclude: Sequence[str]) -> bool:
+    return any(
+        fnmatch(relpath, pattern) or relpath.startswith(pattern.rstrip("/") + "/")
+        for pattern in exclude
+    )
+
+
+def iter_python_files(
+    paths: Iterable[str | Path], root: Path, exclude: Sequence[str] = ()
+) -> Iterator[Path]:
+    """Expand CLI path arguments to the Python files to analyze, in order.
+
+    Relative arguments resolve against ``root``.  Missing paths raise
+    :class:`FileNotFoundError` (a typo'd CI invocation must fail loudly,
+    not silently scan nothing).
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(candidate.parts))
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            if _is_excluded(_relpath(resolved, root), exclude):
+                continue
+            seen.add(resolved)
+            yield resolved
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_file(
+    path: Path,
+    root: Path,
+    rules: Sequence[Rule],
+    config: LintConfig,
+) -> tuple[list[Finding], int]:
+    """Run every in-scope rule over one file.
+
+    Returns the unsuppressed findings and the number suppressed inline.
+    """
+    relpath = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=relpath,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule=PARSE_ERROR_CODE,
+                message=f"file does not parse: {error.msg}",
+            )
+        ], 0
+
+    suppressions: SuppressionMap | None = None
+    findings: list[Finding] = []
+    suppressed = 0
+    ctx = FileContext(path=path, relpath=relpath, source=source)
+    for rule in rules:
+        if not scope_matches(relpath, config.paths_for(rule.code)):
+            continue
+        ctx.rule_code = rule.code
+        ctx.options = config.options_for(rule.code)
+        for finding in rule.check(tree, ctx):
+            if suppressions is None:  # parsed lazily: most files are clean
+                suppressions = parse_suppressions(source)
+            if suppressions.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def run_analysis(
+    paths: Sequence[str | Path],
+    *,
+    root: Path,
+    config: LintConfig | None = None,
+    only_rules: Sequence[str] | None = None,
+) -> AnalysisReport:
+    """Run the reprolint pass over ``paths`` and return the report.
+
+    Args:
+        paths: Files or directories (relative arguments resolve against
+            ``root``).
+        root: Analysis root; path scopes, excludes, and reported paths are
+            all relative to it.
+        config: A loaded :class:`LintConfig`; defaults to an empty one
+            (every rule, default scopes).
+        only_rules: Restrict the pass to these rule codes (the CLI's
+            ``--rule``); unknown codes raise ``UnknownRuleError``.
+    """
+    from repro.analysis.registry import resolve_rule_codes
+
+    started = time.perf_counter()
+    config = config or LintConfig()
+    rules = config.enabled_rules()
+    if only_rules is not None:
+        wanted = set(resolve_rule_codes(only_rules))
+        rules = [rule for rule in rules if rule.code in wanted]
+
+    findings: list[Finding] = []
+    suppressed = 0
+    files_scanned = 0
+    for path in iter_python_files(paths, root, config.exclude):
+        files_scanned += 1
+        file_findings, file_suppressed = analyze_file(path, root, rules, config)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+
+    findings.sort()
+    return AnalysisReport(
+        findings=findings,
+        files_scanned=files_scanned,
+        duration_seconds=time.perf_counter() - started,
+        rules=tuple(rule.code for rule in rules),
+        suppressed=suppressed,
+    )

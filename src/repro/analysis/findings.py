@@ -1,0 +1,46 @@
+"""The finding model shared by every reprolint rule and reporter.
+
+A :class:`Finding` is one rule violation anchored to a ``file:line:col``
+location.  Findings are plain frozen data so reporters, tests, and the JSON
+artifact all consume the same shape; :meth:`Finding.to_dict` is the single
+source of truth for the JSON schema (``schema_version`` lives on the report,
+see :mod:`repro.analysis.reporting`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        path: Path of the offending file, POSIX-style, relative to the
+            analysis root (so reports are machine-independent).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        rule: Rule code (``"RPL001"``).
+        message: Human-readable description, stating the broken invariant.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def location(self) -> str:
+        """The clickable ``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (one entry of the report's ``findings``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,76 @@
+"""Reprolint reporters: ``file:line:col`` text and a stable JSON schema.
+
+The JSON document (``--format json``) is the CI artifact; its shape is
+pinned by ``schema_version`` and tested in ``tests/analysis/test_cli.py``::
+
+    {
+      "tool": "reprolint",
+      "schema_version": 1,
+      "duration_seconds": 0.41,
+      "files_scanned": 131,
+      "rules": ["RPL001", ...],
+      "summary": {"total": 0, "suppressed": 3, "by_rule": {}},
+      "findings": [{"path", "line", "col", "rule", "message"}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisReport
+from repro.analysis.registry import all_rules
+
+#: Bump when the JSON document shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def render_text(report: AnalysisReport, *, verbose: bool = False) -> str:
+    """The human reporter: one ``path:line:col: CODE message`` per finding.
+
+    Always ends with a summary line carrying the wall-clock duration of the
+    pass, so every run doubles as the pre-commit-budget benchmark.
+    """
+    lines = [
+        f"{finding.location()}: {finding.rule} {finding.message}"
+        for finding in report.findings
+    ]
+    if verbose and report.by_rule():
+        lines.append("")
+        for code, count in report.by_rule().items():
+            lines.append(f"  {code}: {count}")
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    suppressed = f", {report.suppressed} suppressed inline" if report.suppressed else ""
+    lines.append(
+        f"reprolint: {status} across {report.files_scanned} file(s){suppressed} "
+        f"in {report.duration_seconds:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport, *, indent: int | None = 2) -> str:
+    """The machine reporter (CI artifact)."""
+    document = {
+        "tool": "reprolint",
+        "schema_version": SCHEMA_VERSION,
+        "duration_seconds": report.duration_seconds,
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rules),
+        "summary": {
+            "total": len(report.findings),
+            "suppressed": report.suppressed,
+            "by_rule": report.by_rule(),
+        },
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(document, indent=indent, sort_keys=False)
+
+
+def render_rule_list() -> str:
+    """``--list-rules`` output: every rule, its scope, and its invariant."""
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.default_paths) or "(everywhere)"
+        lines.append(f"{rule.code} [{rule.name}]  scope: {scope}")
+        lines.append(f"    {rule.invariant}")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Reprolint rule modules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry` (the same import-side-effect pattern the
+scheme registry uses).  Each rule lives in its own module with its
+invariant documented in the module docstring.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (registration side effects)
+    rpl001_determinism,
+    rpl002_dtype,
+    rpl003_cache_key,
+    rpl004_executor,
+    rpl005_async,
+    rpl006_registry,
+)

@@ -1,0 +1,113 @@
+"""RPL001: seeded determinism in pricing and simulation paths.
+
+The scenario fuzz suite (PR 5) and the advisor's restart-stable cache keys
+(PR 6) both assume that re-running any pricing path with the same inputs
+reproduces the same numbers.  A single wall-clock read or a call into a
+global RNG breaks that silently: results still *look* plausible, they just
+stop replaying.  This rule flags, inside the scoped packages:
+
+* wall-clock reads -- ``time.time``/``monotonic``/``perf_counter`` (and
+  their ``_ns`` variants), ``datetime.now``/``utcnow``/``today``;
+* the stdlib global RNG -- any call through the ``random`` module;
+* numpy's global RNG -- any ``np.random.*`` call that is not an explicitly
+  seeded generator construction (``np.random.default_rng(seed)``,
+  ``Generator``, ``PCG64(seed)``, ``SeedSequence(seed)``);
+* unseeded generator construction -- ``np.random.default_rng()`` with no
+  arguments (OS entropy: different on every run).
+
+Legitimate wall-clock uses (operational latency histograms in the service
+layer) carry an inline ``# reprolint: disable=RPL001`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+from repro.analysis.rules.base import call_name, import_aliases
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: np.random entry points that construct explicit generator state (allowed
+#: when seeded) rather than touching the hidden global RNG.
+_GENERATOR_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+    "numpy.random.SeedSequence",
+    "numpy.random.BitGenerator",
+}
+
+
+@rule(
+    "RPL001",
+    name="determinism",
+    invariant=(
+        "pricing/simulation paths must be replay-deterministic: no wall-clock "
+        "reads, no global RNG; randomness flows through seeded "
+        "np.random.default_rng(seed)"
+    ),
+    default_paths=(
+        "src/repro/simulator",
+        "src/repro/compression",
+        "src/repro/collectives",
+        "src/repro/api",
+        "src/repro/service",
+    ),
+)
+class DeterminismRule:
+    def check(self, tree: ast.AST, ctx) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node, aliases, require_import=True)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK:
+                yield ctx.finding(
+                    node,
+                    f"wall-clock read `{name}()` breaks replay determinism; "
+                    "thread simulated time / timestamps in as arguments "
+                    "(suppress inline only for operational telemetry)",
+                )
+            elif name == "random" or name.startswith("random."):
+                yield ctx.finding(
+                    node,
+                    f"stdlib global RNG `{name}()` is unseeded shared state; "
+                    "use a seeded np.random.default_rng(seed) passed "
+                    "explicitly",
+                )
+            elif name.startswith("numpy.random."):
+                if name in _GENERATOR_CONSTRUCTORS:
+                    if not node.args and not node.keywords:
+                        yield ctx.finding(
+                            node,
+                            f"`{name}()` without a seed draws OS entropy; "
+                            "pass an explicit seed so runs replay",
+                        )
+                else:
+                    yield ctx.finding(
+                        node,
+                        f"numpy global-RNG call `{name}()` bypasses seeded "
+                        "Generator state; use np.random.default_rng(seed)",
+                    )

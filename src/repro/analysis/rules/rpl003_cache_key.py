@@ -1,0 +1,132 @@
+"""RPL003: cache-key and canonicalization purity.
+
+PR 2's sweep-memo bug (memoizing by the ``"2x2"`` display label instead of
+the cluster's full identity) is the archetype this rule makes structural:
+functions that *define identity* -- ``cache_key`` and ``canonical*`` by
+default (configurable via ``function_names``) -- must derive it only from
+identity-bearing data.  Inside a matching function this rule flags:
+
+* reads of display attributes (``.name``, ``.label``, ``.display_name``,
+  ``.title`` -- configurable via ``display_attrs``): labels are for humans
+  and collide across distinct identities;
+* ``id(...)`` and ``hash(...)`` / ``__hash__`` reads: process-local (and,
+  for strings, ``PYTHONHASHSEED``-dependent), so never restart-stable;
+* unsorted dict/set iteration (``for ... in d.items()/keys()/values()``,
+  iteration over set literals/constructors): insertion order is not
+  identity -- wrap in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+_DICT_ITER_METHODS = {"items", "keys", "values"}
+
+
+def _matches(name: str, patterns: tuple[str, ...]) -> bool:
+    return any(fnmatch.fnmatchcase(name, pattern) for pattern in patterns)
+
+
+def _unsorted_iterable(node: ast.expr) -> str | None:
+    """Describe the unsorted-iteration hazard of an iterable expr, if any."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_ITER_METHODS:
+            return f"dict .{func.attr}() iteration order"
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return "set iteration order"
+    if isinstance(node, ast.Set):
+        return "set-literal iteration order"
+    return None
+
+
+class _PurityVisitor(ast.NodeVisitor):
+    def __init__(self, display_attrs: set[str]):
+        self.display_attrs = display_attrs
+        self.hits: list[tuple[ast.AST, str]] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load):
+            if node.attr in self.display_attrs:
+                self.hits.append(
+                    (
+                        node,
+                        f"reads display attribute `.{node.attr}` inside an "
+                        "identity function; display names collide across "
+                        "distinct identities -- derive the key from "
+                        "identity-bearing fields",
+                    )
+                )
+            elif node.attr == "__hash__":
+                self.hits.append(
+                    (node, "`__hash__` is process-local; identity keys must be "
+                           "restart-stable")
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id in ("id", "hash"):
+            self.hits.append(
+                (
+                    node,
+                    f"`{node.func.id}(...)` is process-local (and hash is "
+                    "PYTHONHASHSEED-dependent for strings); identity keys "
+                    "must be restart-stable",
+                )
+            )
+        self.generic_visit(node)
+
+    # ---------------- unsorted iteration ------------------------------- #
+    def _check_iter(self, iterable: ast.expr) -> None:
+        hazard = _unsorted_iterable(iterable)
+        if hazard is not None:
+            self.hits.append(
+                (
+                    iterable,
+                    f"{hazard} is not identity; wrap in sorted(...) so the "
+                    "key is order-independent",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+
+@rule(
+    "RPL003",
+    name="cache-key-purity",
+    invariant=(
+        "cache_key/canonical* functions derive identity only from "
+        "identity-bearing data: no display names, no id()/hash(), no unsorted "
+        "dict/set iteration"
+    ),
+    default_paths=("src",),
+    default_options={
+        "function_names": ("cache_key", "canonical*", "point_key"),
+        "display_attrs": ("name", "label", "display_name", "title"),
+    },
+)
+class CacheKeyPurityRule:
+    def check(self, tree: ast.AST, ctx) -> Iterator[Finding]:
+        patterns = tuple(ctx.options.get("function_names", ()))
+        display_attrs = set(ctx.options.get("display_attrs", ()))
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _matches(node.name, patterns):
+                continue
+            visitor = _PurityVisitor(display_attrs)
+            for statement in node.body:
+                visitor.visit(statement)
+            for hit, message in visitor.hits:
+                yield ctx.finding(hit, message)

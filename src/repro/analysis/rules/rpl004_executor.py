@@ -1,0 +1,221 @@
+"""RPL004: pickling and shared-state safety at the process-pool boundary.
+
+``repro.api.executors.run_tasks(..., executor="process")`` ships its
+function and tasks to forked workers via pickle.  Lambdas, nested closures,
+and bound methods of unpicklable objects fail there -- but only at runtime,
+on a multi-core machine, under the exact executor resolution that CI's
+single-core runners may never take.  And a worker function that mutates
+module-level state "works" under fork while silently diverging from the
+serial path (each worker mutates its own copy).  This rule flags:
+
+* a lambda, locally nested function, or bound-method attribute passed as
+  the function to a ``run_tasks(...)`` call whose ``executor=`` is the
+  literal ``"process"`` (non-literal executors are skipped: the rule
+  underreports rather than second-guessing dynamic resolution);
+* lambdas submitted to a ``ProcessPoolExecutor`` (``pool.submit``/
+  ``pool.map`` on a name bound to ``ProcessPoolExecutor(...)``);
+* module-level mutable-state writes (``global`` rebinding, ``X[...] =``,
+  ``X.append/update/...``) inside any function passed by name to
+  ``run_tasks`` -- worker functions must stay side-effect-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+from repro.analysis.rules.base import (
+    import_aliases,
+    module_level_targets,
+    qualified_name,
+)
+
+_MUTATORS = {
+    "append",
+    "extend",
+    "add",
+    "update",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+    "appendleft",
+}
+
+
+def _executor_literal(node: ast.Call) -> str | None:
+    for kw in node.keywords:
+        if kw.arg == "executor" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                return kw.value.value
+    return None
+
+
+def _function_argument(node: ast.Call) -> ast.expr | None:
+    if len(node.args) >= 2:
+        return node.args[1]
+    for kw in node.keywords:
+        if kw.arg == "function":
+            return kw.value
+    return None
+
+
+def _nested_function_names(tree: ast.AST) -> set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(outer):
+            if inner is outer:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _process_pool_names(tree: ast.AST, aliases: dict[str, str]) -> set[str]:
+    """Local names bound to a ProcessPoolExecutor instance."""
+    names: set[str] = set()
+
+    def value_is_pool(value: ast.expr | None) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        name = qualified_name(value.func, aliases)
+        return name is not None and name.endswith("ProcessPoolExecutor")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and value_is_pool(node.value):
+            names.update(
+                target.id for target in node.targets if isinstance(target, ast.Name)
+            )
+        elif isinstance(node, ast.withitem) and value_is_pool(node.context_expr):
+            if isinstance(node.optional_vars, ast.Name):
+                names.add(node.optional_vars.id)
+    return names
+
+
+@rule(
+    "RPL004",
+    name="executor-safety",
+    invariant=(
+        "nothing unpicklable crosses the repro.api.executors process boundary, "
+        "and worker functions never write module-level mutable state"
+    ),
+    default_paths=(),  # anywhere run_tasks / ProcessPoolExecutor is used
+)
+class ExecutorSafetyRule:
+    def check(self, tree: ast.AST, ctx) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        nested = _nested_function_names(tree)
+        pools = _process_pool_names(tree, aliases)
+        module_targets = module_level_targets(tree) if isinstance(tree, ast.Module) else set()
+        worker_names: set[str] = set()
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_name(node.func, aliases)
+            if name is not None and name.split(".")[-1] == "run_tasks":
+                function = _function_argument(node)
+                if isinstance(function, ast.Name):
+                    worker_names.add(function.id)
+                if _executor_literal(node) == "process":
+                    yield from self._check_process_function(ctx, function, nested)
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pools
+            ):
+                for argument in node.args:
+                    if isinstance(argument, ast.Lambda):
+                        yield ctx.finding(
+                            argument,
+                            "lambda submitted to a ProcessPoolExecutor cannot "
+                            "be pickled; use a module-level function",
+                        )
+
+        # Worker functions shipped through run_tasks must be side-effect
+        # free: fork gives each worker its own copy of module state, so a
+        # write "succeeds" while silently diverging from the serial path.
+        if worker_names and module_targets:
+            for function in ast.walk(tree):
+                if (
+                    isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and function.name in worker_names
+                ):
+                    yield from self._check_worker_body(ctx, function, module_targets)
+
+    # ------------------------------------------------------------------ #
+    def _check_process_function(self, ctx, function, nested) -> Iterator[Finding]:
+        if function is None:
+            return
+        if isinstance(function, ast.Lambda):
+            yield ctx.finding(
+                function,
+                "lambda shipped to executor='process' cannot be pickled; "
+                "use a module-level function",
+            )
+        elif isinstance(function, ast.Name) and function.id in nested:
+            yield ctx.finding(
+                function,
+                f"nested function `{function.id}` shipped to "
+                "executor='process' closes over local state and cannot be "
+                "pickled; hoist it to module level",
+            )
+        elif isinstance(function, ast.Attribute):
+            yield ctx.finding(
+                function,
+                "bound method shipped to executor='process' pickles its whole "
+                "instance (or fails); use a module-level function over "
+                "picklable task data",
+            )
+
+    def _check_worker_body(self, ctx, function, module_targets) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Global):
+                shared = [name for name in node.names if name in module_targets]
+                if shared:
+                    yield ctx.finding(
+                        node,
+                        f"worker function `{function.name}` rebinds module "
+                        f"global(s) {', '.join(shared)}; workers must be "
+                        "side-effect-free (results travel via return values)",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    base = target
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    if (
+                        isinstance(base, ast.Name)
+                        and base.id in module_targets
+                        and base is not target
+                    ):
+                        yield ctx.finding(
+                            node,
+                            f"worker function `{function.name}` writes into "
+                            f"module-level `{base.id}`; forked workers mutate "
+                            "their own copy and the serial path diverges",
+                        )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATORS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in module_targets
+                ):
+                    yield ctx.finding(
+                        node,
+                        f"worker function `{function.name}` mutates "
+                        f"module-level `{node.func.value.id}."
+                        f"{node.func.attr}(...)`; workers must be "
+                        "side-effect-free",
+                    )

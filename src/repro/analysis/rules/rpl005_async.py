@@ -1,0 +1,107 @@
+"""RPL005: async hygiene in the service layer.
+
+The advisor (PR 6) answers warm-cache queries synchronously *on the event
+loop* -- its ~0.1 ms fast path and 28k qps depend on nothing ever blocking
+that loop.  One ``time.sleep`` or synchronous sqlite call inside an
+``async def`` stalls every in-flight request at once; the load-test only
+sees it as an inexplicable p99 cliff.  This rule flags direct calls to
+known blocking APIs inside ``async def`` bodies (the service offloads real
+work via ``loop.run_in_executor``, which passes function *references*, so
+correctly offloaded code never trips it):
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* synchronous sqlite (``sqlite3.connect`` and friends);
+* ``subprocess.*`` / ``os.system`` / ``os.popen``;
+* synchronous network/file fetch helpers (``urllib.request.urlopen``,
+  ``requests.*``, ``socket.create_connection``).
+
+Nested ``def`` helpers inside an ``async def`` are exempt: they execute
+wherever they are *called* (typically shipped to an executor), not on the
+loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+from repro.analysis.rules.base import call_name, import_aliases
+
+_BLOCKING = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "sqlite3.connect": "offload to an executor (loop.run_in_executor)",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec",
+    "os.system": "use asyncio.create_subprocess_shell",
+    "os.popen": "use asyncio.create_subprocess_shell",
+    "os.waitpid": "use asyncio subprocess APIs",
+    "urllib.request.urlopen": "offload to an executor",
+    "socket.create_connection": "use asyncio.open_connection",
+}
+_BLOCKING_PREFIXES = {
+    "requests.": "offload to an executor (requests is fully synchronous)",
+}
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    """Collects blocking calls lexically inside one async function body,
+    without descending into nested (sync or async) function definitions."""
+
+    def __init__(self, aliases: dict[str, str]):
+        self.aliases = aliases
+        self.hits: list[tuple[ast.AST, str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # executes off-loop; not this async body
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return  # inner async defs are visited as their own roots
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_name(node, self.aliases, require_import=True)
+        if name is not None:
+            hint = _BLOCKING.get(name)
+            if hint is None:
+                for prefix, prefix_hint in _BLOCKING_PREFIXES.items():
+                    if name.startswith(prefix):
+                        hint = prefix_hint
+                        break
+            if hint is not None:
+                self.hits.append(
+                    (
+                        node,
+                        f"blocking call `{name}(...)` inside `async def` stalls "
+                        f"the event loop (every in-flight request); {hint}",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@rule(
+    "RPL005",
+    name="async-hygiene",
+    invariant=(
+        "async def bodies in the service layer never block the event loop: no "
+        "time.sleep, synchronous sqlite, or subprocess without executor offload"
+    ),
+    default_paths=("src/repro/service",),
+)
+class AsyncHygieneRule:
+    def check(self, tree: ast.AST, ctx) -> Iterator[Finding]:
+        aliases = import_aliases(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            visitor = _AsyncBodyVisitor(aliases)
+            for statement in node.body:
+                visitor.visit(statement)
+            for hit, message in visitor.hits:
+                yield ctx.finding(hit, message)

@@ -116,7 +116,13 @@ _SIGNS_CACHE: dict[tuple[int, int, str], np.ndarray] = {}
 _SIGNS_CACHE_MAX = 16
 
 
-def cached_signs(seed: int, padded_size: int, dtype: np.dtype | type = np.float64) -> np.ndarray:
+def cached_signs(
+    seed: int,
+    padded_size: int,
+    # The float64 default is the documented legacy-oracle reference dtype;
+    # the batched path always passes float32 explicitly.
+    dtype: np.dtype | type = np.float64,  # reprolint: disable=RPL002 - legacy-oracle reference dtype
+) -> np.ndarray:
     """The +/-1 sign diagonal of a seeded rotation, cached and read-only.
 
     Bit-identical to the legacy per-call generation

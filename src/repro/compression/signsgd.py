@@ -94,6 +94,11 @@ class SignSGDCompressor(AggregationScheme):
             return self._aggregate_batched(worker_gradients, ctx, d)
         return self._aggregate_legacy(worker_gradients, ctx, d)
 
+    # RPL006: the uniform near-equal coordinate split of the base
+    # implementation is the right bucket pricing here (no layer
+    # structure to respect), so the inheritance is stated explicitly.
+    estimate_bucket_costs = AggregationScheme.estimate_bucket_costs
+
     def aggregate_matrix(
         self, matrix: np.ndarray, ctx: SimContext
     ) -> AggregationResult:

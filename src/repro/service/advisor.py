@@ -213,7 +213,9 @@ class AdvisorService:
                 sweep keeps running and still warms the cache).
             ServiceStoppedError: the service is not accepting requests.
         """
-        started = time.perf_counter()
+        # Request latency is operational telemetry -- genuinely wall-clock,
+        # never part of a pricing result, so determinism is unaffected.
+        started = time.perf_counter()  # reprolint: disable=RPL001 - latency telemetry
         self.metrics.record_request()
         if not self._accepting or self._queue is None:
             self.metrics.record_rejected("stopped")
@@ -237,7 +239,7 @@ class AdvisorService:
                 entry, tier = hit
                 values[spec] = (entry.value, entry.tail, tier)
         if complete:
-            latency = time.perf_counter() - started
+            latency = time.perf_counter() - started  # reprolint: disable=RPL001 - latency telemetry
             self.metrics.record_completed(latency, fast_path=True)
             return rank_candidates(
                 resolved, values, latency_seconds=latency, batch_size=1
@@ -277,7 +279,7 @@ class AdvisorService:
         except Exception:
             self.metrics.record_rejected("failed")
             raise
-        latency = time.perf_counter() - started
+        latency = time.perf_counter() - started  # reprolint: disable=RPL001 - latency telemetry
         self.metrics.record_completed(latency, fast_path=False)
         return rank_candidates(
             resolved, values, latency_seconds=latency, batch_size=batch_size
@@ -405,7 +407,7 @@ class AdvisorService:
                 if future is not None and not future.done():
                     future.set_exception(error)
             return
-        for (spec, canonical, key), point in zip(group.entries, points):
+        for (_spec, canonical, key), point in zip(group.entries, points):
             cached = CachedPoint(
                 key=key,
                 value=float(point.value),

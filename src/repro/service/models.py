@@ -62,7 +62,9 @@ def canonical_spec(spec: str) -> str:
     try:
         return scheme.spec()
     except NotImplementedError:
-        return scheme.name
+        # For custom factories without a spec() the registered name IS the
+        # scheme's identity (the registry enforces uniqueness), not a label.
+        return scheme.name  # reprolint: disable=RPL003 - registry name is the identity here
 
 
 def _digest(text: str) -> str:

@@ -1,0 +1,14 @@
+"""Deliberate RPL001 violations: wall-clock + global RNG in a pricing path."""
+
+import random
+import time
+
+import numpy as np
+
+
+def price_round(costs):
+    started = time.time()  # wall-clock read
+    jitter = np.random.rand(len(costs))  # numpy global RNG
+    pick = random.choice(costs)  # stdlib global RNG
+    rng = np.random.default_rng()  # unseeded generator
+    return started, jitter, pick, rng

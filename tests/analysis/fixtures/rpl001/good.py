@@ -1,0 +1,10 @@
+"""The clean counterpart: timestamps passed in, RNG seeded and explicit."""
+
+import numpy as np
+
+
+def price_round(costs, started: float, seed: int):
+    rng = np.random.default_rng(seed)
+    jitter = rng.random(len(costs))
+    pick = costs[int(rng.integers(0, len(costs)))]
+    return started, jitter, pick, rng

@@ -1,0 +1,13 @@
+"""Deliberate RPL003 violations: impure identity derivation."""
+
+
+class Spec:
+    def cache_key(self):
+        parts = [self.label, str(id(self))]  # display attr + process-local id
+        for key, value in self.params.items():  # unsorted dict iteration
+            parts.append(f"{key}={value}")
+        return "|".join(parts)
+
+
+def canonical_digest(spec):
+    return str(hash(spec))  # PYTHONHASHSEED-dependent

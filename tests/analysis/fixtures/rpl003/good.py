@@ -1,0 +1,15 @@
+"""The clean counterpart: identity from identity-bearing fields, sorted."""
+
+import hashlib
+
+
+class Spec:
+    def cache_key(self):
+        parts = [self.family, str(self.seed)]
+        for key, value in sorted(self.params.items()):
+            parts.append(f"{key}={value}")
+        return "|".join(parts)
+
+
+def canonical_digest(spec):
+    return hashlib.sha256(spec.cache_key().encode("utf-8")).hexdigest()

@@ -1,0 +1,18 @@
+"""Deliberate RPL004 violations: unpicklable work + stateful workers."""
+
+from repro.api.executors import run_tasks
+
+RESULTS = []
+
+
+def _record(task):
+    RESULTS.append(task)  # module-level mutable state from a worker
+    return task
+
+
+def sweep(tasks, offset):
+    first = run_tasks(
+        tasks, lambda task: task + offset, executor="process"  # unpicklable
+    )
+    second = run_tasks(tasks, _record, executor="thread")
+    return first, second

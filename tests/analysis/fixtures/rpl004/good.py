@@ -1,0 +1,11 @@
+"""The clean counterpart: module-level picklable worker, results by return."""
+
+from repro.api.executors import run_tasks
+
+
+def _shifted(task):
+    return task.value + task.offset
+
+
+def sweep(tasks):
+    return run_tasks(tasks, _shifted, executor="process")

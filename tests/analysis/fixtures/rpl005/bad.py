@@ -1,0 +1,12 @@
+"""Deliberate RPL005 violations: blocking the event loop."""
+
+import sqlite3
+import subprocess
+import time
+
+
+async def refresh(path):
+    time.sleep(0.05)  # stalls every in-flight request
+    conn = sqlite3.connect(path)  # synchronous sqlite on the loop
+    subprocess.run(["sync"])  # blocking subprocess
+    return conn

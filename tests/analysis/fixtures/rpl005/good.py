@@ -1,0 +1,14 @@
+"""The clean counterpart: await asyncio.sleep, blocking work offloaded."""
+
+import asyncio
+import sqlite3
+
+
+def _hydrate(path):
+    return sqlite3.connect(path)  # runs on the executor, not the loop
+
+
+async def refresh(path):
+    await asyncio.sleep(0.05)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _hydrate, path)

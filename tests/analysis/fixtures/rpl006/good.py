@@ -1,0 +1,16 @@
+"""The clean counterpart: batched path defined, default inheritance stated."""
+
+from repro.compression.base import AggregationScheme
+from repro.compression.spec import register
+
+
+@register("fixture_scheme")
+class FixtureScheme(AggregationScheme):
+    # Uniform near-equal bucket pricing is correct here; stated explicitly.
+    estimate_bucket_costs = AggregationScheme.estimate_bucket_costs
+
+    def aggregate(self, worker_gradients, ctx):
+        return worker_gradients
+
+    def aggregate_matrix(self, matrix, ctx):
+        return matrix

@@ -1,0 +1,151 @@
+"""``[tool.reprolint]`` configuration: loading, validation, overrides."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, UnknownRuleError, run_analysis
+from repro.analysis.config import ConfigError, config_from_mapping, load_config
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _write_pyproject(tmp_path: Path, body: str) -> Path:
+    path = tmp_path / "pyproject.toml"
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+def _plant_bad(tmp_path: Path, fixture: str, destination: str) -> None:
+    target = tmp_path / destination
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(FIXTURES / fixture / "bad.py", target)
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------------- #
+def test_missing_pyproject_means_defaults(tmp_path):
+    config = load_config(tmp_path)
+    assert config.enable is None
+    assert config.disable == ()
+    assert len(config.enabled_rules()) == 6
+
+
+def test_pyproject_without_reprolint_table(tmp_path):
+    _write_pyproject(tmp_path, "[project]\nname = 'x'\nversion = '0.0.1'\n")
+    config = load_config(tmp_path)
+    assert config.enabled_rules()  # defaults, not an error
+
+
+def test_table_is_discovered_and_source_recorded(tmp_path):
+    path = _write_pyproject(
+        tmp_path, "[tool.reprolint]\ndisable = [\"RPL004\"]\n"
+    )
+    config = load_config(tmp_path)
+    assert config.source == path
+    codes = [rule.code for rule in config.enabled_rules()]
+    assert "RPL004" not in codes
+    assert len(codes) == 5
+
+
+def test_explicit_config_flag(tmp_path):
+    other = tmp_path / "lint.toml"
+    other.write_text("[tool.reprolint]\nenable = [\"RPL001\"]\n", encoding="utf-8")
+    config = load_config(tmp_path, explicit=other)
+    assert [rule.code for rule in config.enabled_rules()] == ["RPL001"]
+
+
+# --------------------------------------------------------------------------- #
+# Validation: fail loudly, with suggestions
+# --------------------------------------------------------------------------- #
+def test_unknown_rule_in_disable_suggests(tmp_path):
+    _write_pyproject(tmp_path, "[tool.reprolint]\ndisable = [\"RPL007\"]\n")
+    with pytest.raises(UnknownRuleError) as excinfo:
+        load_config(tmp_path)
+    message = str(excinfo.value)
+    assert "RPL007" in message
+    assert "did you mean" in message
+    assert "known:" in message
+
+
+def test_unknown_rule_table_suggests(tmp_path):
+    _write_pyproject(
+        tmp_path, "[tool.reprolint.rpl0001]\npaths = [\"src\"]\n"
+    )
+    with pytest.raises(UnknownRuleError, match="did you mean"):
+        load_config(tmp_path)
+
+
+def test_wrong_type_is_config_error():
+    with pytest.raises(ConfigError, match="list of strings"):
+        config_from_mapping({"disable": "RPL001"})
+    with pytest.raises(ConfigError, match="must be a table"):
+        config_from_mapping({"rpl001": "src"})
+
+
+# --------------------------------------------------------------------------- #
+# Effect on the pass
+# --------------------------------------------------------------------------- #
+def test_disable_silences_rule(tmp_path):
+    _plant_bad(tmp_path, "rpl001", "src/repro/simulator/mod.py")
+    _write_pyproject(tmp_path, "[tool.reprolint]\ndisable = [\"rpl001\"]\n")
+    report = run_analysis(["src"], root=tmp_path, config=load_config(tmp_path))
+    assert report.findings == []
+    assert "RPL001" not in report.rules
+
+
+def test_exclude_glob_skips_files(tmp_path):
+    _plant_bad(tmp_path, "rpl001", "src/repro/simulator/mod.py")
+    _write_pyproject(
+        tmp_path, "[tool.reprolint]\nexclude = [\"src/repro/simulator/*\"]\n"
+    )
+    report = run_analysis(["src"], root=tmp_path, config=load_config(tmp_path))
+    assert report.files_scanned == 0
+    assert report.findings == []
+
+
+def test_per_rule_paths_override(tmp_path):
+    # Point RPL001 away from the simulator: the violation goes out of scope.
+    _plant_bad(tmp_path, "rpl001", "src/repro/simulator/mod.py")
+    _write_pyproject(
+        tmp_path,
+        "[tool.reprolint.rpl001]\npaths = [\"src/repro/collectives\"]\n",
+    )
+    report = run_analysis(
+        ["src"], root=tmp_path, config=load_config(tmp_path), only_rules=["RPL001"]
+    )
+    assert report.findings == []
+    assert report.files_scanned == 1  # scanned, but out of the rule's scope
+
+
+def test_per_rule_option_override(tmp_path):
+    # Narrow RPL006's contract to one method: a class defining it passes.
+    module = tmp_path / "src/repro/compression/mod.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "from repro.compression.spec import register\n"
+        "@register('y')\n"
+        "class Y:\n"
+        "    def aggregate_matrix(self, matrix, ctx):\n"
+        "        return matrix\n",
+        encoding="utf-8",
+    )
+    _write_pyproject(
+        tmp_path,
+        "[tool.reprolint.rpl006]\nrequired_methods = [\"aggregate_matrix\"]\n",
+    )
+    report = run_analysis(
+        ["src"], root=tmp_path, config=load_config(tmp_path), only_rules=["RPL006"]
+    )
+    assert report.findings == []
+
+
+def test_defaults_and_overrides_merge():
+    config = LintConfig(rule_options={"RPL006": {"required_methods": ["x"]}})
+    assert config.options_for("RPL006")["required_methods"] == ["x"]
+    # Untouched rules keep their registered defaults.
+    assert "modules" in config.options_for("RPL002")
