@@ -15,6 +15,10 @@ compare against:
 * **Sweep wall-clock** -- a vNMSE sweep grid under the historical
   configuration (legacy kernels, thread executor) versus the current default
   (batched kernels, auto executor: processes on multi-core machines);
+* **Fleet-scale pricing** -- one full throughput pricing of a 1M-worker
+  distributional fat-tree (three heterogeneity classes, 8192 racks),
+  guarding the O(#classes) population representation against the return of
+  per-worker loops;
 * **Advisor service load** -- the closed/open-loop mixed trace from
   ``benchmarks/perf/service_load.py`` (cold misses, warm fast-path hits,
   scenario-heavy queries), reporting sustained qps and tail latency.
@@ -61,7 +65,13 @@ from repro.compression.kernels import (  # noqa: E402
     fwht_rows,
 )
 from repro.compression.registry import ALIASES, make_scheme  # noqa: E402
-from repro.simulator.cluster import paper_testbed  # noqa: E402
+from repro.simulator.cluster import (  # noqa: E402
+    ClusterSpec,
+    WorkerClass,
+    WorkerProfile,
+    fat_tree_cluster,
+    paper_testbed,
+)
 from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet  # noqa: E402
 
 #: The THC configuration of the headline microbenchmark (the paper's scheme
@@ -254,6 +264,48 @@ def bench_sweep(*, num_coordinates: int, repeats: int) -> dict:
 
 
 # --------------------------------------------------------------------------- #
+# 4. Fleet-scale pricing
+# --------------------------------------------------------------------------- #
+def bench_fleet_pricing(*, repeats: int) -> dict:
+    """One full throughput pricing of a 1M-worker distributional fat-tree.
+
+    The cluster is a k=128 fat-tree (1,048,576 workers) with three
+    heterogeneity classes -- the population the O(n) per-worker loops used
+    to choke on.  Every query must stay O(#classes): the floor in
+    ``baseline.json`` (``fleet_pricing.qps >= 1.0``) is the acceptance
+    bound that a single pricing finishes inside one second on one core.
+    """
+    base = fat_tree_cluster(128, gpus_per_node=2)
+    fleet = ClusterSpec(
+        num_nodes=base.num_nodes,
+        gpus_per_node=base.gpus_per_node,
+        fabric=base.fabric,
+        worker_classes=(
+            WorkerClass(base.world_size - 48_576, WorkerProfile()),
+            WorkerClass(48_000, WorkerProfile(slowdown=1.2)),
+            WorkerClass(576, WorkerProfile(nic_scale=2.0)),
+        ),
+    )
+    workload = bert_large_wikitext()
+    spec = "thc(q=4, rot=partial, agg=sat)"
+
+    def price_once():
+        session = ExperimentSession(cluster=fleet)
+        session.throughput(spec, workload, num_buckets=8)
+
+    samples = _timed(price_once, repeats=repeats)
+    price_seconds = _median(samples)
+    return {
+        "spec": spec,
+        "world_size": fleet.world_size,
+        "num_racks": fleet.num_racks,
+        "num_classes": len(fleet.worker_classes),
+        "price_seconds": price_seconds,
+        "qps": 1.0 / price_seconds,
+    }
+
+
+# --------------------------------------------------------------------------- #
 def run_harness(*, quick: bool) -> dict:
     scale = {
         # Full scale: the acceptance microbenchmark (16 workers, d = 2^20)
@@ -310,6 +362,13 @@ def run_harness(*, quick: bool) -> dict:
     print(
         "[perf]   before {before_seconds:.3f}s  after {after_seconds:.3f}s  "
         "speedup {speedup:.1f}x on {cpus} cpu(s)".format(**benches["sweep"])
+    )
+
+    print("[perf] fleet-scale pricing (1M-worker distributional fat-tree)...")
+    benches["fleet_pricing"] = bench_fleet_pricing(repeats=scale["repeats"])
+    print(
+        "[perf]   {world_size:,} workers priced in {price_seconds:.4f}s "
+        "({qps:.0f} pricings/s)".format(**benches["fleet_pricing"])
     )
 
     print("[perf] advisor service load (closed + open loop)...")

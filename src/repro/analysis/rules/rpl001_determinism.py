@@ -72,6 +72,7 @@ _GENERATOR_CONSTRUCTORS = {
         "src/repro/collectives",
         "src/repro/api",
         "src/repro/service",
+        "src/repro/topology",
     ),
 )
 class DeterminismRule:

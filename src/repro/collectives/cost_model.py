@@ -127,6 +127,20 @@ class CollectiveCostModel:
             return alpha, beta
         return alpha + fabric.spine_latency_s, beta * fabric.oversubscription
 
+    def _domain_alpha_beta(self) -> tuple[float, float]:
+        """(latency, s/bit) of an intra-domain, inter-rack step.
+
+        Traffic between racks of one failure domain (a fat-tree pod, a torus
+        plane, a sub-DCell) leaves the ToR -- paying the switch-hop latency --
+        but stays below the oversubscribed core, so it runs at the full
+        host rate.  Only meaningful when ``racks_per_domain > 1``.
+        """
+        alpha, beta = self._alpha_beta()
+        fabric = self._active_fabric()
+        if fabric is None:
+            return alpha, beta
+        return alpha + fabric.spine_latency_s, beta
+
     # ------------------------------------------------------------------ #
     # All-reduce family
     # ------------------------------------------------------------------ #
@@ -275,17 +289,30 @@ class CollectiveCostModel:
     def hierarchical_breakdown(self, payload_bits: float) -> HierarchicalBreakdown:
         """Phase/tier decomposition of the hierarchical all-reduce.
 
-        The schedule is the standard two-tier algorithm: a rack-local ring
+        The schedule is the standard tiered algorithm: a rack-local ring
         reduce-scatter (each worker ends with a ``payload / m`` shard reduced
-        within its rack), a spine ring all-reduce of each shard among the
-        ``R`` rack counterparts, and a rack-local ring all-gather
-        broadcasting the shards back.  Only ``payload / m`` per worker
-        crosses the spine; ToR switches forward but never aggregate, so the
-        tier accounting shows zero aggregated bits (the conservation property
-        the test suite checks).
+        within its rack), a ring all-reduce of each shard among the rack
+        counterparts, and a rack-local ring all-gather broadcasting the
+        shards back.  Only ``payload / m`` per worker ever leaves a rack;
+        switches forward but never aggregate, so the tier accounting shows
+        zero aggregated bits (the conservation property the test suite
+        checks).
+
+        On a fabric whose racks group into multi-rack failure domains
+        (``racks_per_domain > 1`` -- a fat-tree pod, a torus plane, a
+        sub-DCell) the inter-rack all-reduce splits in two: a
+        ``domain_allreduce`` phase among the ``R_d`` racks of each domain,
+        which stays below the core and runs at the full host rate, followed
+        by the ``spine_allreduce`` phase among the ``D`` domains over the
+        (possibly oversubscribed) core.  With ``racks_per_domain == 1`` the
+        domain phase has zero steps and is omitted, reproducing the
+        historical two-tier pricing bit-exactly.
         """
         self._check_payload(payload_bits)
+        fabric = self._active_fabric()
         num_racks = self.cluster.num_racks
+        racks_per_domain = fabric.racks_per_domain if fabric is not None else 1
+        num_domains = num_racks // racks_per_domain
         workers_per_rack = self.cluster.workers_per_rack
         alpha, beta = self._alpha_beta()
         spine_alpha, spine_beta = self._spine_alpha_beta()
@@ -295,21 +322,36 @@ class CollectiveCostModel:
         local_seconds = local_steps * (alpha + shard_bits * beta)
         local_sent = local_steps * shard_bits
 
-        spine_steps = 2 * (num_racks - 1)
-        spine_block = shard_bits / num_racks
+        phases = [
+            PhaseCost("rack_reduce_scatter", local_seconds, local_steps, local_sent),
+        ]
+        if racks_per_domain > 1:
+            domain_alpha, domain_beta = self._domain_alpha_beta()
+            domain_steps = 2 * (racks_per_domain - 1)
+            domain_block = shard_bits / racks_per_domain
+            domain_seconds = domain_steps * (domain_alpha + domain_block * domain_beta)
+            domain_sent = domain_steps * domain_block
+            phases.append(
+                PhaseCost("domain_allreduce", domain_seconds, domain_steps, domain_sent)
+            )
+        else:
+            domain_sent = 0.0
+
+        spine_steps = 2 * (num_domains - 1)
+        spine_block = shard_bits / num_domains
         spine_seconds = spine_steps * (spine_alpha + spine_block * spine_beta)
         spine_sent = spine_steps * spine_block
+        phases.append(PhaseCost("spine_allreduce", spine_seconds, spine_steps, spine_sent))
+        phases.append(PhaseCost("rack_broadcast", local_seconds, local_steps, local_sent))
 
-        phases = (
-            PhaseCost("rack_reduce_scatter", local_seconds, local_steps, local_sent),
-            PhaseCost("spine_allreduce", spine_seconds, spine_steps, spine_sent),
-            PhaseCost("rack_broadcast", local_seconds, local_steps, local_sent),
-        )
-        # Up-path traffic through the forwarding tiers during the spine
-        # phase: every worker pushes (R-1)/R of its shard upward through its
-        # ToR; the switches forward without reducing.
-        up_bits_per_rack = workers_per_rack * (num_racks - 1) * spine_block
-        tiers = (
+        # Up-path traffic through the forwarding tiers (the reduce-scatter
+        # half of each inter-rack phase): every worker pushes half its
+        # domain- and spine-phase traffic upward through its ToR; the
+        # switches forward without reducing.
+        domain_up_per_rack = workers_per_rack * domain_sent / 2
+        spine_up_per_rack = workers_per_rack * spine_sent / 2
+        up_bits_per_rack = domain_up_per_rack + spine_up_per_rack
+        tiers = [
             TierTraffic(
                 tier="tor",
                 fan_in=workers_per_rack,
@@ -317,15 +359,30 @@ class CollectiveCostModel:
                 bits_out=up_bits_per_rack,
                 aggregates=False,
             ),
+        ]
+        if racks_per_domain > 1:
+            # Pod/aggregation switches carry both the domain-local traffic
+            # and the core-bound spine traffic of their racks.
+            pod_bits = racks_per_domain * up_bits_per_rack
+            tiers.append(
+                TierTraffic(
+                    tier="pod",
+                    fan_in=racks_per_domain,
+                    bits_in=pod_bits,
+                    bits_out=pod_bits,
+                    aggregates=False,
+                )
+            )
+        tiers.append(
             TierTraffic(
                 tier="spine",
-                fan_in=num_racks,
-                bits_in=num_racks * up_bits_per_rack,
-                bits_out=num_racks * up_bits_per_rack,
+                fan_in=num_domains,
+                bits_in=num_racks * spine_up_per_rack,
+                bits_out=num_racks * spine_up_per_rack,
                 aggregates=False,
-            ),
+            )
         )
-        return HierarchicalBreakdown(phases=phases, tiers=tiers)
+        return HierarchicalBreakdown(phases=tuple(phases), tiers=tuple(tiers))
 
     def hierarchical_allreduce(self, payload_bits: float) -> CollectiveCost:
         """Rack-local reduce-scatter -> spine all-reduce -> rack broadcast."""
@@ -335,12 +392,15 @@ class CollectiveCostModel:
             return CollectiveCost(0.0, 0.0, 0.0, 0)
         breakdown = self.hierarchical_breakdown(payload_bits)
         # The most loaded link is a rack uplink when the fabric is active
-        # (spine-phase traffic of a whole rack), a host link otherwise.
-        spine = breakdown.phase("spine_allreduce")
+        # (all inter-rack traffic of a whole rack: domain plus spine phases),
+        # a host link otherwise.
         local = breakdown.phase("rack_reduce_scatter")
+        inter_per_worker = (
+            breakdown.bits_sent_per_worker - 2 * local.bits_sent_per_worker
+        )
         bottleneck = max(
-            self.cluster.workers_per_rack * spine.bits_sent_per_worker,
-            2 * local.bits_sent_per_worker + spine.bits_sent_per_worker,
+            self.cluster.workers_per_rack * inter_per_worker,
+            2 * local.bits_sent_per_worker + inter_per_worker,
         )
         return CollectiveCost(
             breakdown.seconds,

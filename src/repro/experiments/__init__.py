@@ -18,6 +18,7 @@ EXPERIMENTS.md document records the measured values next to the paper's.
 | ``figure1`` | TTA of TopKC vs TopK vs the FP16/FP32 baselines            |
 | ``figure2`` | TTA of THC variants                                         |
 | ``figure3`` | TTA of PowerSGD across ranks                                |
+| ``fleet``   | Scheme pricing on 100k-1M-worker generated fabrics          |
 """
 
 from repro.experiments import (  # noqa: F401
@@ -26,6 +27,7 @@ from repro.experiments import (  # noqa: F401
     figure1,
     figure2,
     figure3,
+    fleet,
     table1,
     table2,
     table4,
@@ -39,6 +41,7 @@ from repro.experiments import (  # noqa: F401
 __all__ = [
     "common",
     "faults",
+    "fleet",
     "table1",
     "table2",
     "table4",

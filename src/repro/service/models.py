@@ -73,9 +73,11 @@ def _digest(text: str) -> str:
 
 @lru_cache(maxsize=256)
 def _cluster_digest(cluster: ClusterSpec) -> str:
-    # repr() of the frozen dataclass covers every identity-bearing field
-    # (GPU, NICs, worker profiles, fabric), exactly like cache_key(); the
-    # digest makes it a compact, restart-stable string.
+    # cache_key() is the cluster's canonical identity: the worker population
+    # appears as run-length segments, so a distributional fleet and its
+    # materialized per-rank twin digest identically and share cached
+    # advisor responses.  The digest makes it a compact, restart-stable
+    # string.
     return _digest(repr(cluster.cache_key()))
 
 

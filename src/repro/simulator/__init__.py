@@ -34,10 +34,15 @@ from repro.simulator.pipeline import (
 )
 from repro.simulator.timeline import RoundTimeline, TimelineEntry
 from repro.simulator.cluster import (
+    MATERIALIZATION_LIMIT,
     ClusterSpec,
+    WorkerClass,
     WorkerProfile,
+    dcell_cluster,
+    fat_tree_cluster,
     multirack_cluster,
     paper_testbed,
+    torus_cluster,
 )
 from repro.simulator.scenario import (
     Scenario,
@@ -46,6 +51,7 @@ from repro.simulator.scenario import (
     ScenarioRun,
     available_events,
     churn,
+    domain_fail,
     join,
     leave,
     link_flap,
@@ -64,6 +70,7 @@ __all__ = [
     "ClusterSpec",
     "GpuModel",
     "KernelCostModel",
+    "MATERIALIZATION_LIMIT",
     "MemoryHierarchy",
     "NicModel",
     "PipelineResult",
@@ -74,10 +81,14 @@ __all__ = [
     "ScenarioMetrics",
     "ScenarioRun",
     "TimelineEntry",
+    "WorkerClass",
     "WorkerProfile",
     "available_events",
     "bucketed_schedule",
     "churn",
+    "dcell_cluster",
+    "domain_fail",
+    "fat_tree_cluster",
     "join",
     "leave",
     "legacy_overlap_makespan",
@@ -95,4 +106,5 @@ __all__ = [
     "slowdown",
     "split_coordinates",
     "switch_memory_pressure",
+    "torus_cluster",
 ]

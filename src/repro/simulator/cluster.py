@@ -3,19 +3,51 @@
 The paper's testbed ("two nodes, each equipped with two NVIDIA A100 GPUs and a
 Mellanox ConnectX-6 100 Gbps NIC") is available as :func:`paper_testbed`.
 Larger synthetic clusters can be built for the scalability ablations, and
-optional per-worker :class:`WorkerProfile` entries describe heterogeneous
-clusters -- stragglers (slower compute) and mixed NIC tiers -- which the
-bucketed pipeline simulator (:mod:`repro.simulator.pipeline`) and the
-collective cost model price explicitly.
+heterogeneous clusters -- stragglers (slower compute) and mixed NIC tiers --
+are described in one of two equivalent forms:
+
+* **materialized**: one :class:`WorkerProfile` per rank
+  (``worker_profiles``), the historical representation, practical up to a few
+  thousand workers;
+* **distributional**: a handful of :class:`WorkerClass` entries with counts
+  (``worker_classes``) plus a sparse per-rank ``profile_overrides`` map for
+  named stragglers.  Every profile query (:meth:`ClusterSpec.max_slowdown`,
+  :meth:`ClusterSpec.worst_nic_scale`, :meth:`ClusterSpec.slowdown_segments`)
+  is O(#classes), so fleet-scale clusters -- 100k to 1M workers on a
+  generated fabric -- price without any O(world_size) loop.
+
+Both forms of the same population share one identity: equality, hashing, and
+:meth:`ClusterSpec.cache_key` go through the canonical run-length-encoded
+profile segments (:meth:`ClusterSpec.profile_segments`), so a distributional
+cluster and its expanded per-rank twin memoize as a single sweep point.
+Conversion is explicit: :meth:`ClusterSpec.materialize` expands (refusing
+above :data:`MATERIALIZATION_LIMIT` workers) and
+:meth:`ClusterSpec.as_distributional` compresses.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from repro.simulator.gpu import GpuModel
 from repro.simulator.nic import NVLINK, NicModel
-from repro.topology.fabric import FabricSpec, two_tier_fabric
+from repro.topology.fabric import (
+    FabricSpec,
+    dcell_fabric,
+    dcell_size,
+    fat_tree_fabric,
+    torus_fabric,
+    two_tier_fabric,
+)
+
+#: Largest world size :meth:`ClusterSpec.materialize` will expand into
+#: per-rank profiles.  Fleet-scale clusters stay distributional; only the
+#: functional small-n paths (kernel backends, per-rank bit-exactness tests)
+#: ever need the expanded form.
+MATERIALIZATION_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -40,8 +72,45 @@ class WorkerProfile:
         if self.nic_scale <= 0:
             raise ValueError("nic_scale must be positive")
 
+    @property
+    def is_nominal(self) -> bool:
+        """Whether this profile matches the cluster's nominal hardware."""
+        return self.slowdown == 1.0 and self.nic_scale == 1.0
+
+
+#: The nominal profile every unlisted worker runs.
+NOMINAL_PROFILE = WorkerProfile()
+
 
 @dataclass(frozen=True)
+class WorkerClass:
+    """A contiguous block of ``count`` workers sharing one profile.
+
+    The distributional building block: a fleet is a few of these (nominal
+    hosts, a slow NIC tier, a batch of stragglers) instead of a million
+    per-rank tuples.  Classes cover ranks contiguously in declaration order;
+    use ``profile_overrides`` on :class:`ClusterSpec` for named single ranks.
+
+    Attributes:
+        count: Number of consecutive ranks in this class (>= 1).
+        profile: The hardware deviation every member runs.
+        name: Optional display name (not part of equality / cache identity).
+    """
+
+    count: int
+    profile: WorkerProfile = field(default_factory=WorkerProfile)
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.count, int) or isinstance(self.count, bool):
+            raise TypeError("count must be an int")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not isinstance(self.profile, WorkerProfile):
+            raise TypeError(f"profile must be a WorkerProfile, got {self.profile!r}")
+
+
+@dataclass(frozen=True, eq=False)
 class ClusterSpec:
     """A GPU cluster, homogeneous by default.
 
@@ -52,15 +121,30 @@ class ClusterSpec:
         inter_node_nic: NIC connecting different machines.
         intra_node_nic: Interconnect between GPUs in the same machine
             (NVLink-like by default).
-        worker_profiles: Optional per-rank heterogeneity; when given, must
-            hold exactly ``world_size`` entries.  ``None`` means every worker
-            runs the nominal hardware.
+        worker_profiles: Optional materialized per-rank heterogeneity; when
+            given, must hold exactly ``world_size`` entries.  Mutually
+            exclusive with ``worker_classes``.
+        worker_classes: Optional distributional heterogeneity: contiguous
+            :class:`WorkerClass` blocks whose counts sum to ``world_size``.
+            The fleet-scale representation -- profile queries stay
+            O(#classes) no matter the world size.
+        profile_overrides: Optional sparse per-rank profiles layered on top
+            of whichever base representation is in use (``{rank: profile}``
+            or ``((rank, profile), ...)``); normalised to a rank-sorted
+            tuple.  This is how single-rank perturbations
+            (:meth:`with_straggler`, :meth:`with_nic_tier`) stay O(k) for k
+            chained mutations instead of O(k * world_size).
         fabric: Optional multi-rack fabric the nodes hang off
             (:class:`~repro.topology.fabric.FabricSpec`).  ``None`` -- or a
             flat fabric (one rack, oversubscription 1.0) -- prices exactly
             like the historical single-switch cluster.  The fabric is part of
             the cluster's identity: :meth:`cache_key` distinguishes
             same-shape clusters with different fabrics.
+
+    Equality and hashing are *canonical*: two clusters are equal when their
+    shapes, hardware models, fabrics, and effective per-rank profiles match,
+    regardless of which representation (materialized, distributional, or
+    implicit-nominal) describes the population.
     """
 
     num_nodes: int = 2
@@ -69,6 +153,8 @@ class ClusterSpec:
     inter_node_nic: NicModel = field(default_factory=NicModel)
     intra_node_nic: NicModel = NVLINK
     worker_profiles: tuple[WorkerProfile, ...] | None = None
+    worker_classes: tuple[WorkerClass, ...] | None = None
+    profile_overrides: tuple[tuple[int, WorkerProfile], ...] | None = None
     fabric: FabricSpec | None = None
 
     def __post_init__(self) -> None:
@@ -87,6 +173,11 @@ class ClusterSpec:
                     f"num_nodes ({self.num_nodes}) must divide evenly into "
                     f"{self.fabric.num_racks} racks"
                 )
+        if self.worker_profiles is not None and self.worker_classes is not None:
+            raise ValueError(
+                "worker_profiles and worker_classes are mutually exclusive; "
+                "pick one representation (profile_overrides layers on either)"
+            )
         if self.worker_profiles is not None:
             profiles = tuple(self.worker_profiles)
             if len(profiles) != self.world_size:
@@ -95,28 +186,188 @@ class ClusterSpec:
                     f"got {len(profiles)}"
                 )
             object.__setattr__(self, "worker_profiles", profiles)
+        if self.worker_classes is not None:
+            classes = tuple(self.worker_classes)
+            for entry in classes:
+                if not isinstance(entry, WorkerClass):
+                    raise TypeError(f"not a WorkerClass: {entry!r}")
+            covered = sum(entry.count for entry in classes)
+            if covered != self.world_size:
+                raise ValueError(
+                    f"worker_classes must cover exactly {self.world_size} "
+                    f"workers, cover {covered}"
+                )
+            object.__setattr__(self, "worker_classes", classes)
+        if self.profile_overrides is not None:
+            object.__setattr__(
+                self, "profile_overrides", self._normalize_overrides(self.profile_overrides)
+            )
+
+    def _normalize_overrides(
+        self, overrides: "Mapping[int, WorkerProfile] | tuple"
+    ) -> tuple[tuple[int, WorkerProfile], ...] | None:
+        items = (
+            list(overrides.items())
+            if isinstance(overrides, Mapping)
+            else [tuple(entry) for entry in overrides]
+        )
+        normalized: list[tuple[int, WorkerProfile]] = []
+        seen: set[int] = set()
+        for rank, profile in sorted(items, key=lambda entry: entry[0]):
+            if not isinstance(rank, int) or isinstance(rank, bool):
+                raise TypeError(f"override rank must be an int, got {rank!r}")
+            self._check_rank(rank)
+            if rank in seen:
+                raise ValueError(f"duplicate profile override for rank {rank}")
+            seen.add(rank)
+            if not isinstance(profile, WorkerProfile):
+                raise TypeError(f"override must map to a WorkerProfile, got {profile!r}")
+            normalized.append((rank, profile))
+        return tuple(normalized) or None
+
+    def _cached(self, attr: str, build):
+        # Lazy derived state on a frozen dataclass (canonical segments, the
+        # override map, the hash).  Safe under concurrent access: builders
+        # are pure, so racing threads compute identical values.
+        cached = self.__dict__.get(attr)
+        if cached is None:
+            cached = build()
+            object.__setattr__(self, attr, cached)
+        return cached
 
     @property
     def world_size(self) -> int:
         """Total number of workers (GPUs) in the cluster."""
         return self.num_nodes * self.gpus_per_node
 
+    # ------------------------------------------------------------------ #
+    # Canonical profile identity
+    # ------------------------------------------------------------------ #
+    def profile_segments(self) -> tuple[tuple[WorkerProfile, int], ...]:
+        """Canonical run-length encoding of the per-rank profiles.
+
+        ``((profile, count), ...)`` in rank order, adjacent equal profiles
+        merged, overrides folded in by splitting the segment they land in.
+        This is the representation-independent form both the equality /
+        cache identity and every O(#classes) query are built on: a
+        distributional cluster and its materialized twin produce identical
+        segments.  O(#classes + #overrides) for distributional clusters,
+        O(world_size) for materialized ones (computed once and cached).
+        """
+        return self._cached("_segments_cache", self._build_segments)
+
+    def _build_segments(self) -> tuple[tuple[WorkerProfile, int], ...]:
+        if self.worker_profiles is not None:
+            base: list[tuple[WorkerProfile, int]] = []
+            for profile in self.worker_profiles:
+                if base and base[-1][0] == profile:
+                    base[-1] = (profile, base[-1][1] + 1)
+                else:
+                    base.append((profile, 1))
+        elif self.worker_classes is not None:
+            base = [(entry.profile, entry.count) for entry in self.worker_classes]
+        else:
+            base = [(NOMINAL_PROFILE, self.world_size)]
+        overrides = self.profile_overrides or ()
+        merged: list[tuple[WorkerProfile, int]] = []
+
+        def push(profile: WorkerProfile, count: int) -> None:
+            if count <= 0:
+                return
+            if merged and merged[-1][0] == profile:
+                merged[-1] = (profile, merged[-1][1] + count)
+            else:
+                merged.append((profile, count))
+
+        position = 0
+        cursor = 0  # index into the rank-sorted overrides
+        for profile, count in base:
+            start, end = position, position + count
+            position = end
+            at = start
+            while cursor < len(overrides) and overrides[cursor][0] < end:
+                rank, override = overrides[cursor]
+                cursor += 1
+                push(profile, rank - at)
+                push(override, 1)
+                at = rank + 1
+            push(profile, end - at)
+        return tuple(merged)
+
+    def _canonical_profiles(self) -> tuple[tuple[WorkerProfile, int], ...] | None:
+        """The profile part of the identity: ``None`` for all-nominal clusters."""
+        segments = self.profile_segments()
+        if len(segments) == 1 and segments[0][0] == NOMINAL_PROFILE:
+            return None
+        return segments
+
+    def cache_key(self) -> tuple:
+        """A hashable key capturing the cluster's *full* identity.
+
+        Two clusters with the same shape but different GPUs, NICs, worker
+        profiles, or fabrics produce different keys -- unlike the display
+        label (``"2x2"``), which only encodes shape and rack count.  The
+        profile component is the canonical segment encoding, so a
+        distributional cluster and its materialized per-rank twin share one
+        key (and therefore one sweep memo entry, one service digest, one
+        scenario pricing slot).  Used by sweep memoization.
+        """
+        return (
+            self.num_nodes,
+            self.gpus_per_node,
+            self.gpu,
+            self.inter_node_nic,
+            self.intra_node_nic,
+            self._canonical_profiles(),
+            self.fabric,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if not isinstance(other, ClusterSpec):
+            return NotImplemented
+        return self.cache_key() == other.cache_key()
+
+    def __hash__(self) -> int:
+        return self._cached("_hash_cache", lambda: hash(self.cache_key()))
+
+    # ------------------------------------------------------------------ #
+    # Profile queries (O(#classes) on distributional clusters)
+    # ------------------------------------------------------------------ #
     @property
     def is_heterogeneous(self) -> bool:
         """Whether any worker deviates from the nominal hardware."""
-        if self.worker_profiles is None:
-            return False
-        return any(
-            profile.slowdown != 1.0 or profile.nic_scale != 1.0
-            for profile in self.worker_profiles
+        return self._canonical_profiles() is not None
+
+    def _override_map(self) -> dict[int, WorkerProfile]:
+        return self._cached(
+            "_override_map_cache", lambda: dict(self.profile_overrides or ())
         )
+
+    def _class_starts(self) -> list[int]:
+        def build() -> list[int]:
+            starts = []
+            position = 0
+            for entry in self.worker_classes or ():
+                starts.append(position)
+                position += entry.count
+            return starts
+
+        return self._cached("_class_starts_cache", build)
 
     def profile_of(self, rank: int) -> WorkerProfile:
         """The heterogeneity profile of worker ``rank`` (nominal if unset)."""
         self._check_rank(rank)
-        if self.worker_profiles is None:
-            return WorkerProfile()
-        return self.worker_profiles[rank]
+        override = self._override_map().get(rank)
+        if override is not None:
+            return override
+        if self.worker_profiles is not None:
+            return self.worker_profiles[rank]
+        if self.worker_classes is not None:
+            index = bisect_right(self._class_starts(), rank) - 1
+            return self.worker_classes[index].profile
+        return NOMINAL_PROFILE
 
     def slowdown_of(self, rank: int) -> float:
         """Compute/kernel slowdown factor of worker ``rank``."""
@@ -124,53 +375,104 @@ class ClusterSpec:
 
     def max_slowdown(self) -> float:
         """Slowdown of the cluster's slowest worker (the straggler)."""
-        if self.worker_profiles is None:
+        segments = self._canonical_profiles()
+        if segments is None:
             return 1.0
-        return max(profile.slowdown for profile in self.worker_profiles)
+        return max(profile.slowdown for profile, _ in segments)
 
     def worst_nic_scale(self) -> float:
         """Transfer-time multiplier of the slowest NIC tier in the cluster."""
-        if self.worker_profiles is None:
+        segments = self._canonical_profiles()
+        if segments is None:
             return 1.0
-        return max(profile.nic_scale for profile in self.worker_profiles)
+        return max(profile.nic_scale for profile, _ in segments)
 
+    def slowdown_segments(self) -> tuple[tuple[float, int], ...]:
+        """Run-length encoded per-rank slowdowns, ``((slowdown, count), ...)``.
+
+        The pipeline simulator's class summary: one entry per maximal run of
+        equal slowdowns in rank order.  Cached, so repeated rounds of a
+        simulation reuse it without re-walking the population.
+        """
+
+        def build() -> tuple[tuple[float, int], ...]:
+            runs: list[tuple[float, int]] = []
+            for profile, count in self.profile_segments():
+                if runs and runs[-1][0] == profile.slowdown:
+                    runs[-1] = (profile.slowdown, runs[-1][1] + count)
+                else:
+                    runs.append((profile.slowdown, count))
+            return tuple(runs)
+
+        return self._cached("_slowdown_segments_cache", build)
+
+    # ------------------------------------------------------------------ #
+    # Representation conversion
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> "ClusterSpec":
+        """The equal per-rank twin: one explicit :class:`WorkerProfile` per rank.
+
+        Only the functional small-n paths (kernel backends, per-rank
+        bit-exactness tests) need this form; it refuses to expand beyond
+        :data:`MATERIALIZATION_LIMIT` workers so fleet-scale clusters cannot
+        silently fall back onto O(world_size) representations.
+        """
+        if self.worker_profiles is not None and self.profile_overrides is None:
+            return self
+        if self.world_size > MATERIALIZATION_LIMIT:
+            raise ValueError(
+                f"refusing to materialize {self.world_size} worker profiles "
+                f"(limit {MATERIALIZATION_LIMIT}); keep fleet-scale clusters "
+                "distributional"
+            )
+        expanded: list[WorkerProfile] = []
+        for profile, count in self.profile_segments():
+            expanded.extend([profile] * count)
+        return replace(
+            self,
+            worker_profiles=tuple(expanded),
+            worker_classes=None,
+            profile_overrides=None,
+        )
+
+    def as_distributional(self) -> "ClusterSpec":
+        """The equal class-based twin: RLE :class:`WorkerClass` blocks.
+
+        An all-nominal population collapses to the implicit representation
+        (no classes at all); either way the result compares and hashes equal
+        to ``self``.
+        """
+        segments = self._canonical_profiles()
+        classes = (
+            None
+            if segments is None
+            else tuple(WorkerClass(count, profile) for profile, count in segments)
+        )
+        return replace(
+            self, worker_profiles=None, worker_classes=classes, profile_overrides=None
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single-rank perturbations (sparse: O(k) for k chained mutations)
+    # ------------------------------------------------------------------ #
     def with_straggler(self, rank: int, slowdown: float) -> "ClusterSpec":
         """A copy of this cluster where worker ``rank`` runs ``slowdown`` x slower."""
         self._check_rank(rank)
-        profiles = list(
-            self.worker_profiles
-            if self.worker_profiles is not None
-            else (WorkerProfile(),) * self.world_size
-        )
-        profiles[rank] = replace(profiles[rank], slowdown=slowdown)
-        return replace(self, worker_profiles=tuple(profiles))
+        return self._with_override(rank, replace(self.profile_of(rank), slowdown=slowdown))
 
     def with_nic_tier(self, rank: int, nic_scale: float) -> "ClusterSpec":
         """A copy of this cluster where worker ``rank`` has a ``nic_scale`` x slower NIC."""
         self._check_rank(rank)
-        profiles = list(
-            self.worker_profiles
-            if self.worker_profiles is not None
-            else (WorkerProfile(),) * self.world_size
-        )
-        profiles[rank] = replace(profiles[rank], nic_scale=nic_scale)
-        return replace(self, worker_profiles=tuple(profiles))
+        return self._with_override(rank, replace(self.profile_of(rank), nic_scale=nic_scale))
+
+    def _with_override(self, rank: int, profile: WorkerProfile) -> "ClusterSpec":
+        overrides = self._override_map().copy()
+        overrides[rank] = profile
+        return replace(self, profile_overrides=tuple(sorted(overrides.items())))
 
     def with_fabric(self, fabric: FabricSpec | None) -> "ClusterSpec":
         """A copy of this cluster behind the given multi-rack fabric."""
         return replace(self, fabric=fabric)
-
-    def cache_key(self) -> "ClusterSpec":
-        """A hashable key capturing the cluster's *full* identity.
-
-        Two clusters with the same shape but different GPUs, NICs, worker
-        profiles, or fabrics produce different keys -- unlike the display
-        label (``"2x2"``), which only encodes shape and rack count.  Used by
-        sweep memoization.  The frozen dataclass is its own identity
-        (hashable, equality over every field, present and future -- the
-        ``fabric`` field included), so the spec itself is the key.
-        """
-        return self
 
     # ------------------------------------------------------------------ #
     # Fabric / rack structure
@@ -263,4 +565,71 @@ def multirack_cluster(
         num_nodes=num_racks * nodes_per_rack,
         gpus_per_node=gpus_per_node,
         fabric=two_tier_fabric(num_racks, oversubscription),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fleet-scale presets on generated fabrics
+# --------------------------------------------------------------------------- #
+def fat_tree_cluster(
+    k: int,
+    gpus_per_node: int = 2,
+    *,
+    oversubscription: float = 1.0,
+    worker_classes: tuple[WorkerClass, ...] | None = None,
+) -> ClusterSpec:
+    """A k-ary fat-tree fleet: ``k^3 / 4`` hosts in ``k^2 / 2`` racks.
+
+    Each edge switch fronts ``k / 2`` hosts; one pod (``k / 2`` racks) is a
+    failure domain the scenario engine's ``domain_fail`` event can target.
+    ``fat_tree_cluster(128, gpus_per_node=2)`` is a 1,048,576-worker fleet
+    whose pricing stays O(#classes).
+    """
+    return ClusterSpec(
+        num_nodes=(k**3) // 4,
+        gpus_per_node=gpus_per_node,
+        fabric=fat_tree_fabric(k, oversubscription=oversubscription),
+        worker_classes=worker_classes,
+    )
+
+
+def torus_cluster(
+    dims: tuple[int, ...] = (8, 8, 8),
+    nodes_per_rack: int = 2,
+    gpus_per_node: int = 2,
+    *,
+    worker_classes: tuple[WorkerClass, ...] | None = None,
+) -> ClusterSpec:
+    """A torus fleet: one rack of ``nodes_per_rack`` hosts per torus vertex.
+
+    The failure domain is a plane perpendicular to the first dimension (all
+    vertices sharing the first coordinate).
+    """
+    return ClusterSpec(
+        num_nodes=math.prod(dims) * nodes_per_rack,
+        gpus_per_node=gpus_per_node,
+        fabric=torus_fabric(dims),
+        worker_classes=worker_classes,
+    )
+
+
+def dcell_cluster(
+    n: int = 4,
+    level: int = 2,
+    gpus_per_node: int = 2,
+    *,
+    worker_classes: tuple[WorkerClass, ...] | None = None,
+) -> ClusterSpec:
+    """A DCell fleet: the recursive server-centric topology at ``level``.
+
+    ``n`` servers per DCell_0 mini-switch; level ``l`` holds
+    ``t_l = t_{l-1} * (t_{l-1} + 1)`` servers, so modest parameters reach
+    datacenter scale (``dcell_cluster(32, 2)`` has 1,116,192 hosts).  One
+    DCell_{level-1} is a failure domain.
+    """
+    return ClusterSpec(
+        num_nodes=dcell_size(n, level),
+        gpus_per_node=gpus_per_node,
+        fabric=dcell_fabric(n, level),
+        worker_classes=worker_classes,
     )

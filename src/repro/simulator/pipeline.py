@@ -92,7 +92,11 @@ class PipelineResult:
             baseline the overlap is measured against.
         traces: Per-bucket scheduled times, in bucket order.
         worker_finish_seconds: Per-worker completion times (optimizer step
-            included).
+            included), in rank order.  On fleet-scale clusters (more than
+            :data:`WORKER_EXPANSION_LIMIT` workers) the tuple holds one
+            entry per slowdown *segment* instead of per rank -- workers
+            sharing a slowdown finish at identical times, so no information
+            is lost and the result stays O(#classes).
     """
 
     makespan_seconds: float
@@ -114,10 +118,25 @@ class PipelineResult:
         return 1.0 / self.makespan_seconds
 
 
-def _worker_slowdowns(cluster: "ClusterSpec | None") -> tuple[float, ...]:
+#: Above this many workers ``worker_finish_seconds`` is reported per
+#: slowdown segment rather than per rank (matches
+#: :data:`repro.simulator.cluster.MATERIALIZATION_LIMIT`).
+WORKER_EXPANSION_LIMIT = 4096
+
+
+def _worker_slowdowns(cluster: "ClusterSpec | None") -> tuple[tuple[float, int], ...]:
+    """Run-length encoded ``(slowdown, count)`` segments of the population.
+
+    O(#classes) on distributional clusters: the homogeneous short-circuit
+    (``is_heterogeneous``) and the cached class summary
+    (:meth:`~repro.simulator.cluster.ClusterSpec.slowdown_segments`) mean
+    repeated simulated rounds never re-walk a million ranks.
+    """
     if cluster is None:
-        return (1.0,)
-    return tuple(cluster.slowdown_of(rank) for rank in range(cluster.world_size))
+        return ((1.0, 1),)
+    if not cluster.is_heterogeneous:
+        return ((1.0, cluster.world_size),)
+    return cluster.slowdown_segments()
 
 
 def simulate_schedule(
@@ -127,6 +146,13 @@ def simulate_schedule(
     optimizer_seconds: float = 0.0,
 ) -> PipelineResult:
     """Schedule one round's buckets and return the exact makespan.
+
+    A worker's compress/decompress trajectory depends only on its own
+    slowdown (plus the shared wire clock), and every aggregate the result
+    reports is a maximum over workers -- so the scheduler runs one *lane*
+    per distinct slowdown value instead of one loop iteration per rank.
+    The makespan is bit-exact with the per-rank loop at any world size,
+    which is what lets million-worker fleets price in O(#classes).
 
     Args:
         buckets: Per-bucket costs, in backward-ready order.  Collectives are
@@ -145,63 +171,70 @@ def simulate_schedule(
     if optimizer_seconds < 0:
         raise ValueError("optimizer_seconds must be non-negative")
 
-    slowdowns = _worker_slowdowns(cluster)
-    num_workers = len(slowdowns)
-
-    # Per-worker stream clocks: compression kernels and decompression kernels
-    # run on separate in-order streams, as a real engine enqueues them.
-    compress_free = [0.0] * num_workers
-    decompress_free = [0.0] * num_workers
+    segments = _worker_slowdowns(cluster)
+    # One lane of stream clocks per distinct slowdown: compression kernels
+    # and decompression kernels run on separate in-order streams, as a real
+    # engine enqueues them; workers sharing a slowdown share the trajectory.
+    lanes: dict[float, list[float]] = {}
+    for slowdown, _ in segments:
+        lanes.setdefault(slowdown, [0.0, 0.0])
 
     traces: list[BucketTrace] = []
     comm_free = 0.0
     for index, bucket in enumerate(buckets):
-        compress_ends = []
-        for w, slowdown in enumerate(slowdowns):
-            start = max(bucket.ready_seconds * slowdown, compress_free[w])
-            compress_free[w] = start + bucket.compress_seconds * slowdown
-            compress_ends.append(compress_free[w])
-        comm_start = max(max(compress_ends), comm_free)
+        compress_end = 0.0
+        for slowdown, lane in lanes.items():
+            start = max(bucket.ready_seconds * slowdown, lane[0])
+            lane[0] = start + bucket.compress_seconds * slowdown
+            compress_end = max(compress_end, lane[0])
+        comm_start = max(compress_end, comm_free)
         comm_free = comm_start + bucket.comm_seconds
-        decompress_ends = []
-        for w, slowdown in enumerate(slowdowns):
-            start = max(comm_free, decompress_free[w])
-            decompress_free[w] = start + bucket.decompress_seconds * slowdown
-            decompress_ends.append(decompress_free[w])
+        decompress_end = 0.0
+        for slowdown, lane in lanes.items():
+            start = max(comm_free, lane[1])
+            lane[1] = start + bucket.decompress_seconds * slowdown
+            decompress_end = max(decompress_end, lane[1])
         traces.append(
             BucketTrace(
                 index=index,
                 ready_seconds=bucket.ready_seconds,
-                compress_end_seconds=max(compress_ends),
+                compress_end_seconds=compress_end,
                 comm_start_seconds=comm_start,
                 comm_end_seconds=comm_free,
-                decompress_end_seconds=max(decompress_ends),
+                decompress_end_seconds=decompress_end,
             )
         )
 
     backward_end = buckets[-1].ready_seconds
-    worker_finish = []
-    for w, slowdown in enumerate(slowdowns):
-        kernels_done = max(
-            backward_end * slowdown, compress_free[w], decompress_free[w], comm_free
-        )
-        worker_finish.append(kernels_done + optimizer_seconds * slowdown)
+    finish_by_lane = {}
+    for slowdown, lane in lanes.items():
+        kernels_done = max(backward_end * slowdown, lane[0], lane[1], comm_free)
+        finish_by_lane[slowdown] = kernels_done + optimizer_seconds * slowdown
 
-    serial_per_worker = [
-        (
-            backward_end
-            + sum(b.compress_seconds + b.decompress_seconds for b in buckets)
-            + optimizer_seconds
+    total_workers = sum(count for _, count in segments)
+    if total_workers <= WORKER_EXPANSION_LIMIT:
+        worker_finish = tuple(
+            finish_by_lane[slowdown]
+            for slowdown, count in segments
+            for _ in range(count)
         )
-        * slowdown
-        + sum(b.comm_seconds for b in buckets)
-        for slowdown in slowdowns
-    ]
+    else:
+        worker_finish = tuple(finish_by_lane[slowdown] for slowdown, _ in segments)
+
+    serial_kernel_seconds = sum(
+        b.compress_seconds + b.decompress_seconds for b in buckets
+    )
+    serial_comm_seconds = sum(b.comm_seconds for b in buckets)
+    serialized = max(
+        (backward_end + serial_kernel_seconds + optimizer_seconds) * slowdown
+        + serial_comm_seconds
+        for slowdown in lanes
+    )
     return PipelineResult(
-        makespan_seconds=max(worker_finish),
-        serialized_seconds=max(serial_per_worker),
+        makespan_seconds=max(finish_by_lane.values()),
+        serialized_seconds=serialized,
         traces=tuple(traces),
-        worker_finish_seconds=tuple(worker_finish),
+        worker_finish_seconds=worker_finish,
     )
 
 

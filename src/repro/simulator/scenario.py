@@ -18,6 +18,8 @@ for the rounds in its window:
 * :func:`nic_degrade` -- one worker's NIC drops to ``1/x`` bandwidth;
 * :func:`link_flap` -- every worker in one rack loses NIC bandwidth (an
   uplink flapping down to a degraded rate);
+* :func:`domain_fail` -- every worker in one fabric *failure domain* (a
+  fat-tree pod, a torus plane, a sub-DCell) loses NIC bandwidth;
 * :func:`switch_memory_pressure` -- the fabric switches' aggregation pool
   shrinks to a fraction of its size (competing in-network tenants);
 * :func:`churn` -- every round, each worker independently becomes a
@@ -152,22 +154,91 @@ class ScenarioEvent:
 def _scale_profiles(
     cluster: "ClusterSpec", ranks: Iterable[int], *, slowdown: float = 1.0, nic: float = 1.0
 ) -> "ClusterSpec":
-    """Multiply the given ranks' slowdown / nic_scale factors (compositional)."""
+    """Multiply the given ranks' slowdown / nic_scale factors (compositional).
+
+    On a materialized cluster (explicit ``worker_profiles``) the per-rank
+    tuple is rewritten, preserving the historical representation.  On every
+    other representation -- implicit-nominal, class-based, overridden -- the
+    perturbation lands in the sparse ``profile_overrides`` map, so an event
+    touching k workers costs O(k log k) regardless of world size.  Both
+    paths multiply the same floats in the same order, so a distributional
+    cluster and its materialized twin stay bit-exactly equal.
+    """
     from repro.simulator.cluster import WorkerProfile
 
-    profiles = [cluster.profile_of(rank) for rank in range(cluster.world_size)]
-    for rank in ranks:
-        if not 0 <= rank < cluster.world_size:
+    world_size = cluster.world_size
+
+    def check(rank: int) -> None:
+        if not 0 <= rank < world_size:
             raise ScenarioApplicationError(
                 f"event targets worker {rank} but the effective cluster has "
-                f"world size {cluster.world_size}"
+                f"world size {world_size}"
             )
-        profile = profiles[rank]
-        profiles[rank] = WorkerProfile(
+
+    if cluster.worker_profiles is not None:
+        profiles = list(cluster.worker_profiles)
+        for rank in ranks:
+            check(rank)
+            profile = profiles[rank]
+            profiles[rank] = WorkerProfile(
+                slowdown=profile.slowdown * slowdown,
+                nic_scale=profile.nic_scale * nic,
+            )
+        return replace(cluster, worker_profiles=tuple(profiles))
+
+    overrides = dict(cluster.profile_overrides or ())
+    for rank in ranks:
+        check(rank)
+        profile = overrides.get(rank)
+        if profile is None:
+            profile = cluster.profile_of(rank)
+        overrides[rank] = WorkerProfile(
             slowdown=profile.slowdown * slowdown,
             nic_scale=profile.nic_scale * nic,
         )
-    return replace(cluster, worker_profiles=tuple(profiles))
+    return replace(cluster, profile_overrides=tuple(sorted(overrides.items())))
+
+
+def _scale_rank_range(
+    cluster: "ClusterSpec", start: int, stop: int, *, slowdown: float = 1.0, nic: float = 1.0
+) -> "ClusterSpec":
+    """Multiply a contiguous rank range's factors in O(#classes).
+
+    Rack- and domain-wide events (flap, domain_fail) always target
+    contiguous rank ranges (the layout is contiguous by construction), so
+    instead of writing one override per member the range is spliced into
+    the canonical profile segments: at most two segments split, everything
+    else is reused.  Per-rank float arithmetic is identical to
+    :func:`_scale_profiles`, keeping the materialized twin bit-exact.
+    """
+    from repro.simulator.cluster import WorkerClass, WorkerProfile
+
+    if cluster.worker_profiles is not None:
+        return _scale_profiles(cluster, range(start, stop), slowdown=slowdown, nic=nic)
+    spliced: list[tuple[WorkerProfile, int]] = []
+    position = 0
+    for profile, count in cluster.profile_segments():
+        seg_start, seg_end = position, position + count
+        position = seg_end
+        lo, hi = max(seg_start, start), min(seg_end, stop)
+        if lo >= hi:
+            spliced.append((profile, count))
+            continue
+        scaled = WorkerProfile(
+            slowdown=profile.slowdown * slowdown,
+            nic_scale=profile.nic_scale * nic,
+        )
+        if lo > seg_start:
+            spliced.append((profile, lo - seg_start))
+        spliced.append((scaled, hi - lo))
+        if seg_end > hi:
+            spliced.append((profile, seg_end - hi))
+    return replace(
+        cluster,
+        worker_classes=tuple(WorkerClass(count, profile) for profile, count in spliced),
+        profile_overrides=None,
+        worker_profiles=None,
+    )
 
 
 @dataclass(frozen=True)
@@ -235,13 +306,52 @@ class LinkFlapEvent(ScenarioEvent):
                 f"flap targets rack {self.rack} but the effective cluster has "
                 f"{cluster.num_racks} rack(s)"
             )
-        members = [
-            rank for rank in range(cluster.world_size) if cluster.rack_of(rank) == self.rack
-        ]
-        return _scale_profiles(cluster, members, nic=self.factor)
+        # Rack membership is a contiguous rank range by construction
+        # (ranks fill nodes, nodes fill racks, in order) -- no per-rank scan.
+        members_per_rack = cluster.workers_per_rack
+        start = self.rack * members_per_rack
+        return _scale_rank_range(cluster, start, start + members_per_rack, nic=self.factor)
 
     def _spec_args(self) -> list[str]:
         return [f"rack={self.rack}", f"x={self.factor:g}"]
+
+
+@dataclass(frozen=True)
+class DomainFailEvent(ScenarioEvent):
+    """Failure domain ``domain`` degrades: every member NIC runs ``factor`` x slower.
+
+    Targets the fabric's failure-domain metadata
+    (:attr:`~repro.topology.fabric.FabricSpec.racks_per_domain`): a fat-tree
+    pod losing its aggregation uplinks, a torus plane, a sub-DCell.  On a
+    cluster without a fabric the whole cluster is the single domain 0.
+    """
+
+    domain: int
+    factor: float = 8.0
+    kind = "domain_fail"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.domain < 0:
+            raise ValueError("domain must be non-negative")
+        if self.factor <= 0:
+            raise ValueError("factor must be positive")
+
+    def apply(self, cluster, round_index, rng):
+        fabric = cluster.fabric
+        num_domains = fabric.num_domains if fabric is not None else 1
+        if self.domain >= num_domains:
+            raise ScenarioApplicationError(
+                f"domain_fail targets domain {self.domain} but the effective "
+                f"cluster has {num_domains} failure domain(s)"
+            )
+        racks_per_domain = fabric.racks_per_domain if fabric is not None else 1
+        workers_per_domain = cluster.workers_per_rack * racks_per_domain
+        start = self.domain * workers_per_domain
+        return _scale_rank_range(cluster, start, start + workers_per_domain, nic=self.factor)
+
+    def _spec_args(self) -> list[str]:
+        return [f"d={self.domain}", f"x={self.factor:g}"]
 
 
 @dataclass(frozen=True)
@@ -283,7 +393,13 @@ class ChurnEvent(ScenarioEvent):
 
     The draw is deterministic given the scenario seed, the event's position
     in the scenario, and the round index -- identical scenarios replay
-    identical churn regardless of execution order or executor.
+    identical churn regardless of execution order or executor.  At or below
+    :data:`~repro.simulator.cluster.MATERIALIZATION_LIMIT` workers the draw
+    is per-rank (bit-exact across representations); above it one binomial
+    draw per canonical profile segment picks how many of that segment's
+    workers churn, keeping fleet-scale rounds O(#classes).  Both regimes
+    depend only on the canonical population, never on which representation
+    spells it.
     """
 
     p: float
@@ -298,18 +414,53 @@ class ChurnEvent(ScenarioEvent):
             raise ValueError("factor must be positive")
 
     def apply(self, cluster, round_index, rng):
-        hit = np.flatnonzero(rng.random(cluster.world_size) < self.p)
-        if hit.size == 0:
+        from repro.simulator.cluster import (
+            MATERIALIZATION_LIMIT,
+            WorkerClass,
+            WorkerProfile,
+        )
+
+        if cluster.world_size <= MATERIALIZATION_LIMIT:
+            hit = np.flatnonzero(rng.random(cluster.world_size) < self.p)
+            if hit.size == 0:
+                return cluster
+            return _scale_profiles(cluster, hit.tolist(), slowdown=self.factor)
+        segments: list[tuple[WorkerProfile, int]] = []
+        any_hit = False
+        for profile, count in cluster.profile_segments():
+            hits = int(rng.binomial(count, self.p))
+            if hits:
+                any_hit = True
+                scaled = replace(profile, slowdown=profile.slowdown * self.factor)
+                segments.append((scaled, hits))
+                if count > hits:
+                    segments.append((profile, count - hits))
+            else:
+                segments.append((profile, count))
+        if not any_hit:
             return cluster
-        return _scale_profiles(cluster, hit.tolist(), slowdown=self.factor)
+        return replace(
+            cluster,
+            worker_classes=tuple(
+                WorkerClass(count, profile) for profile, count in segments
+            ),
+            profile_overrides=None,
+            worker_profiles=None,
+        )
 
     def _spec_args(self) -> list[str]:
         return [f"p={self.p:g}", f"x={self.factor:g}"]
 
 
 def _resize_nodes(cluster: "ClusterSpec", new_num_nodes: int) -> "ClusterSpec":
-    """A copy of the cluster with ``new_num_nodes`` nodes (profiles adjusted)."""
-    from repro.simulator.cluster import WorkerProfile
+    """A copy of the cluster with ``new_num_nodes`` nodes (profiles adjusted).
+
+    Members keep their profiles in rank order: the last workers leave first,
+    joiners arrive nominal.  Materialized clusters truncate / extend the
+    per-rank tuple (the historical behaviour); distributional clusters
+    adjust class counts and drop out-of-range overrides in O(#classes).
+    """
+    from repro.simulator.cluster import NOMINAL_PROFILE, WorkerClass, WorkerProfile
 
     if new_num_nodes < 1:
         raise ScenarioApplicationError("membership events cannot empty the cluster")
@@ -320,14 +471,39 @@ def _resize_nodes(cluster: "ClusterSpec", new_num_nodes: int) -> "ClusterSpec":
                 f"divide into the fabric's {cluster.fabric.num_racks} racks; "
                 "join/leave whole rack-multiples on multi-rack clusters"
             )
+    new_world = new_num_nodes * cluster.gpus_per_node
     profiles = cluster.worker_profiles
     if profiles is not None:
-        new_world = new_num_nodes * cluster.gpus_per_node
         if new_world <= len(profiles):
             profiles = tuple(profiles[:new_world])
         else:
             profiles = profiles + (WorkerProfile(),) * (new_world - len(profiles))
-    return replace(cluster, num_nodes=new_num_nodes, worker_profiles=profiles)
+        return replace(cluster, num_nodes=new_num_nodes, worker_profiles=profiles)
+    if cluster.worker_classes is None and cluster.profile_overrides is None:
+        return replace(cluster, num_nodes=new_num_nodes)
+    segments: list[tuple[WorkerProfile, int]] = []
+    remaining = new_world
+    for profile, count in cluster.profile_segments():
+        if remaining <= 0:
+            break
+        taken = min(count, remaining)
+        segments.append((profile, taken))
+        remaining -= taken
+    if remaining > 0:
+        segments.append((NOMINAL_PROFILE, remaining))
+    if all(profile == NOMINAL_PROFILE for profile, _ in segments):
+        return replace(
+            cluster,
+            num_nodes=new_num_nodes,
+            worker_classes=None,
+            profile_overrides=None,
+        )
+    return replace(
+        cluster,
+        num_nodes=new_num_nodes,
+        worker_classes=tuple(WorkerClass(count, profile) for profile, count in segments),
+        profile_overrides=None,
+    )
 
 
 @dataclass(frozen=True)
@@ -607,6 +783,17 @@ _register_event(
 )
 _register_event(
     _EventFamily(
+        "domain_fail",
+        DomainFailEvent,
+        (
+            _EventParam(("d", "domain"), int, "domain"),
+            _EventParam(("x", "factor"), float, "factor", default=8.0),
+        ),
+        aliases=("domain",),
+    )
+)
+_register_event(
+    _EventFamily(
         "switch_mem",
         SwitchMemoryPressureEvent,
         (_EventParam(("x", "factor"), float, "factor", default=0.25),),
@@ -779,6 +966,13 @@ def link_flap(
 ) -> LinkFlapEvent:
     """Rack ``rack``'s members lose NIC bandwidth (``x`` times slower) for the window."""
     return LinkFlapEvent(rack=rack, factor=x, start_round=at_round, until_round=until)
+
+
+def domain_fail(
+    domain: int, x: float = 8.0, *, at_round: int = 0, until: int | None = None
+) -> DomainFailEvent:
+    """Failure domain ``domain``'s members lose NIC bandwidth for the window."""
+    return DomainFailEvent(domain=domain, factor=x, start_round=at_round, until_round=until)
 
 
 def switch_memory_pressure(

@@ -6,9 +6,13 @@ uplinks, and ToR switches that aggregate quantized payloads in the network.
 This package provides
 
 * :class:`FabricSpec` / :class:`SwitchModel` -- the physical fabric
-  description (racks, spine oversubscription, switch aggregation memory and
-  line rate), composable with a cluster via
+  description (racks, spine oversubscription, failure domains, switch
+  aggregation memory and line rate), composable with a cluster via
   :meth:`repro.simulator.ClusterSpec.with_fabric`;
+* fabric generators (:func:`fat_tree_fabric`, :func:`torus_fabric`,
+  :func:`dcell_fabric`) -- datacenter-scale topologies projected onto the
+  rack / domain / spine abstraction, with failure-domain metadata the
+  scenario engine's ``domain_fail`` event and the tiered cost model consume;
 * :func:`hierarchical_aggregate` -- the functional rack-by-rack reduction
   (hop-exact for non-associative saturating operators);
 * the phase/tier accounting types (:class:`HierarchicalBreakdown`,
@@ -23,7 +27,11 @@ in-network aggregation through the spec language (``thc(q=4, agg=switch)``).
 from repro.topology.fabric import (
     FabricSpec,
     SwitchModel,
+    dcell_fabric,
+    dcell_size,
+    fat_tree_fabric,
     single_rack_fabric,
+    torus_fabric,
     two_tier_fabric,
 )
 from repro.topology.hierarchical import (
@@ -39,7 +47,11 @@ __all__ = [
     "PhaseCost",
     "SwitchModel",
     "TierTraffic",
+    "dcell_fabric",
+    "dcell_size",
+    "fat_tree_fabric",
     "hierarchical_aggregate",
     "single_rack_fabric",
+    "torus_fabric",
     "two_tier_fabric",
 ]

@@ -78,11 +78,17 @@ class SwitchModel:
 
 @dataclass(frozen=True)
 class FabricSpec:
-    """A two-tier (ToR + spine) fabric over a cluster's nodes.
+    """A multi-rack fabric over a cluster's nodes.
 
     The cluster's nodes are partitioned into ``num_racks`` equal racks, each
     behind one ToR switch; ToRs connect through a spine tier whose capacity
-    is the rack downlink capacity divided by ``oversubscription``.
+    is the rack downlink capacity divided by ``oversubscription``.  Generated
+    topologies (:func:`fat_tree_fabric`, :func:`torus_fabric`,
+    :func:`dcell_fabric`) project onto the same abstraction and additionally
+    group racks into *failure domains* (``racks_per_domain``): a fat-tree
+    pod, a torus plane, a sub-DCell.  The scenario engine's ``domain_fail``
+    event targets domains, and the hierarchical cost model inserts a
+    domain-local phase whenever ``racks_per_domain > 1``.
 
     A fabric with one rack and oversubscription 1.0 is *flat*: it adds no
     constraint beyond the cluster's own NICs, and the cost model is required
@@ -98,12 +104,20 @@ class FabricSpec:
             (ToR -> spine -> ToR), paid by every spine-crossing step.
         switch: Resource model of the fabric's switches (shared by ToR and
             spine tiers), used by in-network aggregation.
+        topology: Topology family label (``"two_tier"`` for the classic
+            ToR + spine design; generators set ``"fat_tree"``, ``"torus"``,
+            ``"dcell"``).
+        racks_per_domain: Racks per failure domain.  Must divide
+            ``num_racks``; 1 (the default) means every rack is its own
+            domain, which preserves the historical two-tier pricing exactly.
     """
 
     num_racks: int = 1
     oversubscription: float = 1.0
     spine_latency_s: float = 1e-6
     switch: SwitchModel = field(default_factory=SwitchModel)
+    topology: str = "two_tier"
+    racks_per_domain: int = 1
 
     def __post_init__(self) -> None:
         if self.num_racks < 1:
@@ -112,6 +126,35 @@ class FabricSpec:
             raise ValueError("oversubscription must be positive")
         if self.spine_latency_s < 0:
             raise ValueError("spine_latency_s must be non-negative")
+        if not self.topology:
+            raise ValueError("topology must be a non-empty label")
+        if self.racks_per_domain < 1:
+            raise ValueError("racks_per_domain must be >= 1")
+        if self.num_racks % self.racks_per_domain != 0:
+            raise ValueError(
+                f"racks_per_domain ({self.racks_per_domain}) must divide "
+                f"num_racks ({self.num_racks})"
+            )
+
+    @property
+    def num_domains(self) -> int:
+        """Number of failure domains the racks are grouped into."""
+        return self.num_racks // self.racks_per_domain
+
+    def domain_of(self, rack: int) -> int:
+        """Failure-domain index of rack ``rack``."""
+        if not 0 <= rack < self.num_racks:
+            raise ValueError(f"rack {rack} out of range for {self.num_racks} racks")
+        return rack // self.racks_per_domain
+
+    def racks_in_domain(self, domain: int) -> range:
+        """The contiguous rack indices of failure domain ``domain``."""
+        if not 0 <= domain < self.num_domains:
+            raise ValueError(
+                f"domain {domain} out of range for {self.num_domains} domains"
+            )
+        start = domain * self.racks_per_domain
+        return range(start, start + self.racks_per_domain)
 
     @property
     def is_flat(self) -> bool:
@@ -126,10 +169,12 @@ class FabricSpec:
         return self.num_racks == 1
 
     def label(self) -> str:
-        """Short human-readable label (``"4r"``, ``"4r:o2"``)."""
+        """Short human-readable label (``"4r"``, ``"4r:o2"``, ``"8192r:fat_tree"``)."""
         text = f"{self.num_racks}r"
         if self.oversubscription != 1.0:
             text += f":o{self.oversubscription:g}"
+        if self.topology != "two_tier":
+            text += f":{self.topology}"
         return text
 
 
@@ -151,4 +196,109 @@ def two_tier_fabric(
         oversubscription=oversubscription,
         spine_latency_s=spine_latency_s,
         switch=switch or SwitchModel(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fabric generators: datacenter-scale topologies projected onto the
+# rack / domain / spine abstraction, failure-domain metadata included.
+# --------------------------------------------------------------------------- #
+def fat_tree_fabric(
+    k: int,
+    *,
+    oversubscription: float = 1.0,
+    spine_latency_s: float = 2e-6,
+    switch: SwitchModel | None = None,
+) -> FabricSpec:
+    """A k-ary fat-tree: ``k`` pods of ``k / 2`` edge switches (racks).
+
+    ``k^2 / 2`` racks of ``k / 2`` hosts each (``k^3 / 4`` hosts total); one
+    pod is a failure domain -- intra-pod traffic stays below the core, so
+    the cost model runs the domain phase at full rate and only the
+    cross-pod phase sees the (optional) core oversubscription.  A classic
+    rearrangeably non-blocking fat-tree has ``oversubscription=1.0``; tapered
+    cores raise it.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat-tree arity k must be an even integer >= 2")
+    return FabricSpec(
+        num_racks=(k * k) // 2,
+        oversubscription=oversubscription,
+        spine_latency_s=spine_latency_s,
+        switch=switch or SwitchModel(),
+        topology="fat_tree",
+        racks_per_domain=k // 2,
+    )
+
+
+def torus_fabric(
+    dims: tuple[int, ...],
+    *,
+    spine_latency_s: float = 1e-6,
+    switch: SwitchModel | None = None,
+) -> FabricSpec:
+    """A direct-network torus: one rack per vertex of the ``dims`` grid.
+
+    A torus has no central spine; long-haul flows hop vertex to vertex, and
+    the bisection along the longest dimension caps fleet-wide collectives.
+    The projection models that as an effective oversubscription of
+    ``max(1, longest_side / 4)`` (a side-``s`` ring moves ``s / 2`` vertices'
+    traffic over 2 bisection links, i.e. ``s / 4`` flows per link).  The
+    failure domain is a plane perpendicular to the first dimension.
+    """
+    dims = tuple(int(side) for side in dims)
+    if not dims or any(side < 2 for side in dims):
+        raise ValueError("torus dims must be a non-empty tuple of sides >= 2")
+    num_racks = math.prod(dims)
+    return FabricSpec(
+        num_racks=num_racks,
+        oversubscription=max(1.0, max(dims) / 4),
+        spine_latency_s=spine_latency_s,
+        switch=switch or SwitchModel(),
+        topology="torus",
+        racks_per_domain=num_racks // dims[0],
+    )
+
+
+def dcell_size(n: int, level: int) -> int:
+    """Servers in a DCell_level built from ``n``-port mini-switches.
+
+    The DCell recurrence ``t_l = t_{l-1} * (t_{l-1} + 1)`` with ``t_0 = n``:
+    doubly-exponential growth is the point of the design -- DCell_2 over
+    32-port switches already exceeds a million servers.
+    """
+    if n < 2:
+        raise ValueError("DCell needs n >= 2 servers per mini-switch")
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    servers = n
+    for _ in range(level):
+        servers = servers * (servers + 1)
+    return servers
+
+
+def dcell_fabric(
+    n: int,
+    level: int,
+    *,
+    spine_latency_s: float = 1e-6,
+    switch: SwitchModel | None = None,
+) -> FabricSpec:
+    """A recursive DCell: server-centric, commodity mini-switches, no core.
+
+    One rack per DCell_0 (``n`` servers on one mini-switch); one
+    DCell_{level-1} is a failure domain.  DCell's pairwise server links give
+    near-full bisection (``oversubscription=1.0``), but routes traverse up
+    to ``2^(level+1) - 1`` hops, so the per-step latency scales with the
+    recursion depth.
+    """
+    servers = dcell_size(n, level)
+    sub_servers = dcell_size(n, level - 1) if level >= 1 else n
+    return FabricSpec(
+        num_racks=servers // n,
+        oversubscription=1.0,
+        spine_latency_s=spine_latency_s * (2 ** (level + 1) - 1),
+        switch=switch or SwitchModel(),
+        topology="dcell",
+        racks_per_domain=max(1, sub_servers // n),
     )

@@ -145,3 +145,33 @@ def test_rpl006_explicit_inheritance_satisfies_contract(tmp_path):
     )
     report = run_analysis(["src"], root=tmp_path, only_rules=["RPL006"])
     assert report.findings == []
+
+
+def test_rpl001_scope_covers_fleet_paths():
+    # Fabric generators and the distributional cluster description are
+    # pricing inputs: wall-clock or RNG in them would break sweep memo
+    # reproducibility, so the determinism rule must scope them.
+    config = LintConfig()
+    scope = config.paths_for("RPL001")
+    assert scope_matches("src/repro/topology/fabric.py", scope)
+    assert scope_matches("src/repro/simulator/cluster.py", scope)
+
+
+def test_rpl003_scope_covers_cluster_cache_key():
+    # The distributional cluster's cache_key() is the sweep/service identity;
+    # it must stay inside the cache-key hygiene rule's scope.
+    assert scope_matches("src/repro/simulator/cluster.py", LintConfig().paths_for("RPL003"))
+
+
+def test_fleet_modules_lint_clean():
+    # The real fleet-path modules stay clean under the full default rule set.
+    repo_root = Path(__file__).resolve().parents[2]
+    report = run_analysis(
+        [
+            "src/repro/topology",
+            "src/repro/simulator/cluster.py",
+            "src/repro/experiments/fleet.py",
+        ],
+        root=repo_root,
+    )
+    assert report.findings == []

@@ -109,3 +109,48 @@ class TestSeedStability:
         # Round-0 evaluation happens before any update, so it only depends on
         # the shared seed -- the comparison starts from the same model.
         assert a.curve.values[0] == b.curve.values[0]
+
+
+class TestFleetScaleSmoke:
+    """End-to-end pricing at generated-fabric fleet scale.
+
+    The distributional cluster representation is the only thing standing
+    between these shapes and an O(world_size) loop; this smoke test keeps
+    the full stack (session -> cost model -> tiered fabric pricing)
+    usable at a million workers.
+    """
+
+    def test_million_worker_throughput_end_to_end(self):
+        import time
+
+        from repro.api import ExperimentSession
+        from repro.simulator.cluster import fat_tree_cluster
+        from repro.training.workloads import bert_large_wikitext
+
+        fleet = fat_tree_cluster(128, gpus_per_node=2)
+        assert fleet.world_size == 1_048_576
+        session = ExperimentSession(cluster=fleet)
+        started = time.perf_counter()
+        estimate = session.throughput(
+            "thc(q=4, rot=partial, agg=sat)", bert_large_wikitext(), num_buckets=8
+        )
+        elapsed = time.perf_counter() - started
+        assert estimate.rounds_per_second > 0
+        # Acceptance bound is < 1 s; allow generous slack for loaded CI hosts.
+        assert elapsed < 10.0
+
+    def test_fleet_scenario_pricing_end_to_end(self):
+        from repro.api import ExperimentSession
+        from repro.simulator.cluster import fat_tree_cluster
+        from repro.training.workloads import bert_large_wikitext
+
+        fleet = fat_tree_cluster(16, gpus_per_node=2)  # 2048 workers, 4 pods
+        session = ExperimentSession(cluster=fleet)
+        quiet = session.throughput("topkc(b=2)", bert_large_wikitext())
+        degraded = session.throughput(
+            "topkc(b=2)",
+            bert_large_wikitext(),
+            scenario="domain_fail(d=1)@0..20",
+            num_rounds=20,
+        )
+        assert degraded.rounds_per_second < quiet.rounds_per_second

@@ -390,3 +390,47 @@ class TestTelemetry:
                     assert entry.tail["degraded_rounds"] > 0
 
         run(scenario())
+
+
+class TestFleetScaleRequests:
+    def test_million_worker_cluster_is_priced_without_materialization(self):
+        async def scenario():
+            from repro.simulator.cluster import fat_tree_cluster
+
+            fleet = fat_tree_cluster(128, gpus_per_node=2)  # 1,048,576 workers
+            request = AdviseRequest(
+                specs=(THC, TOPKC), workload="bert_large", cluster=fleet
+            )
+            async with make_service() as service:
+                response = await service.advise(request)
+            assert response.best.spec in (THC, TOPKC)
+            assert all(entry.value > 0 for entry in response.ranked)
+
+        run(scenario())
+
+    def test_twin_cluster_forms_share_one_cache_entry(self):
+        async def scenario():
+            from repro.simulator.cluster import ClusterSpec, WorkerClass, WorkerProfile
+
+            distributional = ClusterSpec(
+                num_nodes=4,
+                gpus_per_node=2,
+                worker_classes=(
+                    WorkerClass(3, WorkerProfile(slowdown=1.5)),
+                    WorkerClass(5, WorkerProfile()),
+                ),
+            )
+            materialized = distributional.materialize()
+            async with make_service() as service:
+                cold = await service.advise(
+                    AdviseRequest(specs=(THC,), workload="bert_large", cluster=distributional)
+                )
+                warm = await service.advise(
+                    AdviseRequest(specs=(THC,), workload="bert_large", cluster=materialized)
+                )
+            # Same canonical identity: the materialized twin is a cache hit.
+            assert cold.best.provenance == "computed"
+            assert warm.best.provenance == "memory"
+            assert warm.best.value == cold.best.value
+
+        run(scenario())

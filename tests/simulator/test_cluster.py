@@ -3,10 +3,15 @@
 import pytest
 
 from repro.simulator.cluster import (
+    MATERIALIZATION_LIMIT,
     ClusterSpec,
+    WorkerClass,
     WorkerProfile,
+    dcell_cluster,
+    fat_tree_cluster,
     paper_testbed,
     scale_out_cluster,
+    torus_cluster,
 )
 from repro.simulator.nic import NicModel
 
@@ -106,6 +111,165 @@ class TestWorkerProfiles:
         assert not cluster.is_heterogeneous
 
 
+SLOW = WorkerProfile(slowdown=2.0)
+DEGRADED = WorkerProfile(nic_scale=4.0)
+
+
+class TestDistributionalClusters:
+    def mat_and_dist(self):
+        materialized = ClusterSpec(
+            num_nodes=4,
+            gpus_per_node=2,
+            worker_profiles=(SLOW,) * 3 + (WorkerProfile(),) * 5,
+        )
+        distributional = ClusterSpec(
+            num_nodes=4,
+            gpus_per_node=2,
+            worker_classes=(WorkerClass(3, SLOW), WorkerClass(5, WorkerProfile())),
+        )
+        return materialized, distributional
+
+    def test_twins_are_equal_and_hash_equal(self):
+        materialized, distributional = self.mat_and_dist()
+        assert materialized == distributional
+        assert hash(materialized) == hash(distributional)
+        assert materialized.cache_key() == distributional.cache_key()
+
+    def test_profile_queries_agree(self):
+        materialized, distributional = self.mat_and_dist()
+        for rank in range(materialized.world_size):
+            assert materialized.profile_of(rank) == distributional.profile_of(rank)
+        assert distributional.max_slowdown() == 2.0
+        assert distributional.worst_nic_scale() == 1.0
+        assert distributional.is_heterogeneous
+        assert distributional.slowdown_segments() == ((2.0, 3), (1.0, 5))
+
+    def test_segments_merge_adjacent_equal_profiles(self):
+        cluster = ClusterSpec(
+            num_nodes=4,
+            gpus_per_node=2,
+            worker_classes=(WorkerClass(3, SLOW), WorkerClass(2, SLOW), WorkerClass(3, WorkerProfile())),
+        )
+        assert cluster.profile_segments() == ((SLOW, 5), (WorkerProfile(), 3))
+
+    def test_class_counts_must_cover_world_size(self):
+        with pytest.raises(ValueError, match="cover"):
+            ClusterSpec(num_nodes=4, gpus_per_node=2, worker_classes=(WorkerClass(3, SLOW),))
+
+    def test_representations_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ClusterSpec(
+                num_nodes=1,
+                gpus_per_node=2,
+                worker_profiles=(WorkerProfile(),) * 2,
+                worker_classes=(WorkerClass(2, WorkerProfile()),),
+            )
+
+    def test_nominal_classes_collapse_to_implicit_identity(self):
+        explicit = ClusterSpec(worker_classes=(WorkerClass(4, WorkerProfile()),))
+        assert explicit == paper_testbed()
+        assert hash(explicit) == hash(paper_testbed())
+        assert not explicit.is_heterogeneous
+
+    def test_materialize_round_trips(self):
+        materialized, distributional = self.mat_and_dist()
+        assert distributional.materialize().worker_profiles == materialized.worker_profiles
+        assert distributional.materialize() == distributional
+        assert materialized.as_distributional() == materialized
+        assert materialized.as_distributional().worker_classes == (
+            WorkerClass(3, SLOW),
+            WorkerClass(5, WorkerProfile()),
+        )
+
+    def test_materialize_refuses_fleet_scale(self):
+        fleet = fat_tree_cluster(128, gpus_per_node=2)
+        assert fleet.world_size > MATERIALIZATION_LIMIT
+        with pytest.raises(ValueError, match="refusing to materialize"):
+            fleet.materialize()
+
+    def test_overrides_are_sparse_and_rank_sorted(self):
+        cluster = paper_testbed().with_straggler(2, 1.5).with_nic_tier(1, 4.0)
+        assert cluster.worker_profiles is None
+        assert cluster.profile_overrides == (
+            (1, WorkerProfile(nic_scale=4.0)),
+            (2, WorkerProfile(slowdown=1.5)),
+        )
+        assert cluster.profile_of(2).slowdown == 1.5
+        assert cluster.profile_of(0) == WorkerProfile()
+
+    def test_chained_overrides_compose_on_one_rank(self):
+        cluster = paper_testbed().with_straggler(1, 2.0).with_nic_tier(1, 4.0)
+        assert cluster.profile_of(1) == WorkerProfile(slowdown=2.0, nic_scale=4.0)
+
+    def test_override_splits_class_segment(self):
+        _, distributional = self.mat_and_dist()
+        perturbed = distributional.with_straggler(1, 3.0)
+        assert perturbed.profile_segments() == (
+            (SLOW, 1),
+            (WorkerProfile(slowdown=3.0), 1),
+            (SLOW, 1),
+            (WorkerProfile(), 5),
+        )
+        assert perturbed == perturbed.materialize()
+
+    def test_duplicate_override_ranks_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSpec(
+                profile_overrides=((0, SLOW), (0, DEGRADED)),
+            )
+
+    def test_override_on_fleet_stays_cheap_and_queryable(self):
+        fleet = fat_tree_cluster(128, gpus_per_node=2)
+        perturbed = fleet.with_straggler(1_000_000, 8.0)
+        assert perturbed.max_slowdown() == 8.0
+        assert perturbed.slowdown_of(1_000_000) == 8.0
+        assert perturbed.slowdown_of(0) == 1.0
+        assert len(perturbed.profile_segments()) == 3
+
+    def test_worker_class_validation(self):
+        with pytest.raises(ValueError):
+            WorkerClass(0, WorkerProfile())
+        with pytest.raises(TypeError):
+            WorkerClass(2, profile="nominal")
+
+
+class TestFleetPresets:
+    def test_fat_tree_cluster_shape(self):
+        fleet = fat_tree_cluster(8, gpus_per_node=2)
+        assert fleet.num_nodes == 128
+        assert fleet.num_racks == 32
+        assert fleet.fabric.racks_per_domain == 4
+        assert fleet.fabric.num_domains == 8
+        assert fleet.fabric.topology == "fat_tree"
+
+    def test_million_worker_fat_tree(self):
+        fleet = fat_tree_cluster(128, gpus_per_node=2)
+        assert fleet.world_size == 1_048_576
+        assert fleet.max_slowdown() == 1.0
+
+    def test_torus_cluster_shape(self):
+        fleet = torus_cluster((4, 4, 4), nodes_per_rack=2, gpus_per_node=2)
+        assert fleet.num_nodes == 128
+        assert fleet.num_racks == 64
+        assert fleet.fabric.topology == "torus"
+        assert fleet.fabric.racks_per_domain == 16  # a plane of the 4x4x4 grid
+
+    def test_dcell_cluster_shape(self):
+        fleet = dcell_cluster(4, 1, gpus_per_node=2)
+        assert fleet.num_nodes == 20  # t_1 = 4 * 5
+        assert fleet.num_racks == 5
+        assert fleet.fabric.topology == "dcell"
+
+    def test_presets_accept_worker_classes(self):
+        fleet = fat_tree_cluster(
+            8,
+            gpus_per_node=2,
+            worker_classes=(WorkerClass(200, SLOW), WorkerClass(56, WorkerProfile())),
+        )
+        assert fleet.max_slowdown() == 2.0
+        assert fleet.slowdown_segments() == ((2.0, 200), (1.0, 56))
+
+
 class TestCacheKey:
     def test_same_shape_different_nic_distinct_keys(self):
         a = paper_testbed()
@@ -119,3 +283,13 @@ class TestCacheKey:
 
     def test_profiles_part_of_identity(self):
         assert paper_testbed().cache_key() != paper_testbed().with_straggler(0, 2.0).cache_key()
+
+    def test_fabric_part_of_identity(self):
+        assert fat_tree_cluster(8).cache_key() != ClusterSpec(
+            num_nodes=128, gpus_per_node=2
+        ).cache_key()
+
+    def test_representation_not_part_of_identity(self):
+        straggler = paper_testbed().with_straggler(0, 2.0)
+        assert straggler.cache_key() == straggler.materialize().cache_key()
+        assert straggler.cache_key() == straggler.as_distributional().cache_key()

@@ -16,6 +16,7 @@ from repro.simulator.scenario import (
     UnknownEventError,
     available_events,
     churn,
+    domain_fail,
     join,
     leave,
     link_flap,
@@ -98,7 +99,8 @@ class TestEventApplication:
         effective = leave(1).apply(base, 0, None)
         assert effective.num_nodes == 1
         assert effective.world_size == 2
-        assert len(effective.worker_profiles) == 2
+        assert sum(count for _, count in effective.profile_segments()) == 2
+        assert effective.slowdown_of(1) == 1.0
 
     def test_join_adds_nominal_nodes(self):
         base = paper_testbed().with_straggler(0, 2.0)
@@ -255,6 +257,7 @@ class TestSpecLanguage:
             "slowdown",
             "nic_degrade",
             "flap",
+            "domain_fail",
             "switch_mem",
             "churn",
             "join",
@@ -323,3 +326,63 @@ class TestChurnEventValidation:
     def test_switch_mem_factor_bounds(self):
         with pytest.raises(ValueError, match="factor"):
             switch_memory_pressure(0.0)
+
+
+class TestDomainFail:
+    def fleet(self):
+        from repro.simulator.cluster import fat_tree_cluster
+
+        return fat_tree_cluster(8, gpus_per_node=2)  # 256 workers, 8 pods of 4 racks
+
+    def test_parse_round_trips(self):
+        sc = parse_scenario("domain_fail(d=3, x=4)@5..9")
+        assert sc.spec() == "domain_fail(d=3, x=4)@5..9"
+        event = sc.events[0]
+        assert event.domain == 3
+        assert event.factor == 4.0
+
+    def test_domain_alias(self):
+        assert parse_scenario("domain(d=1)").events[0].kind == "domain_fail"
+
+    def test_apply_degrades_exactly_one_domain(self):
+        fleet = self.fleet()
+        effective = domain_fail(2, x=8.0).apply(fleet, 0, None)
+        workers_per_domain = fleet.workers_per_rack * fleet.fabric.racks_per_domain
+        start = 2 * workers_per_domain
+        assert effective.profile_of(start).nic_scale == 8.0
+        assert effective.profile_of(start + workers_per_domain - 1).nic_scale == 8.0
+        assert effective.profile_of(start - 1).nic_scale == 1.0
+        assert effective.profile_of(start + workers_per_domain).nic_scale == 1.0
+        # O(#segments): the degraded range splices the nominal population.
+        assert len(effective.profile_segments()) <= 3
+
+    def test_apply_is_distributional_on_fleet_scale(self):
+        from repro.simulator.cluster import fat_tree_cluster
+
+        fleet = fat_tree_cluster(128, gpus_per_node=2)  # 1M workers
+        effective = domain_fail(0, x=2.0).apply(fleet, 0, None)
+        assert effective.worker_profiles is None
+        assert effective.worst_nic_scale() == 2.0
+
+    def test_out_of_range_domain_rejected(self):
+        with pytest.raises(ScenarioApplicationError, match="domain"):
+            domain_fail(8).apply(self.fleet(), 0, None)
+
+    def test_fabricless_cluster_is_one_domain(self):
+        effective = domain_fail(0, x=2.0).apply(paper_testbed(), 0, None)
+        assert effective.worst_nic_scale() == 2.0
+        with pytest.raises(ScenarioApplicationError, match="domain"):
+            domain_fail(1).apply(paper_testbed(), 0, None)
+
+    def test_window_bounds_the_degradation(self):
+        sc = scenario("domain_fail(d=1, x=4)@2..4")
+        fleet = self.fleet()
+        assert sc.cluster_at(fleet, 1) == fleet
+        assert sc.cluster_at(fleet, 2).worst_nic_scale() == 4.0
+        assert sc.cluster_at(fleet, 4) == fleet
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="domain"):
+            domain_fail(-1)
+        with pytest.raises(ValueError, match="factor"):
+            domain_fail(0, x=0.0)

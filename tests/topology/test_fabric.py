@@ -14,6 +14,12 @@ from repro.topology import (
     single_rack_fabric,
     two_tier_fabric,
 )
+from repro.topology.fabric import (
+    dcell_fabric,
+    dcell_size,
+    fat_tree_fabric,
+    torus_fabric,
+)
 
 
 class TestFabricSpec:
@@ -241,3 +247,135 @@ class TestCostModelFabric:
         buckets = model.per_bucket("switch_aggregation", 1e8, 4)
         assert len(buckets) == 4
         assert sum(b.seconds for b in buckets) >= model.switch_aggregation(1e8).seconds
+
+
+class TestFabricGenerators:
+    def test_fat_tree_shape_and_domains(self):
+        fabric = fat_tree_fabric(8)
+        assert fabric.num_racks == 32
+        assert fabric.racks_per_domain == 4  # one pod of k/2 edge switches
+        assert fabric.num_domains == 8
+        assert fabric.topology == "fat_tree"
+        assert fabric.label() == "32r:fat_tree"
+
+    def test_fat_tree_rejects_odd_arity(self):
+        with pytest.raises(ValueError, match="even"):
+            fat_tree_fabric(7)
+
+    def test_torus_bisection_and_planes(self):
+        fabric = torus_fabric((8, 4, 4))
+        assert fabric.num_racks == 128
+        assert fabric.oversubscription == pytest.approx(2.0)  # 8/4 along the long side
+        assert fabric.racks_per_domain == 16  # a plane perpendicular to dim 0
+        assert fabric.num_domains == 8
+
+    def test_small_torus_has_full_bisection(self):
+        assert torus_fabric((4, 4)).oversubscription == 1.0
+
+    def test_dcell_recurrence(self):
+        assert dcell_size(4, 0) == 4
+        assert dcell_size(4, 1) == 20
+        assert dcell_size(4, 2) == 420
+        assert dcell_size(32, 2) > 1_000_000
+
+    def test_dcell_fabric_latency_scales_with_level(self):
+        level1 = dcell_fabric(4, 1, spine_latency_s=1e-6)
+        level2 = dcell_fabric(4, 2, spine_latency_s=1e-6)
+        assert level1.spine_latency_s == pytest.approx(3e-6)  # 2^2 - 1 hops
+        assert level2.spine_latency_s == pytest.approx(7e-6)  # 2^3 - 1 hops
+        assert level2.racks_per_domain == level1.num_racks
+
+    def test_domain_helpers(self):
+        fabric = fat_tree_fabric(4)  # 8 racks, 2 per pod
+        assert fabric.domain_of(0) == 0
+        assert fabric.domain_of(3) == 1
+        assert list(fabric.racks_in_domain(1)) == [2, 3]
+        with pytest.raises(ValueError):
+            fabric.domain_of(8)
+        with pytest.raises(ValueError):
+            fabric.racks_in_domain(4)
+
+    def test_racks_per_domain_must_divide(self):
+        with pytest.raises(ValueError, match="divide"):
+            FabricSpec(num_racks=4, racks_per_domain=3)
+
+
+class TestTieredHierarchicalPricing:
+    def test_single_rack_domains_reproduce_two_tier_pricing(self):
+        """racks_per_domain=1 (every historical fabric) prices bit-exactly
+        like before the domain phase existed: no domain phase, same tiers."""
+        model = CollectiveCostModel(multirack_cluster(4))
+        breakdown = model.hierarchical_breakdown(1e9)
+        names = [phase.name for phase in breakdown.phases]
+        assert names == ["rack_reduce_scatter", "spine_allreduce", "rack_broadcast"]
+        assert [tier.tier for tier in breakdown.tiers] == ["tor", "spine"]
+
+    def _pod_cluster(self):
+        # 16 nodes over 8 racks grouped into 2 failure domains of 4 racks.
+        fabric = FabricSpec(
+            num_racks=8, oversubscription=2.0, topology="fat_tree", racks_per_domain=4
+        )
+        return ClusterSpec(num_nodes=16, gpus_per_node=2, fabric=fabric)
+
+    def test_multi_rack_domains_insert_domain_phase_and_pod_tier(self):
+        breakdown = CollectiveCostModel(self._pod_cluster()).hierarchical_breakdown(1e9)
+        names = [phase.name for phase in breakdown.phases]
+        assert names == [
+            "rack_reduce_scatter",
+            "domain_allreduce",
+            "spine_allreduce",
+            "rack_broadcast",
+        ]
+        assert [tier.tier for tier in breakdown.tiers] == ["tor", "pod", "spine"]
+        domain = breakdown.phase("domain_allreduce")
+        assert domain.steps == 2 * (4 - 1)
+        spine = breakdown.phase("spine_allreduce")
+        assert spine.steps == 2 * (2 - 1)  # over num_domains, not num_racks
+
+    def test_pod_tier_conserves_bits(self):
+        breakdown = CollectiveCostModel(self._pod_cluster()).hierarchical_breakdown(1e9)
+        for tier in breakdown.tiers:
+            assert not tier.aggregates
+            assert tier.bits_in == pytest.approx(tier.bits_out)
+            assert tier.aggregated_bits == pytest.approx(0.0)
+
+    def test_domain_phase_runs_below_the_oversubscribed_core(self):
+        """Only the spine phase pays oversubscription: the domain phase's
+        per-step cost is full-rate, so raising oversubscription moves
+        spine_allreduce but leaves domain_allreduce untouched."""
+        cheap_fabric = FabricSpec(
+            num_racks=8, oversubscription=1.0 + 1e-9, topology="fat_tree", racks_per_domain=4
+        )
+        pricey_fabric = FabricSpec(
+            num_racks=8, oversubscription=8.0, topology="fat_tree", racks_per_domain=4
+        )
+        cluster = ClusterSpec(num_nodes=16, gpus_per_node=2)
+        payload = 1e9
+        cheap = CollectiveCostModel(cluster.with_fabric(cheap_fabric)).hierarchical_breakdown(payload)
+        pricey = CollectiveCostModel(cluster.with_fabric(pricey_fabric)).hierarchical_breakdown(payload)
+        assert pricey.phase("spine_allreduce").seconds > cheap.phase("spine_allreduce").seconds
+        assert pricey.phase("domain_allreduce").seconds == pytest.approx(
+            cheap.phase("domain_allreduce").seconds
+        )
+
+    def test_domains_cut_core_traffic(self):
+        """Grouping 8 racks into 2 pods sends less through the core than 8
+        independent racks (the spine ring shrinks from 8 to 2 members)."""
+        pod = CollectiveCostModel(self._pod_cluster()).hierarchical_breakdown(1e9)
+        flat_fabric = FabricSpec(num_racks=8, oversubscription=2.0)
+        flat = CollectiveCostModel(
+            ClusterSpec(num_nodes=16, gpus_per_node=2, fabric=flat_fabric)
+        ).hierarchical_breakdown(1e9)
+        assert pod.tier("spine").bits_in < flat.tier("spine").bits_in
+
+    def test_fleet_scale_pricing_is_fast_and_finite(self):
+        import time
+
+        from repro.simulator.cluster import fat_tree_cluster
+
+        model = CollectiveCostModel(fat_tree_cluster(128, gpus_per_node=2))
+        start = time.perf_counter()
+        cost = model.ring_allreduce(8e9)
+        assert time.perf_counter() - start < 0.1
+        assert cost.seconds > 0
+        assert cost.bits_on_bottleneck > 0
