@@ -70,6 +70,7 @@ from repro.simulator.cluster import (  # noqa: E402
     WorkerClass,
     WorkerProfile,
     fat_tree_cluster,
+    multirack_cluster,
     paper_testbed,
 )
 from repro.training.workloads import bert_large_wikitext, vgg19_tinyimagenet  # noqa: E402
@@ -306,6 +307,52 @@ def bench_fleet_pricing(*, repeats: int) -> dict:
 
 
 # --------------------------------------------------------------------------- #
+# 5. Policy-enabled scenario pricing (chaos smoke)
+# --------------------------------------------------------------------------- #
+def bench_chaos_smoke(*, num_rounds: int, repeats: int) -> dict:
+    """One policy-governed scenario run on a 64-worker fabric.
+
+    The recovery engine's full pipeline -- churn re-draws per retry
+    attempt, straggler identification for the drop rule, deadline clamping
+    and the stale budget -- priced end to end through
+    ``session.throughput``.  Churn makes most rounds a *distinct* effective
+    cluster, so this is the recovery layer's pricing hot path, not a
+    memo replay; the ``chaos_smoke.qps`` floor in ``baseline.json`` keeps
+    a full 50-round chaos run under a second on one core.
+    """
+    cluster = multirack_cluster(4, nodes_per_rack=8, gpus_per_node=2, oversubscription=2.0)
+    workload = bert_large_wikitext()
+    spec = "thc(q=4, rot=partial, agg=sat)"
+    scenario = "slowdown(w=3, x=8)@5..25 + churn(p=0.05, x=4)@10..40"
+    policy = "timeout(k=2) + retry(max=1, backoff=0.1) + drop(max_workers=2) + stale(max=2)"
+
+    def price_once():
+        # A fresh session per run keeps the sweep memo out of the measurement.
+        session = ExperimentSession(cluster=cluster)
+        return session.throughput(
+            spec, workload, scenario=scenario, num_rounds=num_rounds, policy=policy
+        )
+
+    estimate = price_once()
+    metrics = estimate.scenario_metrics
+    samples = _timed(price_once, repeats=repeats)
+    price_seconds = _median(samples)
+    return {
+        "spec": spec,
+        "scenario": scenario,
+        "policy": estimate.policy,
+        "world_size": cluster.world_size,
+        "num_rounds": num_rounds,
+        "timed_out_rounds": metrics.timed_out_rounds,
+        "retries": metrics.retries,
+        "dropped_worker_rounds": metrics.dropped_worker_rounds,
+        "stale_rounds": metrics.stale_rounds,
+        "price_seconds": price_seconds,
+        "qps": 1.0 / price_seconds,
+    }
+
+
+# --------------------------------------------------------------------------- #
 def run_harness(*, quick: bool) -> dict:
     scale = {
         # Full scale: the acceptance microbenchmark (16 workers, d = 2^20)
@@ -369,6 +416,18 @@ def run_harness(*, quick: bool) -> dict:
     print(
         "[perf]   {world_size:,} workers priced in {price_seconds:.4f}s "
         "({qps:.0f} pricings/s)".format(**benches["fleet_pricing"])
+    )
+
+    print("[perf] chaos smoke (policy-enabled 64-worker scenario run)...")
+    benches["chaos_smoke"] = bench_chaos_smoke(
+        num_rounds=50, repeats=scale["repeats"]
+    )
+    print(
+        "[perf]   {num_rounds} rounds priced in {price_seconds:.4f}s "
+        "({qps:.0f} runs/s; {timed_out_rounds} timeouts, {retries} retries, "
+        "{dropped_worker_rounds} drops, {stale_rounds} stale)".format(
+            **benches["chaos_smoke"]
+        )
     )
 
     print("[perf] advisor service load (closed + open loop)...")

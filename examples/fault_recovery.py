@@ -1,0 +1,85 @@
+"""Fault recovery: policies tame the tail, and an online controller adapts.
+
+The scenario engine (``examples/fault_tolerance.py``) shows *what faults
+cost* when the system simply waits.  This example shows the system
+*responding*, in three acts:
+
+1. **Recovery policies** -- the same straggler + churn story priced under
+   composable recovery policies (``timeout + retry + drop + stale``).
+   The deadline caps the tail, retries clear transient churn, and partial
+   aggregation excuses the straggler at an explicit variance price; the
+   recovery counters on ``ScenarioMetrics`` itemize every intervention.
+2. **Monte Carlo scenario fleets** -- one scenario run is an anecdote.
+   A seeded distribution jitters severities and windows (fresh churn
+   seeds per draw), and the fleet prices every scheme x policy grid point
+   on the *same* paired draws, reporting 95 % confidence intervals on
+   p95/p99 and fixed-budget completion time -- so a policy ranking is a
+   statistical claim, not a lucky sample.
+3. **The adaptive controller** -- switch-memory pressure inverts the
+   ``agg=switch`` / ``agg=sat`` THC transports mid-run; the online
+   controller notices the windowed p95 degrading, re-prices the
+   candidates on the effective cluster, switches, and switches back when
+   the pressure lifts -- beating every static choice on time-to-accuracy.
+
+Run with:  python examples/fault_recovery.py
+"""
+
+from repro.api import ExperimentSession
+from repro.experiments.adaptive import render_adaptive_tta, run_adaptive_tta
+from repro.experiments.scenario_fleet import (
+    default_fleet_distribution,
+    render_scenario_fleet,
+    run_scenario_fleet,
+)
+from repro.training.workloads import bert_large_wikitext
+
+SPEC = "thc(q=4, rot=partial, agg=sat)"
+SCENARIO = "slowdown(w=1, x=8)@10..40 + churn(p=0.1, x=4)@10..40"
+
+POLICIES = (
+    "none",
+    "timeout(k=2)",
+    "timeout(k=2) + drop(max_workers=1)",
+    "timeout(k=3) + retry(max=2, backoff=0.1) + stale(max=2)",
+)
+
+
+def policies_tame_the_tail() -> None:
+    """One scenario, four responses: the recovery counters tell the story."""
+    session = ExperimentSession()
+    workload = bert_large_wikitext()
+    print(f"Scenario '{SCENARIO}' under {SPEC}:")
+    for policy in POLICIES:
+        estimate = session.throughput(
+            SPEC, workload, scenario=SCENARIO, num_rounds=50, policy=policy
+        )
+        m = estimate.scenario_metrics
+        print(
+            f"  {policy:48s} p99={m.p99_round_seconds:.3f}s "
+            f"(timeouts {m.timed_out_rounds}, retries {m.retries}, "
+            f"drops {m.dropped_worker_rounds}, stale {m.stale_rounds})"
+        )
+    print()
+
+
+def fleet_with_confidence_intervals() -> None:
+    """A small Monte Carlo fleet: CI-separated policy rankings."""
+    points = run_scenario_fleet(
+        schemes=(SPEC,),
+        distribution=default_fleet_distribution(),
+        num_samples=12,  # demo-sized; the acceptance fleet uses 32+
+        executor="auto",
+    )
+    print(render_scenario_fleet(points))
+    print()
+
+
+def adaptive_beats_every_static() -> None:
+    """The golden-pinned demonstration: adapt online, win on TTA."""
+    print(render_adaptive_tta(run_adaptive_tta()))
+
+
+if __name__ == "__main__":
+    policies_tame_the_tail()
+    fleet_with_confidence_intervals()
+    adaptive_beats_every_static()

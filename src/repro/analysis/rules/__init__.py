@@ -13,4 +13,5 @@ from repro.analysis.rules import (  # noqa: F401  (registration side effects)
     rpl004_executor,
     rpl005_async,
     rpl006_registry,
+    rpl007_swallowed_faults,
 )

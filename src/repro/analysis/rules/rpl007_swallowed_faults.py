@@ -1,0 +1,74 @@
+"""RPL007: no swallowed faults.
+
+The recovery layer (PR 9) exists because faults must be *handled*: retried,
+degraded around, counted, surfaced.  A broad ``except Exception: pass`` (or
+``except: continue``) in a recovery, retry, or service path silently
+converts a real fault into nothing -- no log line, no counter, no re-raise
+-- which is exactly the failure mode the recovery counters were added to
+make visible.  This rule flags exception handlers that
+
+* catch broadly (a bare ``except:``, ``Exception``, or ``BaseException``,
+  alone or anywhere in a tuple), and
+* do nothing at all: a body consisting solely of ``pass`` / ``continue`` /
+  ``break`` (docstrings and ``...`` placeholders included).
+
+Handlers that log, count, re-raise, return a fallback, or catch a *narrow*
+exception type (a deliberate, named decision) never trip it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import rule
+
+#: Exception names whose interception counts as "broad".
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler intercepts every fault (bare / Exception / tuple)."""
+    if handler.type is None:  # bare `except:`
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for entry in types:
+        if isinstance(entry, ast.Name) and entry.id in _BROAD_NAMES:
+            return True
+        if isinstance(entry, ast.Attribute) and entry.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_noop(statement: ast.stmt) -> bool:
+    """Pass/continue/break, or an expression-statement constant (docstring, ...)."""
+    if isinstance(statement, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    return isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Constant)
+
+
+@rule(
+    "RPL007",
+    name="no-swallowed-faults",
+    invariant=(
+        "broad exception handlers never silently discard the fault: they log, "
+        "count, re-raise, or degrade explicitly instead of pass/continue"
+    ),
+    default_paths=("src/repro",),
+)
+class NoSwallowedFaultsRule:
+    def check(self, tree: ast.AST, ctx) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if all(_is_noop(statement) for statement in node.body):
+                caught = "bare except" if node.type is None else "except Exception"
+                yield ctx.finding(
+                    node,
+                    f"{caught} swallows the fault without logging, counting, or "
+                    "re-raising; handle it explicitly (log + degrade, re-raise, "
+                    "or catch the narrow exception you actually expect)",
+                )

@@ -27,6 +27,11 @@ from repro.simulator.pipeline import (
     serialized_schedule,
     simulate_schedule,
 )
+from repro.simulator.recovery import (
+    RecoveryPolicy,
+    policy as as_policy,
+    run_recovered_scenario,
+)
 from repro.simulator.scenario import (
     Scenario,
     ScenarioMetrics,
@@ -94,6 +99,10 @@ class ThroughputEstimate:
             Under a scenario, ``round_seconds`` is the mean round time and
             ``rounds_per_second`` the run-level throughput
             (``num_rounds / total_seconds``).
+        policy: Canonical spec of the recovery policy governing the scenario
+            run, or None when no (non-empty) policy was given.  With a
+            policy the scenario metrics carry the recovery counters
+            (timed_out_rounds, retries, dropped_worker_rounds, stale_rounds).
     """
 
     scheme_name: str
@@ -105,6 +114,7 @@ class ThroughputEstimate:
     pipeline: PipelineResult | None = None
     scenario: str | None = None
     scenario_metrics: ScenarioMetrics | None = None
+    policy: str | None = None
 
     def compression_fraction(self) -> float:
         """Fraction of the round spent in compression kernels (Table 6 metric)."""
@@ -124,6 +134,7 @@ def estimate_throughput(
     overlap_fraction: float | None = None,
     scenario: "Scenario | str | None" = None,
     num_rounds: int | None = None,
+    policy: "RecoveryPolicy | str | None" = None,
 ) -> ThroughputEstimate:
     """Price one training round of ``scheme`` on ``workload`` at paper scale.
 
@@ -148,6 +159,13 @@ def estimate_throughput(
     excess cost, recovery).  ``num_rounds`` defaults to the scenario's
     horizon plus a small recovery margin.  A scenario with no events is
     bit-exact with the static estimate.
+
+    ``policy`` (a :class:`~repro.simulator.recovery.RecoveryPolicy` or a
+    spec string like ``"timeout(k=3) + retry(max=2, backoff=0.1)"``) makes
+    the scenario run *react* to its faults: degraded rounds are retried,
+    stragglers dropped, and over-deadline rounds aborted, with the recovery
+    counters reported on the scenario metrics.  The empty policy
+    (``policy("")``/``"none"``) is bit-exact with the plain scenario path.
     """
     if num_buckets < 1:
         raise ValueError("num_buckets must be >= 1")
@@ -157,12 +175,22 @@ def estimate_throughput(
         raise ValueError("num_rounds only applies to scenario runs; pass scenario=")
     if num_rounds is not None and num_rounds < 1:
         raise ValueError("num_rounds must be >= 1")
+    policy_obj = as_policy(policy)
+    if not policy_obj.is_empty and scenario is None:
+        raise ValueError(
+            "policy only applies to scenario runs (there is nothing to recover "
+            "from on a static cluster); pass scenario="
+        )
     ctx = ctx or paper_context(cluster)
     scheme = configure_for_workload(scheme, workload)
     compute_seconds = workload.compute_seconds_for(training_precision)
     base_cluster = ctx.backend.cluster
 
-    def price(cluster_spec: ClusterSpec, price_ctx: SimContext):
+    def price(
+        cluster_spec: ClusterSpec,
+        price_ctx: SimContext,
+        deadline_seconds: float | None = None,
+    ):
         if overlap_fraction is not None:
             round_cost = scheme.estimate_costs(workload.paper_num_coordinates, price_ctx)
             schedule = legacy_overlap_schedule(
@@ -194,7 +222,9 @@ def estimate_throughput(
                         for b in bucket_costs
                     ],
                 )
-        return round_cost, len(schedule), simulate_schedule(schedule, cluster_spec)
+        return round_cost, len(schedule), simulate_schedule(
+            schedule, cluster_spec, deadline_seconds=deadline_seconds
+        )
 
     cost, scheduled_buckets, result = price(base_cluster, ctx)
     round_seconds = result.makespan_seconds
@@ -215,12 +245,10 @@ def estimate_throughput(
             rounds_per_second = 1.0 / round_seconds
         else:
 
-            def price_effective(effective: ClusterSpec) -> float:
-                if effective is base_cluster:
-                    return round_seconds
+            def ctx_for(effective: ClusterSpec) -> SimContext:
                 # No scenario event changes the GPU model, so the caller's
                 # kernel cost model (custom factors included) carries over.
-                effective_ctx = SimContext(
+                return SimContext(
                     backend=CollectiveBackend(effective),
                     kernels=(
                         ctx.kernels
@@ -230,12 +258,38 @@ def estimate_throughput(
                     rng=np.random.default_rng(0),
                     kernel_backend=ctx.kernel_backend,
                 )
-                return price(effective, effective_ctx)[2].makespan_seconds
 
-            run = run_scenario(base_cluster, scenario_obj, rounds, price_effective)
-            metrics = run.metrics
-            rounds_per_second = run.metrics.num_rounds / run.metrics.total_seconds
-            round_seconds = run.metrics.mean_round_seconds
+            if policy_obj.is_empty:
+
+                def price_effective(effective: ClusterSpec) -> float:
+                    if effective is base_cluster:
+                        return round_seconds
+                    return price(effective, ctx_for(effective))[2].makespan_seconds
+
+                run = run_scenario(base_cluster, scenario_obj, rounds, price_effective)
+                metrics = run.metrics
+            else:
+
+                def price_recovered(
+                    effective: ClusterSpec, deadline: float | None
+                ) -> tuple[float, bool]:
+                    effective_ctx = (
+                        ctx if effective is base_cluster else ctx_for(effective)
+                    )
+                    result = price(effective, effective_ctx, deadline)[2]
+                    return result.makespan_seconds, result.aborted
+
+                run = run_recovered_scenario(
+                    base_cluster,
+                    scenario_obj,
+                    policy_obj,
+                    rounds,
+                    price_recovered,
+                    nominal_seconds=round_seconds,
+                )
+                metrics = run.metrics
+            rounds_per_second = metrics.num_rounds / metrics.total_seconds
+            round_seconds = metrics.mean_round_seconds
 
     return ThroughputEstimate(
         scheme_name=scheme.name,
@@ -247,6 +301,7 @@ def estimate_throughput(
         pipeline=result,
         scenario=scenario_obj.spec() if scenario_obj is not None else None,
         scenario_metrics=metrics,
+        policy=None if policy_obj.is_empty else policy_obj.spec(),
     )
 
 

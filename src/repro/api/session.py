@@ -54,6 +54,7 @@ from repro.core.utility import UtilityReport, compute_utility
 from repro.simulator.cluster import ClusterSpec, paper_testbed
 from repro.simulator.gpu import Precision
 from repro.simulator.kernel_cost import KernelCostModel
+from repro.simulator.recovery import RecoveryPolicy
 from repro.simulator.scenario import Scenario, scenario as as_scenario
 from repro.simulator.timeline import RoundTimeline
 from repro.topology.fabric import FabricSpec
@@ -218,6 +219,7 @@ class ExperimentSession:
         overlap_fraction: float | None = None,
         scenario: Scenario | str | None = None,
         num_rounds: int | None = None,
+        policy: "RecoveryPolicy | str | None" = None,
     ) -> ThroughputEstimate:
         """Price one training round of a scheme on a workload at paper scale.
 
@@ -227,6 +229,10 @@ class ExperimentSession:
         (a :class:`~repro.simulator.scenario.Scenario` or spec string such as
         ``"flap(rack=1)@20..25 + churn(p=0.05)"``) prices a ``num_rounds``
         run under dynamic events and attaches per-scenario tail metrics.
+        ``policy`` (a :class:`~repro.simulator.recovery.RecoveryPolicy` or
+        spec string such as ``"timeout(k=3) + drop(max_workers=1)"``) makes
+        the scenario run recover from its faults; the empty policy is
+        bit-exact with the plain scenario path.
         """
         scheme = self.scheme(spec, error_feedback=error_feedback)
         return estimate_throughput(
@@ -238,6 +244,7 @@ class ExperimentSession:
             overlap_fraction=overlap_fraction,
             scenario=scenario,
             num_rounds=num_rounds,
+            policy=policy,
         )
 
     def vnmse(
@@ -281,6 +288,7 @@ class ExperimentSession:
         cluster: ClusterSpec | None = None,
         num_buckets: int = 1,
         scenario: Scenario | str | None = None,
+        policy: "RecoveryPolicy | str | None" = None,
     ) -> EndToEndResult:
         """Train a scheme end-to-end and return its time-to-accuracy result.
 
@@ -288,6 +296,9 @@ class ExperimentSession:
         pipeline simulator instead of serializing the phases.  ``scenario``
         runs the training under dynamic events: per-round effective-cluster
         pricing, elastic membership, and tail behaviour in the history.
+        ``policy`` layers fault recovery over the scenario: timed-out rounds
+        abort (their updates skipped or served stale), degraded rounds
+        retry, and stragglers are dropped from the aggregation.
         """
         return run_end_to_end(
             spec,
@@ -301,6 +312,7 @@ class ExperimentSession:
             num_buckets=num_buckets,
             kernel_backend=self.backend,
             scenario=scenario,
+            policy=policy,
         )
 
     # ------------------------------------------------------------------ #

@@ -22,7 +22,9 @@ from repro.core.early_stopping import EarlyStopping
 from repro.core.tta import TTACurve
 from repro.core.utility import UtilityReport
 from repro.simulator.cluster import ClusterSpec, paper_testbed
+from repro.simulator.recovery import RecoveryPolicy
 from repro.simulator.scenario import Scenario
+from repro.training.adaptive import AdaptiveController
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.ddp import DDPTrainer, TrainingHistory
 from repro.training.models import MLPClassifier
@@ -96,8 +98,15 @@ def build_trainer(
     num_buckets: int = 1,
     kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
     scenario: Scenario | str | None = None,
+    policy: RecoveryPolicy | str | None = None,
+    controller: AdaptiveController | None = None,
 ) -> DDPTrainer:
-    """Assemble dataset, model, optimizer, and trainer for one scheme."""
+    """Assemble dataset, model, optimizer, and trainer for one scheme.
+
+    When a ``controller`` is given, ``scheme_name`` must be one of its
+    candidate specs; the candidate scheme pairs are built here so the
+    trainer can switch between them mid-run.
+    """
     cluster = cluster or paper_testbed()
     dataset = SyntheticTeacherDataset(
         input_dim=workload.sim_input_dim,
@@ -117,6 +126,11 @@ def build_trainer(
         base_lr=workload.sim_base_lr, warmup_rounds=20, total_rounds=total_rounds_hint
     )
     optimizer = SGD(schedule, momentum=0.9)
+    candidate_schemes = None
+    if controller is not None:
+        candidate_schemes = {
+            spec: build_scheme_pair(spec, workload) for spec in controller.candidates
+        }
     return DDPTrainer(
         model=model,
         dataset=dataset,
@@ -130,6 +144,10 @@ def build_trainer(
         num_buckets=num_buckets,
         kernel_backend=kernel_backend,
         scenario=scenario,
+        policy=policy,
+        controller=controller,
+        candidate_schemes=candidate_schemes,
+        active_spec=scheme_name if controller is not None else None,
     )
 
 
@@ -147,6 +165,8 @@ def run_end_to_end(
     num_buckets: int = 1,
     kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
     scenario: Scenario | str | None = None,
+    policy: RecoveryPolicy | str | None = None,
+    controller: AdaptiveController | None = None,
 ) -> EndToEndResult:
     """Train one scheme on one workload and return its TTA curve.
 
@@ -174,6 +194,16 @@ def run_end_to_end(
             (:class:`~repro.simulator.scenario.Scenario` or spec string):
             rounds are priced on the scenario's per-round effective cluster
             and membership events change the contributing workers.
+        policy: Optional fault-recovery policy
+            (:class:`~repro.simulator.recovery.RecoveryPolicy` or spec
+            string): round deadlines, retries, straggler drops, and
+            stale/skip degradation applied to the scenario's rounds.
+            Requires ``scenario``; an empty policy is bit-exact with the
+            plain scenario path.
+        controller: Optional
+            :class:`~repro.training.adaptive.AdaptiveController` switching
+            the active scheme online; ``scheme_name`` must then be one of
+            its candidate specs.
     """
     trainer = build_trainer(
         scheme_name,
@@ -186,6 +216,8 @@ def run_end_to_end(
         num_buckets=num_buckets,
         kernel_backend=kernel_backend,
         scenario=scenario,
+        policy=policy,
+        controller=controller,
     )
     if early_stopping is None:
         early_stopping = EarlyStopping(

@@ -22,12 +22,14 @@ EXPERIMENTS.md document records the measured values next to the paper's.
 """
 
 from repro.experiments import (  # noqa: F401
+    adaptive,
     common,
     faults,
     figure1,
     figure2,
     figure3,
     fleet,
+    scenario_fleet,
     table1,
     table2,
     table4,
@@ -39,9 +41,11 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "adaptive",
     "common",
     "faults",
     "fleet",
+    "scenario_fleet",
     "table1",
     "table2",
     "table4",

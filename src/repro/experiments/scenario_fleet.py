@@ -1,0 +1,390 @@
+"""Monte Carlo scenario fleets: CI-backed policy rankings, not single runs.
+
+A single scenario run answers "what does *this* fault trace cost?" -- but a
+deployment question ("which recovery policy should this cluster run?") is a
+question about a *distribution* of fault traces: stragglers of varying
+severity, windows that land at different times, churn that reseeds every
+run.  This driver prices a scheme x policy grid over ``num_samples`` seeded
+draws from a :class:`ScenarioDistribution` -- process-parallel via
+:mod:`repro.api.executors`, each draw an independent
+:func:`~repro.api.measures.estimate_throughput` pricing run -- and reports
+normal-approximation confidence intervals on the tail round times and the
+time-to-finish, so two policies are only called differently ranked when
+their intervals actually separate.
+
+The pricing layer never trains, so "TTA" here is the fixed-round-budget
+completion time: the functional trajectory is fixed by the scheme, hence
+reaching round ``N`` sooner *is* reaching the accuracy the scheme attains
+by round ``N`` sooner.  Policies that alter the aggregate itself (``drop``,
+stale application) additionally report their recovery counters so the
+accuracy cost is visible next to the time savings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.executors import resolve_executor, run_tasks
+from repro.api.measures import estimate_throughput
+from repro.core.reporting import format_float_table
+from repro.simulator.cluster import ClusterSpec
+from repro.simulator.scenario import (
+    Scenario,
+    ScenarioEvent,
+    SwitchMemoryPressureEvent,
+    parse_scenario,
+)
+from repro.training.workloads import WorkloadSpec, bert_large_wikitext
+
+#: Fleet defaults: the ``table6_faulty`` scheme trio priced under the
+#: shipped straggler + churn mix.
+DEFAULT_FLEET_SCHEMES = ("thc(q=4, rot=partial, agg=sat)", "powersgd(r=4)")
+
+#: The policies the default fleet ranks: do nothing, abort-and-drop the
+#: straggler, or retry with backoff.
+DEFAULT_FLEET_POLICIES = (
+    "none",
+    "timeout(k=2) + drop(max_workers=1)",
+    "timeout(k=3) + retry(max=2, backoff=0.1)",
+)
+
+#: Draws per grid point.  32 is the floor at which the normal-approximation
+#: intervals are meaningful; more draws narrow them as 1/sqrt(n).
+DEFAULT_NUM_SAMPLES = 32
+
+#: Rounds priced per draw (covers the jittered fault windows).
+DEFAULT_FLEET_NUM_ROUNDS = 50
+
+#: z-score of the reported two-sided 95 % confidence intervals.
+Z_95 = 1.96
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a two-sided 95 % normal-approximation interval.
+
+    Attributes:
+        mean: Sample mean.
+        half_width: ``Z_95 * std / sqrt(n)`` (0 for a single sample).
+        n: Number of samples behind the estimate.
+    """
+
+    mean: float
+    half_width: float
+    n: int
+
+    @classmethod
+    def from_samples(cls, values: list[float] | np.ndarray) -> "ConfidenceInterval":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("a confidence interval needs at least one sample")
+        half = 0.0
+        if values.size > 1:
+            half = float(Z_95 * values.std(ddof=1) / np.sqrt(values.size))
+        return cls(mean=float(values.mean()), half_width=half, n=int(values.size))
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def separated_from(self, other: "ConfidenceInterval") -> bool:
+        """Whether the two intervals do not overlap (a defensible ranking)."""
+        return self.high < other.low or other.high < self.low
+
+
+@dataclass(frozen=True)
+class ScenarioDistribution:
+    """A seeded family of scenarios jittered around a template spec.
+
+    Draw ``i`` reparses ``base_spec`` with a draw-specific scenario seed (so
+    stochastic events like churn resample) and perturbs every event:
+    severity factors are scaled by a lognormal factor, and event windows
+    shift uniformly in time (length preserved).  Draws are deterministic
+    given ``(seed, i)`` -- the fleet is reproducible and its points can be
+    priced in any order on any executor.
+
+    Attributes:
+        base_spec: Scenario spec string the family is centred on.
+        seed: Root seed of the family.
+        severity_jitter: Sigma of the lognormal factor applied to each
+            event's severity (0 disables severity jitter).
+        window_jitter: Maximum rounds (inclusive) an event window shifts in
+            either direction (0 disables window jitter).
+    """
+
+    base_spec: str
+    seed: int = 0
+    severity_jitter: float = 0.25
+    window_jitter: int = 5
+
+    def __post_init__(self) -> None:
+        parse_scenario(self.base_spec)  # fail fast on a bad template
+        if self.severity_jitter < 0:
+            raise ValueError("severity_jitter must be non-negative")
+        if self.window_jitter < 0:
+            raise ValueError("window_jitter must be non-negative")
+
+    def _jitter_event(
+        self, event: ScenarioEvent, rng: np.random.Generator
+    ) -> ScenarioEvent:
+        changes: dict = {}
+        if self.severity_jitter > 0 and hasattr(event, "factor"):
+            factor = float(event.factor) * float(
+                np.exp(rng.normal(0.0, self.severity_jitter))
+            )
+            if isinstance(event, SwitchMemoryPressureEvent):
+                # Memory-pressure factors are fractions of nominal SRAM.
+                factor = min(1.0, max(1e-6, factor))
+            else:
+                # Slowdown-style severities are multiples of nominal speed.
+                factor = max(1.0, factor)
+            changes["factor"] = factor
+        if self.window_jitter > 0:
+            shift = int(rng.integers(-self.window_jitter, self.window_jitter + 1))
+            start = max(0, event.start_round + shift)
+            changes["start_round"] = start
+            if event.until_round is not None:
+                changes["until_round"] = start + (event.until_round - event.start_round)
+        return dataclasses.replace(event, **changes) if changes else event
+
+    def draw(self, index: int) -> Scenario:
+        """The ``index``-th scenario of the family (deterministic)."""
+        rng = np.random.default_rng((self.seed, index))
+        base = parse_scenario(
+            self.base_spec,
+            seed=int(rng.integers(2**31)),
+            name=f"draw{index}",
+        )
+        events = tuple(self._jitter_event(event, rng) for event in base.events)
+        return dataclasses.replace(base, events=events)
+
+    def draws(self, count: int) -> list[Scenario]:
+        """The first ``count`` scenarios of the family."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.draw(index) for index in range(count)]
+
+
+def default_fleet_distribution() -> ScenarioDistribution:
+    """Jittered straggler window plus churn, the shipped fault mix."""
+    return ScenarioDistribution(
+        "slowdown(w=1, x=8)@10..40 + churn(p=0.1, x=4)@10..40"
+    )
+
+
+@dataclass(frozen=True)
+class _FleetTask:
+    """One picklable pricing task: (scheme, policy) under one drawn scenario."""
+
+    scheme_spec: str
+    policy_spec: str
+    scenario: Scenario
+    workload: WorkloadSpec
+    cluster: ClusterSpec | None
+    num_rounds: int
+
+
+def _price_fleet_task(task: _FleetTask) -> dict:
+    """Price one fleet point (module-level so the process pool can pickle it)."""
+    from repro.compression.registry import make_scheme
+
+    estimate = estimate_throughput(
+        make_scheme(task.scheme_spec),
+        task.workload,
+        cluster=task.cluster,
+        scenario=task.scenario,
+        num_rounds=task.num_rounds,
+        policy=task.policy_spec,
+    )
+    metrics = estimate.scenario_metrics
+    return {
+        "p95_round_seconds": metrics.p95_round_seconds,
+        "p99_round_seconds": metrics.p99_round_seconds,
+        "tta_seconds": task.num_rounds / estimate.rounds_per_second,
+        "timed_out_rounds": metrics.timed_out_rounds,
+        "retries": metrics.retries,
+        "dropped_worker_rounds": metrics.dropped_worker_rounds,
+        "stale_rounds": metrics.stale_rounds,
+    }
+
+
+@dataclass(frozen=True)
+class FleetPoint:
+    """Aggregated fleet statistics for one (scheme, policy) grid point.
+
+    Attributes:
+        p95 / p99: Confidence intervals on the per-draw tail round times.
+        tta: Confidence interval on the fixed-budget completion time (the
+            ranking metric).
+        mean_counters: Per-draw means of the recovery counters, keyed by
+            counter name -- the accuracy-relevant cost of the policy.
+    """
+
+    scheme_spec: str
+    policy_spec: str
+    num_samples: int
+    p95: ConfidenceInterval
+    p99: ConfidenceInterval
+    tta: ConfidenceInterval
+    mean_counters: dict[str, float] = field(default_factory=dict)
+
+
+def run_scenario_fleet(
+    schemes: tuple[str, ...] | list[str] = DEFAULT_FLEET_SCHEMES,
+    policies: tuple[str, ...] | list[str] = DEFAULT_FLEET_POLICIES,
+    distribution: ScenarioDistribution | None = None,
+    workload: WorkloadSpec | None = None,
+    cluster: ClusterSpec | None = None,
+    *,
+    num_samples: int = DEFAULT_NUM_SAMPLES,
+    num_rounds: int = DEFAULT_FLEET_NUM_ROUNDS,
+    executor: str = "auto",
+    max_workers: int | None = None,
+) -> list[FleetPoint]:
+    """Price the scheme x policy grid over the scenario distribution.
+
+    Every grid point is priced on the *same* ``num_samples`` drawn
+    scenarios (paired samples: ranking differences come from the policies,
+    not from unlucky draws).  Points are returned scheme-major in the order
+    given, policies in the order given.
+
+    Args:
+        executor: ``repro.api.executors`` strategy; ``"auto"`` resolves to
+            the process pool on multi-core machines (the draws are
+            independent CPU-bound pricing runs).
+        max_workers: Worker cap for the parallel executors.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    distribution = distribution or default_fleet_distribution()
+    workload = workload or bert_large_wikitext()
+    scenarios = distribution.draws(num_samples)
+    tasks = [
+        _FleetTask(
+            scheme_spec=scheme,
+            policy_spec=policy,
+            scenario=scenario,
+            workload=workload,
+            cluster=cluster,
+            num_rounds=num_rounds,
+        )
+        for scheme in schemes
+        for policy in policies
+        for scenario in scenarios
+    ]
+    strategy = resolve_executor(
+        executor, num_tasks=len(tasks), metric_is_callable=False, metric="tta"
+    )
+    samples = run_tasks(tasks, _price_fleet_task, executor=strategy, max_workers=max_workers)
+
+    points = []
+    cursor = 0
+    counter_names = ("timed_out_rounds", "retries", "dropped_worker_rounds", "stale_rounds")
+    for scheme in schemes:
+        for policy in policies:
+            chunk = samples[cursor : cursor + num_samples]
+            cursor += num_samples
+            points.append(
+                FleetPoint(
+                    scheme_spec=scheme,
+                    policy_spec=policy,
+                    num_samples=num_samples,
+                    p95=ConfidenceInterval.from_samples(
+                        [s["p95_round_seconds"] for s in chunk]
+                    ),
+                    p99=ConfidenceInterval.from_samples(
+                        [s["p99_round_seconds"] for s in chunk]
+                    ),
+                    tta=ConfidenceInterval.from_samples(
+                        [s["tta_seconds"] for s in chunk]
+                    ),
+                    mean_counters={
+                        name: float(np.mean([s[name] for s in chunk]))
+                        for name in counter_names
+                    },
+                )
+            )
+    return points
+
+
+def policy_rankings(
+    points: list[FleetPoint],
+) -> dict[str, list[tuple[str, ConfidenceInterval, bool]]]:
+    """Per-scheme policy ranking by mean fixed-budget completion time.
+
+    Returns, per scheme, the policies ordered fastest first as
+    ``(policy_spec, tta_interval, separated)`` tuples, where ``separated``
+    says the policy's interval does not overlap the *next* policy's --
+    i.e. the adjacent ranking step is statistically defensible at the
+    fleet's sample size.  (The last entry trivially reports True.)
+    """
+    by_scheme: dict[str, list[FleetPoint]] = {}
+    for point in points:
+        by_scheme.setdefault(point.scheme_spec, []).append(point)
+    rankings: dict[str, list[tuple[str, ConfidenceInterval, bool]]] = {}
+    for scheme, group in by_scheme.items():
+        ordered = sorted(group, key=lambda point: point.tta.mean)
+        entries = []
+        for position, point in enumerate(ordered):
+            separated = (
+                point.tta.separated_from(ordered[position + 1].tta)
+                if position + 1 < len(ordered)
+                else True
+            )
+            entries.append((point.policy_spec, point.tta, separated))
+        rankings[scheme] = entries
+    return rankings
+
+
+def render_scenario_fleet(points: list[FleetPoint] | None = None) -> str:
+    """The fleet grid and its CI-separated rankings for the terminal."""
+    points = points if points is not None else run_scenario_fleet()
+    header = [
+        "Scheme",
+        "Policy",
+        "n",
+        "p95 (s)",
+        "p99 (s)",
+        "TTA (s)",
+        "drops",
+        "retries",
+        "timeouts",
+    ]
+    body = []
+    for point in points:
+        body.append(
+            [
+                point.scheme_spec,
+                point.policy_spec,
+                str(point.num_samples),
+                f"{point.p95.mean:.3f}±{point.p95.half_width:.3f}",
+                f"{point.p99.mean:.3f}±{point.p99.half_width:.3f}",
+                f"{point.tta.mean:.2f}±{point.tta.half_width:.2f}",
+                f"{point.mean_counters.get('dropped_worker_rounds', 0.0):.1f}",
+                f"{point.mean_counters.get('retries', 0.0):.1f}",
+                f"{point.mean_counters.get('timed_out_rounds', 0.0):.1f}",
+            ]
+        )
+    table = format_float_table(
+        header,
+        body,
+        title="Monte Carlo scenario fleet: policy grid with 95% CIs",
+    )
+    lines = [table]
+    for scheme, entries in policy_rankings(points).items():
+        ranked = " > ".join(
+            spec + ("" if separated else " ~") for spec, _, separated in entries
+        )
+        lines.append(f"{scheme}: {ranked}   (~ = CI overlaps the next rank)")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render_scenario_fleet())

@@ -95,6 +95,12 @@ class AdvisorService:
             (``None`` = unbounded).
         log_interval: Seconds between periodic telemetry log lines on the
             ``repro.service`` logger (``None`` disables).
+        serve_stale_on_overload: When the bounded queue is full, answer
+            from already-cached pricing (memory or persistent tier) instead
+            of raising :class:`ServiceOverloadedError` -- the response is
+            flagged ``stale=True`` with the age of its oldest entry, and
+            may rank only the candidates that were cached.  Requests with
+            no cached candidate still get the hard 429.
     """
 
     def __init__(
@@ -111,6 +117,7 @@ class AdvisorService:
         eval_workers: int = 2,
         default_deadline: float | None = None,
         log_interval: float | None = None,
+        serve_stale_on_overload: bool = False,
     ):
         if session is not None and cluster is not None:
             raise ValueError("pass either a session or a cluster, not both")
@@ -127,6 +134,7 @@ class AdvisorService:
         self.max_batch = max_batch
         self.default_deadline = default_deadline
         self.log_interval = log_interval
+        self.serve_stale_on_overload = serve_stale_on_overload
         self._pool = ThreadPoolExecutor(
             max_workers=eval_workers, thread_name_prefix="advisor-eval"
         )
@@ -254,6 +262,10 @@ class AdvisorService:
         try:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
+            if self.serve_stale_on_overload:
+                stale = self._stale_response(resolved, started)
+                if stale is not None:
+                    return stale
             self.metrics.record_rejected("queue_full")
             raise ServiceOverloadedError(
                 f"request queue full ({self.max_queue} pending); retry with backoff"
@@ -283,6 +295,42 @@ class AdvisorService:
         self.metrics.record_completed(latency, fast_path=False)
         return rank_candidates(
             resolved, values, latency_seconds=latency, batch_size=batch_size
+        )
+
+    def _stale_response(self, resolved, started: float) -> AdviseResponse | None:
+        """Best-effort ranked answer from already-cached pricing (any tier).
+
+        Returns ``None`` when not a single candidate is cached -- the
+        caller then falls through to the hard overload rejection.
+        """
+        values: dict[str, tuple[float, dict | None, str]] = {}
+        ages: list[float] = []
+        now = time.time()  # reprolint: disable=RPL001 - stale-age telemetry
+        for spec, canonical in zip(
+            resolved.request.specs, resolved.canonical_specs
+        ):
+            if spec in values:
+                continue
+            hit = self.cache.get(resolved.point_key(canonical))
+            if hit is None:
+                continue
+            entry, tier = hit
+            values[spec] = (entry.value, entry.tail, tier)
+            if entry.created_at is not None:
+                ages.append(max(0.0, now - entry.created_at))
+        if not values:
+            return None
+        latency = time.perf_counter() - started  # reprolint: disable=RPL001 - latency telemetry
+        self.metrics.record_stale_served()
+        self.metrics.record_completed(latency, fast_path=True)
+        return rank_candidates(
+            resolved,
+            values,
+            latency_seconds=latency,
+            batch_size=1,
+            stale=True,
+            stale_age_seconds=max(ages) if ages else None,
+            allow_partial=True,
         )
 
     async def advise_many(
@@ -413,6 +461,7 @@ class AdvisorService:
                 value=float(point.value),
                 canonical_spec=canonical,
                 tail=summarize_detail(group.resolved.metric, point.detail),
+                created_at=time.time(),  # reprolint: disable=RPL001 - stale-age telemetry
             )
             self.cache.put(cached)
             future = self._inflight.pop(key, None)

@@ -31,26 +31,39 @@ PERSISTENT_TIER = "persistent"
 
 @dataclass(frozen=True)
 class CachedPoint:
-    """One persisted pricing: a point key's metric value and tail summary."""
+    """One persisted pricing: a point key's metric value and tail summary.
+
+    ``created_at`` is the wall-clock UNIX time the pricing was computed
+    (``None`` for entries persisted before the field existed); the advisor
+    reports it as the age of stale-on-overload answers.
+    """
 
     key: str
     value: float
     canonical_spec: str
     tail: dict | None = None
+    created_at: float | None = None
 
     def to_payload(self) -> str:
         return json.dumps(
-            {"value": self.value, "canonical_spec": self.canonical_spec, "tail": self.tail}
+            {
+                "value": self.value,
+                "canonical_spec": self.canonical_spec,
+                "tail": self.tail,
+                "created_at": self.created_at,
+            }
         )
 
     @classmethod
     def from_payload(cls, key: str, payload: str) -> "CachedPoint":
         data = json.loads(payload)
+        created_at = data.get("created_at")
         return cls(
             key=key,
             value=float(data["value"]),
             canonical_spec=str(data["canonical_spec"]),
             tail=data.get("tail"),
+            created_at=float(created_at) if created_at is not None else None,
         )
 
 

@@ -45,6 +45,7 @@ class ServiceMetrics:
             "completed": 0,
             "fast_path": 0,
             "batched": 0,
+            "stale_served": 0,
             "sweep_evaluations": 0,
             "sweeps_dispatched": 0,
         }
@@ -62,6 +63,11 @@ class ServiceMetrics:
             self._counts["completed"] += 1
             self._counts["fast_path" if fast_path else "batched"] += 1
             self._latencies.append(float(latency_seconds))
+
+    def record_stale_served(self) -> None:
+        """Count one overload answered from cached pricing instead of a 429."""
+        with self._lock:
+            self._counts["stale_served"] += 1
 
     def record_rejected(self, kind: str) -> None:
         if kind not in self.REJECTION_KINDS:

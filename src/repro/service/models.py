@@ -271,6 +271,12 @@ class AdviseResponse:
         latency_seconds: Wall-clock service latency of this request.
         batch_size: Number of requests sharing the micro-batch that served
             this one (1 for warm-cache fast-path answers).
+        stale: True when this response was served from already-cached
+            pricing under overload instead of a fresh evaluation; the
+            ranking may then cover only the candidates that were cached.
+        stale_age_seconds: Age of the oldest cached pricing behind a stale
+            response (``None`` when fresh, or when the cached entries
+            predate age tracking).
     """
 
     metric: str
@@ -281,6 +287,8 @@ class AdviseResponse:
     ranked: tuple[RankedSpec, ...]
     latency_seconds: float
     batch_size: int = 1
+    stale: bool = False
+    stale_age_seconds: float | None = None
 
     @property
     def best(self) -> RankedSpec:
@@ -304,6 +312,8 @@ class AdviseResponse:
             "ranked": [entry.to_dict() for entry in self.ranked],
             "latency_seconds": self.latency_seconds,
             "batch_size": self.batch_size,
+            "stale": self.stale,
+            "stale_age_seconds": self.stale_age_seconds,
         }
 
 
@@ -313,17 +323,26 @@ def rank_candidates(
     *,
     latency_seconds: float,
     batch_size: int,
+    stale: bool = False,
+    stale_age_seconds: float | None = None,
+    allow_partial: bool = False,
 ) -> AdviseResponse:
     """Assemble the response from per-spec ``(value, tail, provenance)``.
 
     ``values`` is keyed by the candidate specs as written; candidates tied
     on value keep request order (stable sort), so rankings are deterministic.
+    ``allow_partial`` (the stale-on-overload path) ranks only the candidates
+    present in ``values`` instead of requiring every requested spec.
     """
     direction = resolved.direction
     entries = []
     for spec, canonical in zip(resolved.request.specs, resolved.canonical_specs):
+        if allow_partial and spec not in values:
+            continue
         value, tail, provenance = values[spec]
         entries.append((spec, canonical, float(value), tail, provenance))
+    if not entries:
+        raise ValueError("rank_candidates needs at least one priced candidate")
     reverse = direction == "max"
     entries.sort(key=lambda item: item[2], reverse=reverse)
     best_value = entries[0][2]
@@ -350,6 +369,8 @@ def rank_candidates(
         ranked=ranked,
         latency_seconds=latency_seconds,
         batch_size=batch_size,
+        stale=stale,
+        stale_age_seconds=stale_age_seconds,
     )
 
 

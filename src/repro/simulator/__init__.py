@@ -44,6 +44,22 @@ from repro.simulator.cluster import (
     paper_testbed,
     torus_cluster,
 )
+from repro.simulator.recovery import (
+    PolicyEngine,
+    PolicyRule,
+    RecoveredRun,
+    RecoveryPolicy,
+    RoundResolution,
+    available_policy_rules,
+    deadline_clamp,
+    drop_stragglers,
+    parse_policy,
+    policy,
+    retry,
+    run_recovered_scenario,
+    stale_gradients,
+    timeout,
+)
 from repro.simulator.scenario import (
     Scenario,
     ScenarioEvent,
@@ -74,7 +90,12 @@ __all__ = [
     "MemoryHierarchy",
     "NicModel",
     "PipelineResult",
+    "PolicyEngine",
+    "PolicyRule",
     "Precision",
+    "RecoveredRun",
+    "RecoveryPolicy",
+    "RoundResolution",
     "RoundTimeline",
     "Scenario",
     "ScenarioEvent",
@@ -84,10 +105,13 @@ __all__ = [
     "WorkerClass",
     "WorkerProfile",
     "available_events",
+    "available_policy_rules",
     "bucketed_schedule",
     "churn",
     "dcell_cluster",
+    "deadline_clamp",
     "domain_fail",
+    "drop_stragglers",
     "fat_tree_cluster",
     "join",
     "leave",
@@ -97,7 +121,11 @@ __all__ = [
     "multirack_cluster",
     "nic_degrade",
     "paper_testbed",
+    "parse_policy",
     "parse_scenario",
+    "policy",
+    "retry",
+    "run_recovered_scenario",
     "run_scenario",
     "scenario",
     "scenario_metrics",
@@ -105,6 +133,8 @@ __all__ = [
     "simulate_schedule",
     "slowdown",
     "split_coordinates",
+    "stale_gradients",
     "switch_memory_pressure",
+    "timeout",
     "torus_cluster",
 ]

@@ -97,12 +97,17 @@ class PipelineResult:
             entry per slowdown *segment* instead of per rank -- workers
             sharing a slowdown finish at identical times, so no information
             is lost and the result stays O(#classes).
+        aborted: Whether a ``deadline_seconds`` abort fired: the round ran
+            past the deadline and was cut off there (the recovery layer's
+            ``timeout`` rule).  The makespan is then exactly the deadline;
+            traces keep the un-aborted schedule for diagnosis.
     """
 
     makespan_seconds: float
     serialized_seconds: float
     traces: tuple[BucketTrace, ...]
     worker_finish_seconds: tuple[float, ...]
+    aborted: bool = False
 
     @property
     def overlap_efficiency(self) -> float:
@@ -144,6 +149,7 @@ def simulate_schedule(
     cluster: "ClusterSpec | None" = None,
     *,
     optimizer_seconds: float = 0.0,
+    deadline_seconds: float | None = None,
 ) -> PipelineResult:
     """Schedule one round's buckets and return the exact makespan.
 
@@ -161,6 +167,11 @@ def simulate_schedule(
             kernel times; ``None`` simulates a single nominal worker.
         optimizer_seconds: Optimizer step time appended after the last
             bucket's decompression on every worker.
+        deadline_seconds: Optional round deadline (the recovery layer's
+            ``timeout`` rule).  A round whose makespan would exceed it is
+            *aborted*: the result's makespan is clamped to the deadline and
+            ``aborted`` is set.  ``None`` (the default) never aborts, and
+            leaves every existing result bit-exact.
 
     Returns:
         A :class:`PipelineResult` with the makespan, the serialized
@@ -170,6 +181,8 @@ def simulate_schedule(
         raise ValueError("schedule needs at least one bucket")
     if optimizer_seconds < 0:
         raise ValueError("optimizer_seconds must be non-negative")
+    if deadline_seconds is not None and deadline_seconds <= 0:
+        raise ValueError("deadline_seconds must be positive")
 
     segments = _worker_slowdowns(cluster)
     # One lane of stream clocks per distinct slowdown: compression kernels
@@ -230,11 +243,17 @@ def simulate_schedule(
         + serial_comm_seconds
         for slowdown in lanes
     )
+    makespan = max(finish_by_lane.values())
+    aborted = deadline_seconds is not None and makespan > deadline_seconds
+    if aborted:
+        makespan = deadline_seconds
+        worker_finish = tuple(min(finish, deadline_seconds) for finish in worker_finish)
     return PipelineResult(
-        makespan_seconds=max(finish_by_lane.values()),
+        makespan_seconds=makespan,
         serialized_seconds=serialized,
         traces=tuple(traces),
         worker_finish_seconds=worker_finish,
+        aborted=aborted,
     )
 
 

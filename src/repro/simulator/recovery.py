@@ -1,0 +1,995 @@
+"""Composable fault-recovery policies over scenario-injected failures.
+
+The scenario engine (PR 5) *injects* faults -- stragglers, flapped links,
+churn -- and prices every round as if the training system simply waited:
+a slowdown window stretches each of its rounds forever, and the only
+defence is choosing a different scheme offline.  Real systems react.
+Survivability work on virtual networks frames this as explicit recovery
+policies layered over failures, and that is what this module provides: a
+small, composable policy language describing *how the system responds*
+when a round runs long, priced through the same per-round machinery so
+policies are comparable on the same footing as schemes and scenarios.
+
+A :class:`RecoveryPolicy` composes up to one rule of each kind:
+
+* :func:`timeout` -- ``timeout(k=3)``: abort the collective once the round
+  exceeds ``k`` times the nominal (unperturbed) round time.  An aborted
+  round costs exactly the deadline; its update is skipped unless a stale
+  rule saves it.
+* :func:`retry` -- ``retry(max=2, backoff=0.1)``: when a round prices
+  degraded (flap/degrade/churn events), abandon the attempt, wait an
+  exponential-backoff delay (``backoff * 2**i`` nominal rounds), and
+  re-issue the round.  Stochastic events (churn) are re-drawn on each
+  attempt -- transient stragglers may clear; deterministic windows persist
+  and the retry budget is honestly wasted.
+* :func:`drop_stragglers` -- ``drop(max_workers=f)``: partial aggregation.
+  Excuse up to ``f`` of the worst-perturbed workers (the collective stops
+  waiting for them) and aggregate the remaining ``n - f`` contributions,
+  rescaled by ``n / (n - f)``; the explicit variance cost is
+  :attr:`RoundResolution.vnmse_penalty`.
+* :func:`stale_gradients` -- ``stale(max=s)``: graceful degradation for
+  timed-out rounds.  Re-apply the last successful aggregate for up to
+  ``s`` *consecutive* aborted rounds before falling back to skipping the
+  update entirely (``skip`` is the implicit default for aborts).
+
+Policies are spec strings with the same parse / round-trip / suggestion UX
+as ``scenario(...)``::
+
+    policy("timeout(k=3) + retry(max=2, backoff=0.1) + drop(max_workers=1)")
+
+The empty policy (``policy("")`` or ``policy("none")``) is **bit-exact**
+with the PR 5 scenario path: no branch of the resolution logic runs, so
+every existing number is preserved (property-tested across the scheme
+registry and both kernel backends).
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.simulator.scenario import (
+    DEGRADED_RELATIVE_TOLERANCE,
+    Scenario,
+    ScenarioMetrics,
+    scenario_metrics,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.cluster import ClusterSpec
+
+__all__ = [
+    "PolicyRule",
+    "TimeoutRule",
+    "RetryRule",
+    "DropRule",
+    "StaleRule",
+    "RecoveryPolicy",
+    "RoundResolution",
+    "RecoveredRun",
+    "PolicyEngine",
+    "UnknownPolicyRuleError",
+    "PolicySyntaxError",
+    "PolicyParamError",
+    "NONE_SPEC",
+    "available_policy_rules",
+    "parse_policy",
+    "policy",
+    "timeout",
+    "retry",
+    "drop_stragglers",
+    "stale_gradients",
+    "deadline_clamp",
+    "excuse_stragglers",
+    "run_recovered_scenario",
+]
+
+
+class UnknownPolicyRuleError(KeyError):
+    """An unknown recovery-rule name, with close-match suggestions."""
+
+    def __init__(self, name: str, known: list[str]):
+        self.name = name
+        self.known = sorted(known)
+        self.suggestions = difflib.get_close_matches(name, self.known, n=3, cutoff=0.5)
+        message = f"unknown recovery rule {name!r}"
+        if self.suggestions:
+            message += f"; did you mean: {', '.join(self.suggestions)}?"
+        message += f" (known: {', '.join(self.known)})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError.__str__ shows the repr of args[0]
+        return self.args[0]
+
+
+class PolicySyntaxError(ValueError):
+    """A policy spec string that does not conform to the grammar."""
+
+    def __init__(self, text: str, position: int, reason: str):
+        self.text = text
+        self.position = position
+        self.reason = reason
+        pointer = " " * position + "^"
+        super().__init__(f"invalid recovery policy spec: {reason}\n  {text}\n  {pointer}")
+
+
+class PolicyParamError(ValueError):
+    """A well-formed policy spec whose arguments do not fit the rule."""
+
+
+def _format_number(value: float) -> str:
+    """Shortest spelling that parses back to exactly ``value``.
+
+    ``%g`` keeps common specs tidy (``k=3``, not ``k=3.0``) but only carries
+    six significant digits; when that would lose precision -- and break the
+    round-trip contract -- fall back to the exact ``repr``.
+    """
+    text = f"{value:g}"
+    return text if float(text) == value else repr(value)
+
+
+# --------------------------------------------------------------------------- #
+# Rules
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PolicyRule:
+    """One recovery behaviour; a policy composes at most one of each kind."""
+
+    #: Spec-language family name (set per subclass).
+    kind = "abstract"
+
+    def spec(self) -> str:
+        """Canonical spec-string form of this rule."""
+        args = ", ".join(self._spec_args())
+        return f"{self.kind}({args})" if args else self.kind
+
+    def _spec_args(self) -> list[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TimeoutRule(PolicyRule):
+    """Abort the collective once the round exceeds ``k`` nominal round times."""
+
+    k: float = 3.0
+    kind = "timeout"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(
+                f"k ({self.k:g}) must be >= 1: the deadline is k x the nominal "
+                "round time, and a sub-nominal deadline would abort every round"
+            )
+
+    def _spec_args(self) -> list[str]:
+        return [f"k={_format_number(self.k)}"]
+
+
+@dataclass(frozen=True)
+class RetryRule(PolicyRule):
+    """Re-issue degraded rounds up to ``max_attempts`` times with backoff.
+
+    Each failed attempt costs its own (possibly deadline-clamped) duration
+    plus ``backoff * 2**i`` nominal round times of exponential-backoff
+    delay before attempt ``i + 1``.
+    """
+
+    max_attempts: int = 2
+    backoff: float = 0.1
+    kind = "retry"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 0:
+            raise ValueError(
+                f"max ({self.max_attempts}) must be >= 0: a negative retry "
+                "budget is meaningless (0 disables retries)"
+            )
+        if self.backoff < 0:
+            raise ValueError(
+                f"backoff ({self.backoff:g}) must be >= 0 (it is a delay, "
+                "in nominal round times, before each re-issue)"
+            )
+
+    def _spec_args(self) -> list[str]:
+        return [f"max={self.max_attempts}", f"backoff={_format_number(self.backoff)}"]
+
+
+@dataclass(frozen=True)
+class DropRule(PolicyRule):
+    """Excuse up to ``max_workers`` stragglers; aggregate the rest, rescaled."""
+
+    max_workers: int = 1
+    kind = "drop"
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(
+                f"max_workers ({self.max_workers}) must be >= 1: dropping "
+                "zero workers never changes the round (omit the rule instead)"
+            )
+
+    def _spec_args(self) -> list[str]:
+        return [f"max_workers={self.max_workers}"]
+
+
+@dataclass(frozen=True)
+class StaleRule(PolicyRule):
+    """Re-apply the last good aggregate for up to ``max_stale`` consecutive aborts."""
+
+    max_stale: int = 1
+    kind = "stale"
+
+    def __post_init__(self) -> None:
+        if self.max_stale < 0:
+            raise ValueError(
+                f"max ({self.max_stale}) must be >= 0 (0 always skips "
+                "timed-out updates instead of re-applying a stale aggregate)"
+            )
+
+    def _spec_args(self) -> list[str]:
+        return [f"max={self.max_stale}"]
+
+
+#: Canonical composition order of rule kinds within a policy spec; also the
+#: order the engine applies them in (retry, then drop, then the deadline).
+_KIND_ORDER = ("timeout", "retry", "drop", "stale")
+
+
+# --------------------------------------------------------------------------- #
+# The policy container
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """A composition of recovery rules, at most one per kind.
+
+    Attributes:
+        rules: The rules, stored in canonical kind order regardless of the
+            order they were spelled in (so spec strings round-trip and two
+            spellings of the same policy share sweep memo entries).
+        name: Optional display name (not part of equality / cache identity).
+    """
+
+    rules: tuple[PolicyRule, ...] = ()
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        seen: dict[str, PolicyRule] = {}
+        for rule in self.rules:
+            if not isinstance(rule, PolicyRule):
+                raise TypeError(f"not a PolicyRule: {rule!r}")
+            if rule.kind in seen:
+                raise PolicyParamError(
+                    f"policy composes two {rule.kind!r} rules; "
+                    "a policy takes at most one rule of each kind"
+                )
+            seen[rule.kind] = rule
+        ordered = tuple(seen[kind] for kind in _KIND_ORDER if kind in seen)
+        object.__setattr__(self, "rules", ordered)
+
+    @classmethod
+    def of(cls, *rules: PolicyRule, name: str = "") -> "RecoveryPolicy":
+        """Build a policy from rules given positionally."""
+        return cls(rules=tuple(rules), name=name)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the policy has no rules (the provably bit-exact case)."""
+        return not self.rules
+
+    def _rule(self, kind: str) -> PolicyRule | None:
+        for rule in self.rules:
+            if rule.kind == kind:
+                return rule
+        return None
+
+    @property
+    def timeout_rule(self) -> TimeoutRule | None:
+        return self._rule("timeout")  # type: ignore[return-value]
+
+    @property
+    def retry_rule(self) -> RetryRule | None:
+        return self._rule("retry")  # type: ignore[return-value]
+
+    @property
+    def drop_rule(self) -> DropRule | None:
+        return self._rule("drop")  # type: ignore[return-value]
+
+    @property
+    def stale_rule(self) -> StaleRule | None:
+        return self._rule("stale")  # type: ignore[return-value]
+
+    def cache_key(self) -> "RecoveryPolicy":
+        """Hashable full identity for sweep memoization (the frozen self)."""
+        return self
+
+    def spec(self) -> str:
+        """The canonical, round-trippable spec string of this policy."""
+        if not self.rules:
+            return NONE_SPEC
+        return " + ".join(rule.spec() for rule in self.rules)
+
+    def label(self) -> str:
+        """Display label: the name when given, the canonical spec otherwise."""
+        return self.name or self.spec()
+
+
+#: Spec spelling of the empty policy (``policy("none")`` parses to it; the
+#: empty string is accepted too).
+NONE_SPEC = "none"
+
+
+# --------------------------------------------------------------------------- #
+# The spec-string language
+# --------------------------------------------------------------------------- #
+
+_REQUIRED = object()
+
+
+@dataclass(frozen=True)
+class _RuleParam:
+    """One spec-language parameter of a rule family."""
+
+    names: tuple[str, ...]  # first name is canonical
+    kind: type
+    attr: str
+    default: object = _REQUIRED
+
+    def coerce(self, value: object, family: str) -> object:
+        if self.kind is int:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+        elif self.kind is float:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        raise PolicyParamError(
+            f"{family}: parameter {self.names[0]!r} expects {self.kind.__name__}, "
+            f"got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class _RuleFamily:
+    """A recovery-rule family: class, aliases, and typed parameters."""
+
+    name: str
+    cls: type
+    params: tuple[_RuleParam, ...]
+    aliases: tuple[str, ...] = ()
+
+    def param_named(self, key: str) -> _RuleParam:
+        for param in self.params:
+            if key in param.names:
+                return param
+        valid = ", ".join(p.names[0] for p in self.params) or "(none)"
+        raise PolicyParamError(
+            f"{self.name}: unknown parameter {key!r}; valid parameters: {valid}"
+        )
+
+    def build(self, args: Sequence[tuple[str | None, object]]) -> PolicyRule:
+        bound: dict[_RuleParam, object] = {}
+        positional_cursor = 0
+        for key, value in args:
+            if key is None:
+                if positional_cursor >= len(self.params):
+                    raise PolicyParamError(
+                        f"{self.name}: too many positional arguments "
+                        f"(takes {len(self.params)})"
+                    )
+                param = self.params[positional_cursor]
+                positional_cursor += 1
+            else:
+                param = self.param_named(key)
+            if param in bound:
+                raise PolicyParamError(
+                    f"{self.name}: parameter {param.names[0]!r} given twice"
+                )
+            bound[param] = param.coerce(value, self.name)
+        kwargs = {param.attr: value for param, value in bound.items()}
+        try:
+            return self.cls(**kwargs)
+        except ValueError as error:
+            raise PolicyParamError(f"{self.name}: {error}") from None
+
+
+_RULE_FAMILIES: dict[str, _RuleFamily] = {}
+_RULE_NAMES: dict[str, _RuleFamily] = {}  # aliases included
+
+
+def _register_rule(family: _RuleFamily) -> None:
+    _RULE_FAMILIES[family.name] = family
+    for alias in (family.name, *family.aliases):
+        _RULE_NAMES[alias] = family
+
+
+_register_rule(
+    _RuleFamily(
+        "timeout",
+        TimeoutRule,
+        (_RuleParam(("k",), float, "k", default=3.0),),
+        aliases=("deadline",),
+    )
+)
+_register_rule(
+    _RuleFamily(
+        "retry",
+        RetryRule,
+        (
+            _RuleParam(("max", "max_attempts"), int, "max_attempts", default=2),
+            _RuleParam(("backoff",), float, "backoff", default=0.1),
+        ),
+    )
+)
+_register_rule(
+    _RuleFamily(
+        "drop",
+        DropRule,
+        (_RuleParam(("max_workers", "f"), int, "max_workers", default=1),),
+        aliases=("drop_stragglers",),
+    )
+)
+_register_rule(
+    _RuleFamily(
+        "stale",
+        StaleRule,
+        (_RuleParam(("max", "max_stale"), int, "max_stale", default=1),),
+        aliases=("stale_gradients",),
+    )
+)
+
+
+def available_policy_rules() -> list[str]:
+    """Canonical recovery-rule names, sorted."""
+    return sorted(_RULE_FAMILIES)
+
+
+_RULE_TERM_RE = re.compile(
+    r"""
+    (?P<name>[a-z_][a-z0-9_]*)
+    \s*
+    (?:\( (?P<args>[^()]*) \))?
+    """,
+    re.VERBOSE,
+)
+
+_NUMBER_RE = re.compile(r"^[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?$")
+
+
+def _parse_literal(text: str, spec: str, position: int) -> object:
+    token = text.strip()
+    if _NUMBER_RE.match(token):
+        try:
+            return int(token)
+        except ValueError:
+            return float(token)
+    raise PolicySyntaxError(spec, position, f"expected a number, got {token!r}")
+
+
+def _parse_rule_term(spec: str, position: int) -> tuple[PolicyRule, int]:
+    match = _RULE_TERM_RE.match(spec, position)
+    if match is None or not match.group("name"):
+        raise PolicySyntaxError(spec, position, "expected a recovery rule name")
+    name = match.group("name")
+    family = _RULE_NAMES.get(name)
+    if family is None:
+        raise UnknownPolicyRuleError(name, sorted(_RULE_NAMES))
+    args: list[tuple[str | None, object]] = []
+    raw_args = match.group("args")
+    if raw_args is not None and raw_args.strip():
+        args_offset = match.start("args")
+        for fragment in raw_args.split(","):
+            fragment_offset = args_offset + raw_args.index(fragment)
+            if "=" in fragment:
+                key, _, raw_value = fragment.partition("=")
+                key = key.strip()
+                if not key.isidentifier():
+                    raise PolicySyntaxError(
+                        spec, fragment_offset, f"bad parameter name {key!r}"
+                    )
+                args.append((key, _parse_literal(raw_value, spec, fragment_offset)))
+            else:
+                args.append((None, _parse_literal(fragment, spec, fragment_offset)))
+    end = match.end()
+    if end < len(spec) and spec[end] == "@":
+        raise PolicySyntaxError(
+            spec,
+            end,
+            "recovery rules do not take round windows; a policy is active "
+            "for the whole run (windows belong to scenario events)",
+        )
+    rule = family.build(tuple(args))
+    return rule, end
+
+
+def parse_policy(text: str, *, name: str = "") -> RecoveryPolicy:
+    """Parse a policy spec string into a :class:`RecoveryPolicy`.
+
+    Grammar (whitespace-insensitive)::
+
+        policy := "" | "none" | rule ("+" rule)*
+        rule   := RULE [ "(" [ arg ("," arg)* ] ")" ]
+        arg    := NAME "=" NUMBER | NUMBER
+
+    All parameters are validated at parse time (``timeout(k=0.5)`` or
+    ``retry(max=-1)`` fail here, not mid-simulation).
+
+    Raises:
+        PolicySyntaxError: Malformed spec text.
+        UnknownPolicyRuleError: Unknown rule name (with suggestions).
+        PolicyParamError: Arguments not matching the rule's parameters.
+    """
+    if not isinstance(text, str):
+        raise PolicySyntaxError(str(text), 0, "policy spec must be a string")
+    stripped = text.strip()
+    if not stripped or stripped == NONE_SPEC:
+        return RecoveryPolicy(name=name)
+    rules: list[PolicyRule] = []
+    position = 0
+    while True:
+        while position < len(text) and text[position].isspace():
+            position += 1
+        rule, position = _parse_rule_term(text, position)
+        rules.append(rule)
+        while position < len(text) and text[position].isspace():
+            position += 1
+        if position >= len(text):
+            break
+        if text[position] != "+":
+            raise PolicySyntaxError(
+                text, position, f"expected '+' between rules, got {text[position]!r}"
+            )
+        position += 1
+    return RecoveryPolicy(rules=tuple(rules), name=name)
+
+
+def policy(
+    value: "str | RecoveryPolicy | PolicyRule | Sequence[PolicyRule] | None",
+    *,
+    name: str = "",
+) -> RecoveryPolicy:
+    """Coerce a spec string, a rule (or sequence), or a policy to a policy.
+
+    The public constructor mirroring :func:`~repro.simulator.scenario.
+    scenario`: ``policy("timeout(k=3) + drop(max_workers=1)")``.  ``None``
+    and the empty string both coerce to the empty (bit-exact) policy.
+    Passing an existing :class:`RecoveryPolicy` returns it unchanged.
+    """
+    if value is None:
+        return RecoveryPolicy(name=name)
+    if isinstance(value, RecoveryPolicy):
+        return value
+    if isinstance(value, str):
+        return parse_policy(value, name=name)
+    if isinstance(value, PolicyRule):
+        return RecoveryPolicy(rules=(value,), name=name)
+    return RecoveryPolicy(rules=tuple(value), name=name)
+
+
+# --------------------------------------------------------------------------- #
+# Programmatic rule constructors
+# --------------------------------------------------------------------------- #
+
+
+def timeout(k: float = 3.0) -> TimeoutRule:
+    """Abort the collective at ``k`` times the nominal round time."""
+    return TimeoutRule(k=k)
+
+
+def retry(max_attempts: int = 2, backoff: float = 0.1) -> RetryRule:
+    """Re-issue degraded rounds up to ``max_attempts`` times with backoff."""
+    return RetryRule(max_attempts=max_attempts, backoff=backoff)
+
+
+def drop_stragglers(max_workers: int = 1) -> DropRule:
+    """Excuse up to ``max_workers`` stragglers and aggregate the rest."""
+    return DropRule(max_workers=max_workers)
+
+
+def stale_gradients(max_stale: int = 1) -> StaleRule:
+    """Re-apply the last good aggregate for up to ``max_stale`` consecutive aborts."""
+    return StaleRule(max_stale=max_stale)
+
+
+# --------------------------------------------------------------------------- #
+# Straggler identification
+# --------------------------------------------------------------------------- #
+
+#: Relative perturbation above a worker's reference profile before the drop
+#: rule considers it a straggler (absorbs float noise in event arithmetic).
+_STRAGGLER_RELATIVE_TOLERANCE = 1e-9
+
+
+def _merged_segments(cluster: "ClusterSpec", base: "ClusterSpec"):
+    """Walk ``(start, stop, effective_profile, reference_profile)`` spans.
+
+    Both clusters cover the same world; the walk advances through both
+    canonical segment lists at once, so it is O(#classes) even on
+    fleet-scale populations.
+    """
+    effective = list(cluster.profile_segments())
+    reference = list(base.profile_segments())
+    position = 0
+    ei = ri = 0
+    e_left = effective[0][1]
+    r_left = reference[0][1]
+    while ei < len(effective) and ri < len(reference):
+        span = min(e_left, r_left)
+        yield position, position + span, effective[ei][0], reference[ri][0]
+        position += span
+        e_left -= span
+        r_left -= span
+        if e_left == 0:
+            ei += 1
+            if ei < len(effective):
+                e_left = effective[ei][1]
+        if r_left == 0:
+            ri += 1
+            if ri < len(reference):
+                r_left = reference[ri][1]
+
+
+def excuse_stragglers(
+    cluster: "ClusterSpec", base: "ClusterSpec", max_workers: int
+) -> "tuple[ClusterSpec, tuple[int, ...]]":
+    """Excuse up to ``max_workers`` of the worst-perturbed workers.
+
+    A worker is a straggler when its effective profile is measurably worse
+    than its reference profile in ``base`` (the unperturbed cluster);
+    excused workers stop gating the collective, which the simulator models
+    by restoring their profiles to the reference.  The identification walks
+    canonical profile segments, so fleet-scale clusters stay O(#classes).
+
+    Returns the rewritten cluster and the excused ranks (empty when no
+    worker qualifies, e.g. membership changed or nothing is degraded).
+    """
+    from repro.simulator.cluster import WorkerProfile
+
+    if cluster.world_size != base.world_size:
+        # Membership events changed the world: rank identities no longer
+        # line up with the base population, so dropping is not defined.
+        return cluster, ()
+
+    candidates: list[tuple[float, int, int, WorkerProfile]] = []
+    for start, stop, profile, ref in _merged_segments(cluster, base):
+        badness = max(profile.slowdown / ref.slowdown, profile.nic_scale / ref.nic_scale)
+        if badness > 1.0 + _STRAGGLER_RELATIVE_TOLERANCE:
+            candidates.append((badness, start, stop, ref))
+    if not candidates:
+        return cluster, ()
+    candidates.sort(key=lambda item: (-item[0], item[1]))
+
+    excused: list[int] = []
+    restored: dict[int, WorkerProfile] = {}
+    budget = max_workers
+    for _, start, stop, ref in candidates:
+        if budget <= 0:
+            break
+        take = min(budget, stop - start)
+        for rank in range(start, start + take):
+            excused.append(rank)
+            restored[rank] = ref
+        budget -= take
+
+    if cluster.worker_profiles is not None:
+        profiles = list(cluster.worker_profiles)
+        for rank, ref in restored.items():
+            profiles[rank] = ref
+        rewritten = replace(cluster, worker_profiles=tuple(profiles))
+    else:
+        overrides = dict(cluster.profile_overrides or ())
+        overrides.update(restored)
+        rewritten = replace(cluster, profile_overrides=tuple(sorted(overrides.items())))
+    return rewritten, tuple(sorted(excused))
+
+
+# --------------------------------------------------------------------------- #
+# Per-round resolution
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RoundResolution:
+    """How one round played out under a recovery policy.
+
+    Attributes:
+        round_index: The round (0-indexed).
+        seconds: Total charged wall time: the accepted attempt plus every
+            failed attempt and its backoff delay.
+        attempts: Pricing attempts made (1 = no retry fired).
+        timed_out: Whether the accepted attempt hit the deadline (the round
+            was aborted at ``k`` nominal round times).
+        dropped_workers: Workers excused by the drop rule this round.
+        excused_ranks: The excused ranks (empty when none).
+        stale: The update was replaced by the last good aggregate.
+        skipped: The update was skipped entirely.
+        cluster: Effective cluster of the accepted attempt (post-drop), the
+            one a trainer aggregates on.
+    """
+
+    round_index: int
+    seconds: float
+    attempts: int
+    timed_out: bool
+    dropped_workers: int
+    excused_ranks: tuple[int, ...]
+    stale: bool
+    skipped: bool
+    cluster: "ClusterSpec"
+
+    @property
+    def retries(self) -> int:
+        """Failed attempts re-issued before the accepted one."""
+        return self.attempts - 1
+
+    @property
+    def vnmse_penalty(self) -> float:
+        """Variance inflation of aggregating ``n - f`` of ``n`` contributions.
+
+        The mean of ``n - f`` i.i.d. worker gradients has ``n / (n - f)``
+        times the variance of the full mean -- the explicit quality price
+        of partial aggregation (1.0 when nothing was dropped).
+        """
+        world = self.cluster.world_size
+        kept = world - self.dropped_workers
+        if kept <= 0:
+            return float("inf")
+        return world / kept
+
+
+def deadline_clamp(
+    price_round: "Callable[[ClusterSpec], float]",
+) -> "Callable[[ClusterSpec, float | None], tuple[float, bool]]":
+    """Adapt a plain per-cluster pricing function to the engine's contract.
+
+    The engine prices rounds through ``price(cluster, deadline_seconds) ->
+    (seconds, aborted)`` so call sites that schedule through
+    :func:`~repro.simulator.pipeline.simulate_schedule` can thread the
+    deadline into the scheduler itself.  Call sites with a plain float
+    pricing function wrap it here: the clamp is applied after the fact.
+    """
+
+    def wrapped(cluster: "ClusterSpec", deadline: float | None) -> tuple[float, bool]:
+        seconds = price_round(cluster)
+        if deadline is not None and seconds > deadline:
+            return deadline, True
+        return seconds, False
+
+    return wrapped
+
+
+class PolicyEngine:
+    """Stateful per-round resolver: scenario faults in, recovered rounds out.
+
+    The engine owns the pricing memo (per distinct effective cluster), the
+    deadline derived from the nominal round time, and the consecutive-stale
+    counter; :meth:`resolve` is called once per round, in round order.
+    With an empty policy every resolution is exactly the raw scenario
+    round -- no branch of the recovery logic runs.
+    """
+
+    def __init__(
+        self,
+        base: "ClusterSpec",
+        scenario: Scenario,
+        policy: RecoveryPolicy,
+        price_round: "Callable[[ClusterSpec, float | None], tuple[float, bool]]",
+        *,
+        nominal_seconds: float | None = None,
+    ):
+        self.base = base
+        self.scenario = scenario
+        self.policy = policy
+        self._price_round = price_round
+        self._memo: dict[object, tuple[float, bool]] = {}
+        if nominal_seconds is None:
+            nominal_seconds, _ = self._price(base, None)
+        self.nominal_seconds = float(nominal_seconds)
+        timeout_rule = policy.timeout_rule
+        self.deadline_seconds = (
+            timeout_rule.k * self.nominal_seconds if timeout_rule is not None else None
+        )
+        self._threshold = self.nominal_seconds * (1.0 + DEGRADED_RELATIVE_TOLERANCE)
+        self._consecutive_stale = 0
+        self.timed_out_rounds = 0
+        self.retries = 0
+        self.dropped_worker_rounds = 0
+        self.stale_rounds = 0
+
+    @property
+    def distinct_clusters(self) -> int:
+        """How many distinct effective configurations were priced so far."""
+        return len(self._memo)
+
+    def _price(self, cluster: "ClusterSpec", deadline: float | None) -> tuple[float, bool]:
+        key = cluster.cache_key()
+        hit = self._memo.get(key)
+        if hit is None:
+            hit = self._price_round(cluster, deadline)
+            self._memo[key] = hit
+        return hit
+
+    def _degraded(self, seconds: float, aborted: bool) -> bool:
+        return aborted or seconds > self._threshold
+
+    def adopt_state(self, predecessor: "PolicyEngine") -> None:
+        """Carry run-level recovery state over from a predecessor engine.
+
+        An adaptive trainer that switches schemes mid-run rebuilds the
+        engine (the deadline and pricing memo are scheme-specific) but the
+        consecutive-stale counter and the recovery totals belong to the
+        *run*, so the successor inherits them.
+        """
+        self._consecutive_stale = predecessor._consecutive_stale
+        self.timed_out_rounds = predecessor.timed_out_rounds
+        self.retries = predecessor.retries
+        self.dropped_worker_rounds = predecessor.dropped_worker_rounds
+        self.stale_rounds = predecessor.stale_rounds
+
+    def resolve(self, round_index: int, *, can_stale: bool = True) -> RoundResolution:
+        """Resolve round ``round_index`` under the policy.
+
+        ``can_stale`` lets a trainer veto stale re-application when it has
+        no previous aggregate to re-apply (round 0 aborts fall back to a
+        skipped update).
+        """
+        policy = self.policy
+        cluster = self.scenario.cluster_at(self.base, round_index)
+        seconds, aborted = self._price(cluster, self.deadline_seconds)
+
+        if policy.is_empty:
+            return RoundResolution(
+                round_index=round_index,
+                seconds=seconds,
+                attempts=1,
+                timed_out=False,
+                dropped_workers=0,
+                excused_ranks=(),
+                stale=False,
+                skipped=False,
+                cluster=cluster,
+            )
+
+        attempts = 1
+        overhead = 0.0
+        excused: tuple[int, ...] = ()
+        dropped = 0
+
+        retry_rule = policy.retry_rule
+        if retry_rule is not None and self._degraded(seconds, aborted):
+            for attempt in range(1, retry_rule.max_attempts + 1):
+                # The failed attempt runs to its (deadline-clamped) end,
+                # then the backoff delay elapses before the re-issue.
+                overhead += seconds
+                overhead += retry_rule.backoff * (2.0 ** (attempt - 1)) * self.nominal_seconds
+                redrawn = self.scenario.cluster_at(self.base, round_index, attempt=attempt)
+                seconds, aborted = self._price(redrawn, self.deadline_seconds)
+                cluster = redrawn
+                attempts += 1
+                if not self._degraded(seconds, aborted):
+                    break
+
+        drop_rule = policy.drop_rule
+        if drop_rule is not None and self._degraded(seconds, aborted):
+            rewritten, ranks = excuse_stragglers(cluster, self.base, drop_rule.max_workers)
+            if ranks:
+                d_seconds, d_aborted = self._price(rewritten, self.deadline_seconds)
+                if (aborted and not d_aborted) or d_seconds < seconds:
+                    cluster, seconds, aborted = rewritten, d_seconds, d_aborted
+                    excused, dropped = ranks, len(ranks)
+
+        timed_out = aborted
+        stale = skipped = False
+        if timed_out:
+            stale_rule = policy.stale_rule
+            if (
+                stale_rule is not None
+                and can_stale
+                and self._consecutive_stale < stale_rule.max_stale
+            ):
+                stale = True
+                self._consecutive_stale += 1
+            else:
+                skipped = True
+        else:
+            self._consecutive_stale = 0
+
+        self.timed_out_rounds += int(timed_out)
+        self.retries += attempts - 1
+        self.dropped_worker_rounds += dropped
+        self.stale_rounds += int(stale)
+        return RoundResolution(
+            round_index=round_index,
+            seconds=overhead + seconds,
+            attempts=attempts,
+            timed_out=timed_out,
+            dropped_workers=dropped,
+            excused_ranks=excused,
+            stale=stale,
+            skipped=skipped,
+            cluster=cluster,
+        )
+
+    def metrics(self, round_seconds: Sequence[float]) -> ScenarioMetrics:
+        """Tail summary of the resolved round times, recovery counters included."""
+        return replace(
+            scenario_metrics(round_seconds, self.nominal_seconds),
+            timed_out_rounds=self.timed_out_rounds,
+            retries=self.retries,
+            dropped_worker_rounds=self.dropped_worker_rounds,
+            stale_rounds=self.stale_rounds,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Running a scenario under a policy
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RecoveredRun:
+    """Per-round resolutions of one policy-governed scenario run.
+
+    Attributes:
+        scenario: The scenario that was run.
+        policy: The governing recovery policy.
+        round_seconds: Charged time of every round, in round order.
+        resolutions: Per-round :class:`RoundResolution` records.
+        metrics: Tail summary with recovery counters
+            (:class:`~repro.simulator.scenario.ScenarioMetrics`).
+        distinct_clusters: Distinct effective configurations priced.
+    """
+
+    scenario: Scenario
+    policy: RecoveryPolicy
+    round_seconds: tuple[float, ...]
+    resolutions: tuple[RoundResolution, ...]
+    metrics: ScenarioMetrics
+    distinct_clusters: int
+
+    @property
+    def mean_vnmse_penalty(self) -> float:
+        """Mean per-round variance inflation from partial aggregation."""
+        if not self.resolutions:
+            return 1.0
+        return sum(r.vnmse_penalty for r in self.resolutions) / len(self.resolutions)
+
+
+def run_recovered_scenario(
+    base: "ClusterSpec",
+    scenario: Scenario,
+    policy: RecoveryPolicy,
+    num_rounds: int,
+    price_round: "Callable[[ClusterSpec, float | None], tuple[float, bool]]",
+    *,
+    nominal_seconds: float | None = None,
+) -> RecoveredRun:
+    """Drive a pricing function over a scenario's rounds under a policy.
+
+    The recovery-aware sibling of :func:`~repro.simulator.scenario.
+    run_scenario`: ``price_round`` maps ``(cluster, deadline_seconds)`` to
+    ``(seconds, aborted)`` (wrap a plain float function with
+    :func:`deadline_clamp`), is memoized per distinct effective cluster,
+    and each round is resolved through the full retry / drop / timeout /
+    stale pipeline.  With the empty policy the charged round times equal
+    :func:`run_scenario`'s bit-exactly.
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
+    engine = PolicyEngine(
+        base, scenario, policy, price_round, nominal_seconds=nominal_seconds
+    )
+    resolutions = tuple(engine.resolve(index) for index in range(num_rounds))
+    round_seconds = tuple(resolution.seconds for resolution in resolutions)
+    return RecoveredRun(
+        scenario=scenario,
+        policy=policy,
+        round_seconds=round_seconds,
+        resolutions=resolutions,
+        metrics=engine.metrics(round_seconds),
+        distinct_clusters=engine.distinct_clusters,
+    )

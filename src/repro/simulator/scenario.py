@@ -605,19 +605,35 @@ class Scenario:
             return 1
         return self.horizon() + recovery_margin
 
-    def cluster_at(self, base: "ClusterSpec", round_index: int) -> "ClusterSpec":
+    def cluster_at(
+        self, base: "ClusterSpec", round_index: int, *, attempt: int = 0
+    ) -> "ClusterSpec":
         """The effective cluster of round ``round_index`` (0-indexed).
 
         Rounds with no active events return ``base`` itself (identity, not a
         copy), so static stretches are indistinguishable -- bit-exactly --
         from the static simulator, and per-cluster pricing memoization hits.
+
+        ``attempt`` is the recovery layer's re-issue counter: attempt 0 (the
+        default) seeds stochastic events with the historical ``(seed,
+        position, round_index)`` tuple, so every pre-recovery number is
+        preserved bit-exactly; attempt ``k > 0`` extends the tuple with the
+        attempt index, re-drawing transient faults (churn) while
+        deterministic windows persist.
         """
         if round_index < 0:
             raise ValueError("round_index must be non-negative")
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
         cluster = base
         for position, event in enumerate(self.events):
             if event.active_at(round_index):
-                rng = np.random.default_rng((self.seed, position, round_index))
+                seed_key = (
+                    (self.seed, position, round_index)
+                    if attempt == 0
+                    else (self.seed, position, round_index, attempt)
+                )
+                rng = np.random.default_rng(seed_key)
                 cluster = event.apply(cluster, round_index, rng)
         return cluster
 
@@ -875,6 +891,14 @@ def _parse_term(spec: str, position: int) -> tuple[ScenarioEvent, int]:
     until = int(match.group("until")) if match.group("until") else None
     if match.group("start") and not match.group("until"):
         until = None  # "@20" means "from round 20, forever"
+    if until is not None and until <= start:
+        raise ScenarioSyntaxError(
+            spec,
+            match.start("start"),
+            f"empty round window @{start}..{until}: windows are half-open "
+            f"[A, B), so B must be greater than A "
+            f"(did you mean @{start}..{start + 1} for the single round {start}?)",
+        )
     event = family.build(tuple(args), start, until)
     return event, match.end()
 
@@ -1032,6 +1056,13 @@ class ScenarioMetrics:
             ``None`` if the run never degrades or never recovers within it.
         recovery_seconds: Simulated time from the onset of the first degraded
             round until recovery (the total span the job runs perturbed).
+        timed_out_rounds: Rounds aborted at the recovery policy's deadline
+            (0 when no policy ran -- the PR 5 path never times out).
+        retries: Total failed attempts re-issued by the retry rule.
+        dropped_worker_rounds: Worker-rounds excused by the drop rule
+            (summed over rounds: 3 rounds dropping 2 workers each = 6).
+        stale_rounds: Aborted rounds whose update re-applied the last good
+            aggregate instead of being skipped.
     """
 
     num_rounds: int
@@ -1046,6 +1077,10 @@ class ScenarioMetrics:
     excess_seconds: float
     recovery_round: int | None
     recovery_seconds: float
+    timed_out_rounds: int = 0
+    retries: int = 0
+    dropped_worker_rounds: int = 0
+    stale_rounds: int = 0
 
     @property
     def tail_amplification(self) -> float:

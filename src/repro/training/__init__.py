@@ -14,9 +14,13 @@ testbed.  This package provides the simulation stand-in:
   parameters, layer shapes, per-round compute time) used to price each round
   (:mod:`repro.training.workloads`);
 * the DDP trainer that ties workers, an aggregation scheme, and the cost
-  models together into a time-to-accuracy run (:mod:`repro.training.ddp`).
+  models together into a time-to-accuracy run (:mod:`repro.training.ddp`);
+* the online adaptive controller that watches round-time telemetry and
+  switches the active scheme mid-run when scenario faults invert the
+  scheme ranking (:mod:`repro.training.adaptive`).
 """
 
+from repro.training.adaptive import AdaptiveController, SwitchEvent
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.ddp import DDPTrainer, TrainingHistory
 from repro.training.gradients import SyntheticGradientModel
@@ -30,6 +34,8 @@ from repro.training.workloads import (
 )
 
 __all__ = [
+    "AdaptiveController",
+    "SwitchEvent",
     "SyntheticTeacherDataset",
     "DDPTrainer",
     "TrainingHistory",

@@ -1,0 +1,188 @@
+"""Online adaptive scheme selection: switch specs when the ranking inverts.
+
+PR 5's ``table6_faulty`` experiment shows that scheme rankings *invert*
+under faults -- the spec that wins on a quiet cluster (say PowerSGD, with
+its tiny payloads) can lose badly while a straggler window is active, and
+the offline answer ("re-run the sweep, pick the other scheme") arrives
+after the damage is done.  Telemetry-driven hotspot detection (O&M-metric
+work in PAPERS.md) is the model for closing this loop *online*: watch the
+windowed round-time telemetry mid-training, and when it shows the active
+scheme degraded, consult the cost model for every candidate on the
+*current* effective cluster and switch -- with hysteresis, a cooldown, and
+an explicit switch cost so the controller does not thrash.
+
+:class:`AdaptiveController` is deliberately trainer-agnostic: it sees only
+round indices, observed round times, and a pricing callback, so the same
+object drives :class:`~repro.training.ddp.DDPTrainer` runs and offline
+what-if replays.  The decision rule:
+
+1. every round, record the observed round time in a sliding window;
+2. when the windowed p95 exceeds ``hysteresis`` x the active scheme's
+   nominal round time (the degradation trigger), or every ``check_every``
+   rounds (the drift check, which also switches *back* after recovery),
+   price every candidate spec on the current effective cluster;
+3. switch to the best candidate only if the active scheme is more than
+   ``hysteresis`` x slower than it, and no switch happened within the last
+   ``cooldown`` rounds; each switch costs ``switch_cost_rounds`` nominal
+   rounds of simulated time (re-bucketing, residual resets, warmup).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.simulator.scenario import ScenarioMetrics, scenario_metrics
+
+__all__ = ["AdaptiveController", "SwitchEvent"]
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One controller decision to change the active scheme.
+
+    Attributes:
+        round_index: Training round (1-indexed, as the trainer counts) the
+            switch happened after.
+        from_spec / to_spec: The scheme specs involved.
+        observed_p95_seconds: Windowed p95 round time that (together with
+            the periodic drift check) motivated pricing the candidates.
+        predicted_from_seconds / predicted_to_seconds: Cost-model round
+            times of the two schemes on the effective cluster at the
+            moment of the switch.
+    """
+
+    round_index: int
+    from_spec: str
+    to_spec: str
+    observed_p95_seconds: float
+    predicted_from_seconds: float
+    predicted_to_seconds: float
+
+
+class AdaptiveController:
+    """Windowed-telemetry scheme switcher with hysteresis and cooldown.
+
+    Args:
+        candidates: Scheme spec strings the controller may switch between.
+            The trainer's initial scheme must be one of them.
+        window: Sliding-window length (rounds) of the round-time telemetry;
+            the degradation trigger needs a full window before it can fire.
+        hysteresis: Both the degradation trigger (windowed p95 above
+            ``hysteresis * nominal``) and the switch margin (the active
+            scheme must price more than ``hysteresis`` x the best
+            candidate) -- must be >= 1; larger values switch later but
+            never thrash on noise.
+        cooldown: Minimum rounds between switches.
+        check_every: Period (rounds) of the drift check that re-prices the
+            candidates even without a degradation trigger; this is what
+            switches *back* once a fault window ends.
+        switch_cost_rounds: Simulated cost of one switch, in nominal round
+            times of the scheme being switched *to* (the trainer charges
+            it to the clock).
+    """
+
+    def __init__(
+        self,
+        candidates: Sequence[str],
+        *,
+        window: int = 8,
+        hysteresis: float = 1.2,
+        cooldown: int = 10,
+        check_every: int = 5,
+        switch_cost_rounds: float = 1.0,
+    ):
+        self.candidates = list(dict.fromkeys(candidates))
+        if not self.candidates:
+            raise ValueError("the controller needs at least one candidate spec")
+        if len(self.candidates) != len(candidates):
+            raise ValueError("candidate specs must be unique")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if hysteresis < 1.0:
+            raise ValueError(
+                "hysteresis must be >= 1 (it is the switch margin; below 1 "
+                "the controller would flap between near-equal schemes)"
+            )
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        if switch_cost_rounds < 0:
+            raise ValueError("switch_cost_rounds must be non-negative")
+        self.window = window
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self.check_every = check_every
+        self.switch_cost_rounds = switch_cost_rounds
+        self.switches: list[SwitchEvent] = []
+        self._times: deque[float] = deque(maxlen=window)
+        self._last_switch_round: int | None = None
+
+    def windowed_metrics(self, nominal_seconds: float) -> ScenarioMetrics | None:
+        """Tail summary of the telemetry window (None before any observation)."""
+        if not self._times:
+            return None
+        return scenario_metrics(list(self._times), nominal_seconds)
+
+    def observe(
+        self,
+        round_index: int,
+        active: str,
+        round_seconds: float,
+        nominal_seconds: float,
+        price: Callable[[str], float],
+    ) -> str:
+        """Record one round's telemetry and return the spec to run next.
+
+        Args:
+            round_index: The round just executed (1-indexed).
+            active: Spec of the scheme that executed it.
+            round_seconds: Its observed (charged) duration.
+            nominal_seconds: The active scheme's nominal round time on the
+                unperturbed cluster.
+            price: Callback pricing a candidate spec's round on the
+                *current* effective cluster (the cost-model consultation).
+
+        Returns:
+            ``active``, or the spec to switch to (the switch is recorded
+            in :attr:`switches`; the caller charges the switch cost).
+        """
+        if active not in self.candidates:
+            raise ValueError(f"active spec {active!r} is not a candidate")
+        self._times.append(round_seconds)
+        if (
+            self._last_switch_round is not None
+            and round_index - self._last_switch_round < self.cooldown
+        ):
+            return active
+        metrics = self.windowed_metrics(nominal_seconds)
+        degraded = (
+            len(self._times) == self.window
+            and metrics is not None
+            and metrics.p95_round_seconds > self.hysteresis * nominal_seconds
+        )
+        periodic = round_index % self.check_every == 0
+        if not (degraded or periodic):
+            return active
+        predictions = {spec: price(spec) for spec in self.candidates}
+        best = min(self.candidates, key=lambda spec: predictions[spec])
+        if best == active or predictions[active] <= self.hysteresis * predictions[best]:
+            return active
+        self.switches.append(
+            SwitchEvent(
+                round_index=round_index,
+                from_spec=active,
+                to_spec=best,
+                observed_p95_seconds=(
+                    metrics.p95_round_seconds if metrics is not None else round_seconds
+                ),
+                predicted_from_seconds=predictions[active],
+                predicted_to_seconds=predictions[best],
+            )
+        )
+        self._last_switch_round = round_index
+        # The window mixes regimes across a switch; start telemetry afresh.
+        self._times.clear()
+        return best

@@ -35,7 +35,9 @@ from repro.simulator.pipeline import (
     serialized_schedule,
     simulate_schedule,
 )
+from repro.simulator.recovery import PolicyEngine, RecoveryPolicy, policy as as_policy
 from repro.simulator.scenario import Scenario, scenario as as_scenario
+from repro.training.adaptive import AdaptiveController, SwitchEvent
 from repro.training.data import SyntheticTeacherDataset
 from repro.training.models import Model
 from repro.training.optimizer import SGD
@@ -77,6 +79,17 @@ class TrainingHistory:
             dynamic scenario each round is priced on its effective cluster.
         scenario: Canonical spec of the scenario the run executed under, or
             None for a static run.
+        policy: Canonical spec of the recovery policy the run executed
+            under, or None when no policy was active.
+        timed_out_rounds: Rounds whose collective was aborted at the policy
+            deadline (their updates were stale-applied or skipped).
+        retries: Total collective re-issues across the run.
+        dropped_worker_rounds: Sum over rounds of stragglers excused from
+            the collective by the drop rule.
+        stale_rounds: Timed-out rounds that re-applied the previous
+            aggregate instead of skipping the update.
+        scheme_switches: The adaptive controller's switch decisions, in
+            round order (empty for static-scheme runs).
     """
 
     workload_name: str
@@ -88,6 +101,12 @@ class TrainingHistory:
     evaluations: list[EvaluationRecord] = field(default_factory=list)
     round_times: list[float] = field(default_factory=list)
     scenario: str | None = None
+    policy: str | None = None
+    timed_out_rounds: int = 0
+    retries: int = 0
+    dropped_worker_rounds: int = 0
+    stale_rounds: int = 0
+    scheme_switches: list[SwitchEvent] = field(default_factory=list)
 
     @property
     def num_rounds(self) -> int:
@@ -183,6 +202,27 @@ class DDPTrainer:
             fresh workers (error-feedback residuals reset on membership
             changes, as a real elastic job's would).  A scenario with no
             events is bit-exact with a static run.
+        policy: Optional fault-recovery policy
+            (:class:`~repro.simulator.recovery.RecoveryPolicy` or a spec
+            string like ``"timeout(k=3) + retry(max=2)"``) applied to the
+            scenario's rounds: deadlines abort degraded collectives, retries
+            re-issue them, the drop rule excuses stragglers from the
+            collective (their gradients do not contribute -- the explicit
+            variance penalty of partial aggregation), and timed-out rounds
+            re-apply the previous aggregate (stale) or skip the update.
+            Requires ``scenario``; an empty policy is bit-exact with the
+            plain scenario path.
+        controller: Optional online
+            :class:`~repro.training.adaptive.AdaptiveController` that
+            watches windowed round-time telemetry and switches the active
+            scheme mid-run when the cost model says another candidate is
+            now faster (with hysteresis, cooldown, and an explicit switch
+            cost).  Requires ``candidate_schemes`` and ``active_spec``.
+        candidate_schemes: ``spec -> (functional, pricing)`` scheme pairs
+            the controller may switch between; must cover every controller
+            candidate.
+        active_spec: Spec label of the initial scheme (must be one of the
+            controller's candidates).
     """
 
     def __init__(
@@ -202,6 +242,12 @@ class DDPTrainer:
         overlap_fraction: float | None = None,
         kernel_backend: KernelBackend | str = KernelBackend.BATCHED,
         scenario: Scenario | str | None = None,
+        policy: RecoveryPolicy | str | None = None,
+        controller: AdaptiveController | None = None,
+        candidate_schemes: (
+            dict[str, tuple[AggregationScheme, AggregationScheme]] | None
+        ) = None,
+        active_spec: str | None = None,
     ):
         if eval_every <= 0:
             raise ValueError("eval_every must be positive")
@@ -225,6 +271,34 @@ class DDPTrainer:
         self.num_buckets = num_buckets
         self.overlap_fraction = overlap_fraction
         self.scenario = as_scenario(scenario) if scenario is not None else None
+        self.policy = as_policy(policy)
+        if not self.policy.is_empty and self.scenario is None:
+            raise ValueError(
+                "a recovery policy only applies to scenario runs; pass "
+                'scenario= as well (scenario="static" for an explicit '
+                "no-event run)"
+            )
+        self.controller = controller
+        if controller is not None:
+            if candidate_schemes is None:
+                raise ValueError(
+                    "controller requires candidate_schemes: a spec -> "
+                    "(functional, pricing) mapping covering its candidates"
+                )
+            missing = [
+                spec for spec in controller.candidates if spec not in candidate_schemes
+            ]
+            if missing:
+                raise ValueError(
+                    f"candidate_schemes is missing controller candidates: {missing}"
+                )
+            if active_spec is None or active_spec not in controller.candidates:
+                raise ValueError(
+                    "active_spec must name the initial scheme and be one of "
+                    f"the controller's candidates {controller.candidates}"
+                )
+        self._candidate_schemes = dict(candidate_schemes or {})
+        self._active_spec = active_spec
 
         backend = CollectiveBackend(self.cluster)
         # One context for the whole run: the batched kernels' workspace is
@@ -256,14 +330,25 @@ class DDPTrainer:
             self.cluster.cache_key(): self.round_seconds
         }
         self._ctx_by_world: dict[int, SimContext] = {self.cluster.world_size: self._ctx}
+        # Adaptive-mode caches: cost-only contexts per effective cluster and
+        # per-(candidate spec, cluster) round prices for the controller's
+        # cost-model consultations.
+        self._pricing_ctx_cache: dict[object, SimContext] = {}
+        self._candidate_price_cache: dict[tuple[str, object], float] = {}
 
     # ------------------------------------------------------------------ #
-    def _price_round_on(self, cluster: ClusterSpec, ctx: SimContext):
+    def _price_round_on(
+        self,
+        cluster: ClusterSpec,
+        ctx: SimContext,
+        *,
+        pricing: AggregationScheme | None = None,
+        deadline_seconds: float | None = None,
+    ):
         """Price one paper-scale round on ``cluster`` (schedule + simulate)."""
+        pricing = pricing if pricing is not None else self._pricing
         if self.overlap_fraction is not None:
-            costs = self._pricing.estimate_costs(
-                self.workload.paper_num_coordinates, ctx
-            )
+            costs = pricing.estimate_costs(self.workload.paper_num_coordinates, ctx)
             schedule = legacy_overlap_schedule(
                 self._compute_seconds,
                 costs.compression_seconds,
@@ -271,7 +356,7 @@ class DDPTrainer:
                 overlap_fraction=self.overlap_fraction,
             )
         else:
-            bucket_costs = self._pricing.estimate_bucket_costs(
+            bucket_costs = pricing.estimate_bucket_costs(
                 self.workload.paper_num_coordinates, self.num_buckets, ctx
             )
             costs = CostEstimate(
@@ -293,7 +378,9 @@ class DDPTrainer:
                         for b in bucket_costs
                     ],
                 )
-        return costs, simulate_schedule(schedule, cluster)
+        return costs, simulate_schedule(
+            schedule, cluster, deadline_seconds=deadline_seconds
+        )
 
     def _round_seconds_for(self, effective: ClusterSpec) -> float:
         """Round time on an effective cluster, memoized by its cache key."""
@@ -316,22 +403,98 @@ class DDPTrainer:
             self._round_price_cache[key] = cached
         return cached
 
-    def _functional_ctx(self, effective: ClusterSpec) -> SimContext:
+    def _pricing_ctx(self, effective: ClusterSpec) -> SimContext:
+        """A cost-only context for an effective cluster, memoized by key."""
+        key = effective.cache_key()
+        ctx = self._pricing_ctx_cache.get(key)
+        if ctx is None:
+            kernels = (
+                self._ctx.kernels
+                if effective.gpu == self.cluster.gpu
+                else KernelCostModel(gpu=effective.gpu)
+            )
+            ctx = SimContext(
+                backend=CollectiveBackend(effective),
+                kernels=kernels,
+                kernel_backend=self._ctx.kernel_backend,
+            )
+            self._pricing_ctx_cache[key] = ctx
+        return ctx
+
+    def _candidate_seconds(self, spec: str, effective: ClusterSpec) -> float:
+        """A candidate scheme's round time on ``effective`` (memoized)."""
+        key = (spec, effective.cache_key())
+        cached = self._candidate_price_cache.get(key)
+        if cached is None:
+            pricing = self._candidate_schemes[spec][1]
+            cached = self._price_round_on(
+                effective, self._pricing_ctx(effective), pricing=pricing
+            )[1].makespan_seconds
+            self._candidate_price_cache[key] = cached
+        return cached
+
+    def _nominal_seconds(self) -> float:
+        """The active scheme's round time on the unperturbed cluster."""
+        if self._active_spec is None:
+            return self.round_seconds
+        return self._candidate_seconds(self._active_spec, self.cluster)
+
+    def _engine_price(self, cluster: ClusterSpec, deadline: float | None):
+        """Recovery-engine pricing callback: (makespan, aborted-at-deadline)."""
+        result = self._price_round_on(
+            cluster, self._pricing_ctx(cluster), deadline_seconds=deadline
+        )[1]
+        return result.makespan_seconds, result.aborted
+
+    def _make_engine(self) -> PolicyEngine:
+        return PolicyEngine(
+            self.cluster,
+            self.scenario,
+            self.policy,
+            self._engine_price,
+            nominal_seconds=self._nominal_seconds(),
+        )
+
+    def _switch_to(self, spec: str) -> None:
+        """Activate a candidate scheme pair (fresh residual/compressor state)."""
+        functional, pricing = self._candidate_schemes[spec]
+        self.scheme = functional
+        self._pricing = pricing
+        self._active_spec = spec
+
+    def _functional_ctx(
+        self, effective: ClusterSpec, world_size: int | None = None
+    ) -> SimContext:
         """The aggregation context for an effective cluster's world size.
 
         Only membership (world size) affects the functional math, so contexts
         are cached per world size; all of them share the base context's rng
         stream, keeping scheme randomness a single deterministic sequence.
+        Passing ``world_size`` smaller than the effective cluster's models a
+        partial aggregation (drop-straggler rounds contribute n - f
+        gradients without a membership change).
         """
-        ctx = self._ctx_by_world.get(effective.world_size)
+        size = world_size if world_size is not None else effective.world_size
+        ctx = self._ctx_by_world.get(size)
         if ctx is None:
+            backend_cluster = (
+                effective
+                if effective.world_size == size
+                else ClusterSpec(
+                    num_nodes=size,
+                    gpus_per_node=1,
+                    gpu=self.cluster.gpu,
+                    inter_node_nic=self.cluster.inter_node_nic,
+                    intra_node_nic=self.cluster.intra_node_nic,
+                )
+            )
             ctx = SimContext(
-                backend=CollectiveBackend(effective),
+                backend=CollectiveBackend(backend_cluster),
                 kernels=self._ctx.kernels,
                 rng=self._ctx.rng,
                 kernel_backend=self._ctx.kernel_backend,
             )
-            self._ctx_by_world[effective.world_size] = ctx
+            self._ctx_by_world[size] = ctx
         return ctx
 
     def _active_workers(self, world_size: int) -> list[DDPWorker]:
@@ -370,6 +533,9 @@ class DDPTrainer:
             raise ValueError("num_rounds must be positive")
 
         dynamic = self.scenario is not None and not self.scenario.is_static
+        adaptive = self.controller is not None
+        use_policy = dynamic and not self.policy.is_empty
+        engine = self._make_engine() if use_policy else None
         history = TrainingHistory(
             workload_name=self.workload.name,
             scheme_name=self.scheme.name,
@@ -377,19 +543,38 @@ class DDPTrainer:
             metric_improves=self.workload.metric_improves,
             round_seconds=self.round_seconds,
             scenario=self.scenario.spec() if self.scenario is not None else None,
+            policy=None if self.policy.is_empty else self.policy.spec(),
         )
         history.evaluations.append(self._evaluate(0, 0.0))
 
         params = self.model.get_flat_params()
+        last_aggregate: np.ndarray | None = None
         sim_time = 0.0
         for round_index in range(1, num_rounds + 1):
-            if dynamic:
+            resolution = None
+            if engine is not None:
+                resolution = engine.resolve(
+                    round_index - 1, can_stale=last_aggregate is not None
+                )
+                effective = resolution.cluster
+                round_time = resolution.seconds
+                workers = self._active_workers(effective.world_size)
+                if resolution.excused_ranks:
+                    excused = set(resolution.excused_ranks)
+                    workers = [w for w in workers if w.rank not in excused]
+                ctx = self._functional_ctx(effective, world_size=len(workers))
+            elif dynamic:
                 effective = self.scenario.cluster_at(self.cluster, round_index - 1)
-                round_time = self._round_seconds_for(effective)
+                round_time = (
+                    self._candidate_seconds(self._active_spec, effective)
+                    if adaptive
+                    else self._round_seconds_for(effective)
+                )
                 ctx = self._functional_ctx(effective)
                 workers = self._active_workers(effective.world_size)
             else:
-                round_time = self.round_seconds
+                effective = self.cluster
+                round_time = self._nominal_seconds() if adaptive else self.round_seconds
                 ctx = self._ctx
                 workers = self.workers
             losses = []
@@ -401,15 +586,47 @@ class DDPTrainer:
             history.train_losses.append(float(losses[0]))
             history.round_times.append(round_time)
 
-            result = self.scheme.aggregate(gradients, ctx)
-            params = self.optimizer.step(params, result.mean_estimate)
-            self.model.set_flat_params(params)
+            if resolution is not None and resolution.timed_out:
+                # The collective aborted at the deadline: either re-apply the
+                # previous round's aggregate (stale) or skip the update.
+                if resolution.stale and last_aggregate is not None:
+                    params = self.optimizer.step(params, last_aggregate)
+                    self.model.set_flat_params(params)
+            else:
+                result = self.scheme.aggregate(gradients, ctx)
+                last_aggregate = result.mean_estimate
+                params = self.optimizer.step(params, result.mean_estimate)
+                self.model.set_flat_params(params)
 
             # The static accumulation stays the historical closed form
             # (round_index * round_seconds) so static runs are bit-exact.
             sim_time = (
-                sim_time + round_time if dynamic else round_index * self.round_seconds
+                sim_time + round_time
+                if dynamic or adaptive
+                else round_index * self.round_seconds
             )
+            if adaptive:
+                chosen = self.controller.observe(
+                    round_index,
+                    self._active_spec,
+                    round_time,
+                    self._nominal_seconds(),
+                    lambda spec: self._candidate_seconds(spec, effective),
+                )
+                if chosen != self._active_spec:
+                    self._switch_to(chosen)
+                    # Re-bucketing and residual warmup are not free: charge
+                    # the controller's switch cost to the simulated clock.
+                    sim_time += (
+                        self.controller.switch_cost_rounds * self._nominal_seconds()
+                    )
+                    # The old scheme's aggregate is not a valid stale update
+                    # for the new one (different compression error profile).
+                    last_aggregate = None
+                    if engine is not None:
+                        successor = self._make_engine()
+                        successor.adopt_state(engine)
+                        engine = successor
             if round_index % self.eval_every == 0 or round_index == num_rounds:
                 record = self._evaluate(round_index, sim_time)
                 history.evaluations.append(record)
@@ -417,4 +634,11 @@ class DDPTrainer:
                     record.metrics[self.workload.metric]
                 ):
                     break
+        if engine is not None:
+            history.timed_out_rounds = engine.timed_out_rounds
+            history.retries = engine.retries
+            history.dropped_worker_rounds = engine.dropped_worker_rounds
+            history.stale_rounds = engine.stale_rounds
+        if adaptive:
+            history.scheme_switches = list(self.controller.switches)
         return history

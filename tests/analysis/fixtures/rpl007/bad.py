@@ -1,0 +1,25 @@
+"""Deliberate RPL007 violations: broad handlers that swallow the fault."""
+
+
+def drain(queue):
+    while queue:
+        try:
+            queue.pop().close()
+        except Exception:
+            continue  # fault gone: no log, no counter, no re-raise
+
+
+def flush(points, sink):
+    for point in points:
+        try:
+            sink.write(point)
+        except:  # noqa: E722 - the point of the fixture
+            pass
+
+
+def settle(worker):
+    try:
+        worker.join()
+    except (ValueError, Exception):
+        """Even documented, the fault still vanishes."""
+        pass

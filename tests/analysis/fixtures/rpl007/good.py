@@ -1,0 +1,36 @@
+"""The clean counterpart: faults are logged, counted, narrowed, or re-raised."""
+
+import logging
+
+logger = logging.getLogger("repro.fixture")
+
+
+def drain(queue, metrics):
+    while queue:
+        try:
+            queue.pop().close()
+        except Exception:
+            metrics["close_failures"] = metrics.get("close_failures", 0) + 1
+            continue  # counted: the degradation is visible
+
+
+def flush(points, sink):
+    for point in points:
+        try:
+            sink.write(point)
+        except Exception:
+            logger.warning("dropping point %r: sink write failed", point)
+
+
+def settle(worker):
+    try:
+        worker.join()
+    except TimeoutError:
+        pass  # a narrow, named expectation -- not a swallowed fault
+
+
+def close(connection):
+    try:
+        connection.close()
+    except Exception:
+        raise

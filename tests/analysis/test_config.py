@@ -32,7 +32,7 @@ def test_missing_pyproject_means_defaults(tmp_path):
     config = load_config(tmp_path)
     assert config.enable is None
     assert config.disable == ()
-    assert len(config.enabled_rules()) == 6
+    assert len(config.enabled_rules()) == 7
 
 
 def test_pyproject_without_reprolint_table(tmp_path):
@@ -49,7 +49,7 @@ def test_table_is_discovered_and_source_recorded(tmp_path):
     assert config.source == path
     codes = [rule.code for rule in config.enabled_rules()]
     assert "RPL004" not in codes
-    assert len(codes) == 5
+    assert len(codes) == 6
 
 
 def test_explicit_config_flag(tmp_path):
@@ -63,11 +63,11 @@ def test_explicit_config_flag(tmp_path):
 # Validation: fail loudly, with suggestions
 # --------------------------------------------------------------------------- #
 def test_unknown_rule_in_disable_suggests(tmp_path):
-    _write_pyproject(tmp_path, "[tool.reprolint]\ndisable = [\"RPL007\"]\n")
+    _write_pyproject(tmp_path, "[tool.reprolint]\ndisable = [\"RPL008\"]\n")
     with pytest.raises(UnknownRuleError) as excinfo:
         load_config(tmp_path)
     message = str(excinfo.value)
-    assert "RPL007" in message
+    assert "RPL008" in message
     assert "did you mean" in message
     assert "known:" in message
 

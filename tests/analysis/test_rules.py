@@ -21,6 +21,7 @@ CASES = [
     ("RPL004", "rpl004", "src/repro/api/fixture_mod.py"),
     ("RPL005", "rpl005", "src/repro/service/fixture_mod.py"),
     ("RPL006", "rpl006", "src/repro/compression/fixture_mod.py"),
+    ("RPL007", "rpl007", "src/repro/service/fixture_mod.py"),
 ]
 
 #: Findings each bad fixture must produce (pinned so a rule that silently
@@ -32,6 +33,7 @@ EXPECTED_BAD_FINDINGS = {
     "RPL004": 2,  # lambda to process pool, worker mutating module state
     "RPL005": 3,  # time.sleep, sqlite3.connect, subprocess.run
     "RPL006": 1,  # one class missing both contract methods
+    "RPL007": 3,  # except-continue, bare except-pass, tuple with Exception
 }
 
 

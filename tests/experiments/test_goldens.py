@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import faults, table6, table8
+from repro.experiments import adaptive, faults, table6, table8
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -123,6 +123,29 @@ def table6_faulty_payload(rows) -> list[dict]:
     ]
 
 
+def adaptive_tta_payload(result) -> dict:
+    return {
+        "workload": result.workload_name,
+        "scenario": result.scenario_spec,
+        "target_metric": result.target_metric,
+        "static_tta_seconds": dict(result.static_tta_seconds),
+        "adaptive_tta_seconds": result.adaptive_tta_seconds,
+        "adaptive_margin_seconds": result.adaptive_margin_seconds,
+        "switches": [
+            {
+                "round_index": event.round_index,
+                "from_spec": event.from_spec,
+                "to_spec": event.to_spec,
+                "observed_p95_seconds": event.observed_p95_seconds,
+                "predicted_from_seconds": event.predicted_from_seconds,
+                "predicted_to_seconds": event.predicted_to_seconds,
+            }
+            for event in result.switches
+        ],
+        "inversion": table6_faulty_payload(result.inversion_rows),
+    }
+
+
 def table8_multirack_payload(rows) -> list[dict]:
     return [
         {
@@ -162,6 +185,25 @@ class TestTable6FaultyGoldens:
             "powersgd" in static_winner and "thc" in faulty_winner
             for _, _, static_winner, faulty_winner in inversions
         ), "the shipped straggler scenario must invert the thc/powersgd ranking"
+
+
+class TestAdaptiveGoldens:
+    def test_adaptive_beats_every_static(self, update_goldens):
+        """The headline robustness claim, pinned end to end: the scenario
+        inverts the static transport ranking (a table6_faulty inversion), the
+        controller switches out and back at the window edges, and the
+        adaptive run reaches the accuracy target before *every* static
+        candidate."""
+        result = adaptive.run_adaptive_tta()
+        assert faults.ranking_inversions(result.inversion_rows), (
+            "the demonstration scenario must invert the static ranking"
+        )
+        assert len(result.switches) == 2, "expected one switch out and one back"
+        assert result.switches[0].to_spec == result.switches[1].from_spec
+        assert result.adaptive_margin_seconds > 0, (
+            "the adaptive run must beat every static candidate on TTA"
+        )
+        check_golden("adaptive_tta", adaptive_tta_payload(result), update_goldens)
 
 
 class TestTable8Goldens:

@@ -1,0 +1,137 @@
+"""Monte Carlo scenario fleet: determinism, CIs, and policy rankings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario_fleet import (
+    ConfidenceInterval,
+    ScenarioDistribution,
+    default_fleet_distribution,
+    policy_rankings,
+    render_scenario_fleet,
+    run_scenario_fleet,
+)
+
+FAST_POLICIES = (
+    "none",
+    "timeout(k=2) + drop(max_workers=1)",
+    "timeout(k=3) + retry(max=2, backoff=0.1)",
+)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_has_zero_width(self):
+        interval = ConfidenceInterval.from_samples([2.5])
+        assert interval.mean == 2.5
+        assert interval.half_width == 0.0
+        assert interval.n == 1
+
+    def test_interval_brackets_the_mean(self):
+        interval = ConfidenceInterval.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert interval.low < interval.mean < interval.high
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            ConfidenceInterval.from_samples([])
+
+    def test_separation_is_symmetric(self):
+        narrow = ConfidenceInterval(mean=1.0, half_width=0.1, n=32)
+        far = ConfidenceInterval(mean=5.0, half_width=0.1, n=32)
+        near = ConfidenceInterval(mean=1.15, half_width=0.1, n=32)
+        assert narrow.separated_from(far) and far.separated_from(narrow)
+        assert not narrow.separated_from(near)
+
+
+class TestScenarioDistribution:
+    def test_draws_are_deterministic(self):
+        first = default_fleet_distribution().draw(7)
+        second = default_fleet_distribution().draw(7)
+        assert first.spec() == second.spec()
+        assert first.seed == second.seed
+
+    def test_draws_differ_across_indices(self):
+        distribution = default_fleet_distribution()
+        specs = {distribution.draw(index).spec() for index in range(8)}
+        assert len(specs) > 1, "jitter should vary the drawn scenarios"
+
+    def test_window_length_is_preserved(self):
+        distribution = ScenarioDistribution(
+            "slowdown(w=1, x=8)@10..40", severity_jitter=0.0, window_jitter=5
+        )
+        for index in range(8):
+            event = distribution.draw(index).events[0]
+            assert event.until_round - event.start_round == 30
+
+    def test_switch_mem_factor_stays_a_fraction(self):
+        distribution = ScenarioDistribution(
+            "switch_mem(x=0.9)@0..5", severity_jitter=3.0, window_jitter=0
+        )
+        for index in range(16):
+            assert 0.0 < distribution.draw(index).events[0].factor <= 1.0
+
+    def test_bad_template_fails_fast(self):
+        with pytest.raises(Exception, match="slowdwn"):
+            ScenarioDistribution("slowdwn(w=1, x=8)")
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError, match="severity_jitter"):
+            ScenarioDistribution("slowdown(w=1, x=8)", severity_jitter=-0.1)
+        with pytest.raises(ValueError, match="window_jitter"):
+            ScenarioDistribution("slowdown(w=1, x=8)", window_jitter=-1)
+
+
+class TestScenarioFleet:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # The acceptance-grade fleet: >= 32 seeded draws per grid point,
+        # priced through the process executor.
+        return run_scenario_fleet(
+            schemes=("thc(q=4, rot=partial, agg=sat)",),
+            policies=FAST_POLICIES,
+            num_samples=32,
+            executor="auto",
+        )
+
+    def test_grid_shape_and_sample_counts(self, points):
+        assert len(points) == len(FAST_POLICIES)
+        assert all(point.num_samples == 32 for point in points)
+        assert [point.policy_spec for point in points] == list(FAST_POLICIES)
+
+    def test_recovery_counters_surface_in_the_grid(self, points):
+        by_policy = {point.policy_spec: point for point in points}
+        assert by_policy["none"].mean_counters["dropped_worker_rounds"] == 0.0
+        drop = by_policy["timeout(k=2) + drop(max_workers=1)"]
+        assert drop.mean_counters["dropped_worker_rounds"] > 0
+        retry = by_policy["timeout(k=3) + retry(max=2, backoff=0.1)"]
+        assert retry.mean_counters["retries"] > 0
+
+    def test_top_policy_ranking_is_ci_separated(self, points):
+        rankings = policy_rankings(points)
+        entries = rankings["thc(q=4, rot=partial, agg=sat)"]
+        best_policy, best_interval, best_separated = entries[0]
+        assert best_policy == "timeout(k=2) + drop(max_workers=1)"
+        assert best_separated, "top-ranked policy must be CI-separated from rank 2"
+        # ... and indeed from every other policy in the grid.
+        for _, interval, _ in entries[1:]:
+            assert best_interval.separated_from(interval)
+
+    def test_fleet_is_reproducible(self, points):
+        again = run_scenario_fleet(
+            schemes=("thc(q=4, rot=partial, agg=sat)",),
+            policies=FAST_POLICIES,
+            num_samples=32,
+            executor="serial",
+        )
+        for first, second in zip(points, again):
+            assert first.tta.mean == pytest.approx(second.tta.mean, rel=1e-12)
+            assert first.p99.mean == pytest.approx(second.p99.mean, rel=1e-12)
+
+    def test_render_mentions_separation(self, points):
+        text = render_scenario_fleet(points)
+        assert "95% CIs" in text
+        assert "CI overlaps" in text
+
+    def test_invalid_num_samples_rejected(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            run_scenario_fleet(num_samples=0)

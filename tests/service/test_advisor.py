@@ -244,6 +244,80 @@ class TestBackpressureAndDeadlines:
 
         run(scenario())
 
+    def test_stale_on_overload_serves_cached_ranking(self):
+        async def scenario():
+            service = make_service(max_queue=2, serve_stale_on_overload=True)
+            async with service:
+                # Warm two of the three candidates into the cache.
+                await service.advise(AdviseRequest(specs=(THC, TOPKC), workload="bert_large"))
+                # Fill the bounded queue with distinct cold requests, then
+                # overflow it with a request that mixes cached and uncached
+                # candidates: instead of a 429 it gets the cached subset.
+                cold = [
+                    AdviseRequest(specs=(f"qsgd(q={q}, agg=sat)",), workload="bert_large")
+                    for q in (2, 3, 4, 5, 6)
+                ]
+                outcomes = await asyncio.gather(
+                    *(service.advise(request) for request in cold),
+                    service.advise(REQUEST),
+                    return_exceptions=True,
+                )
+                stale = outcomes[-1]
+                assert not isinstance(stale, Exception)
+                assert stale.stale is True
+                assert stale.stale_age_seconds is not None
+                assert stale.stale_age_seconds >= 0.0
+                # Only the cached candidates are ranked; the never-priced
+                # one cannot appear without doing the work overload forbids.
+                assert {entry.spec for entry in stale.ranked} == {THC, TOPKC}
+                assert all(
+                    entry.provenance in ("memory", "persistent")
+                    for entry in stale.ranked
+                )
+                snapshot = service.snapshot()
+                assert snapshot["stale_served"] == 1
+                # The queue-filling cold requests behave exactly as before.
+                assert snapshot["rejected_queue_full"] == 3
+
+        run(scenario())
+
+    def test_stale_mode_still_429s_with_nothing_cached(self):
+        async def scenario():
+            service = make_service(max_queue=2, serve_stale_on_overload=True)
+            async with service:
+                distinct = [
+                    AdviseRequest(specs=(f"qsgd(q={q}, agg=sat)",), workload="bert_large")
+                    for q in (2, 3, 4, 5, 6)
+                ]
+                outcomes = await asyncio.gather(
+                    *(service.advise(request) for request in distinct),
+                    return_exceptions=True,
+                )
+                rejected = [o for o in outcomes if isinstance(o, ServiceOverloadedError)]
+                assert len(rejected) == 3
+                assert service.snapshot()["stale_served"] == 0
+
+        run(scenario())
+
+    def test_stale_mode_off_rejects_even_with_cached_candidates(self):
+        async def scenario():
+            service = make_service(max_queue=2)
+            async with service:
+                await service.advise(AdviseRequest(specs=(THC, TOPKC), workload="bert_large"))
+                cold = [
+                    AdviseRequest(specs=(f"qsgd(q={q}, agg=sat)",), workload="bert_large")
+                    for q in (2, 3, 4, 5, 6)
+                ]
+                outcomes = await asyncio.gather(
+                    *(service.advise(request) for request in cold),
+                    service.advise(REQUEST),
+                    return_exceptions=True,
+                )
+                assert isinstance(outcomes[-1], ServiceOverloadedError)
+                assert service.snapshot()["stale_served"] == 0
+
+        run(scenario())
+
     def test_deadline_rejection_still_warms_cache(self):
         async def scenario():
             service = make_service(batch_window=0.0)

@@ -13,6 +13,22 @@ def point(key: str, value: float = 1.0) -> CachedPoint:
     return CachedPoint(key=key, value=value, canonical_spec=f"spec[{key}]")
 
 
+class TestPayloadRoundTrip:
+    def test_created_at_survives_the_spill_format(self):
+        entry = CachedPoint(
+            key="k", value=1.5, canonical_spec="spec[k]", created_at=1234.5
+        )
+        back = CachedPoint.from_payload("k", entry.to_payload())
+        assert back == entry
+        assert back.created_at == 1234.5
+
+    def test_legacy_payload_without_created_at_loads(self):
+        payload = json.dumps({"value": 2.0, "canonical_spec": "spec[k]", "tail": None})
+        back = CachedPoint.from_payload("k", payload)
+        assert back.created_at is None
+        assert back.value == 2.0
+
+
 class TestMemoryTier:
     def test_miss_then_hit(self):
         cache = PricingCache(max_entries=4)

@@ -249,8 +249,15 @@ class TestSpecLanguage:
             parse_scenario("churn(p=0.1) churn(p=0.2)")
 
     def test_invalid_window_values(self):
-        with pytest.raises(ScenarioParamError, match="until_round"):
+        with pytest.raises(ScenarioSyntaxError, match="half-open"):
             parse_scenario("churn(p=0.1)@9..3")
+
+    def test_empty_window_rejected_at_parse_time(self):
+        with pytest.raises(ScenarioSyntaxError, match=r"@5\.\.5.*half-open"):
+            parse_scenario("slowdown(w=1, x=8)@5..5")
+        # The actionable message suggests the single-round spelling, which parses.
+        event = parse_scenario("slowdown(w=1, x=8)@5..6").events[0]
+        assert (event.start_round, event.until_round) == (5, 6)
 
     def test_available_events(self):
         assert set(available_events()) == {
