@@ -12,6 +12,8 @@ the paper's measurements as methods:
   time-to-accuracy curve;
 * :meth:`~ExperimentSession.compare` -- several schemes against the FP16
   baseline with utility reports;
+* :meth:`~ExperimentSession.validate` -- real execution through the bridge
+  harness checked against the simulator's predictions;
 * :meth:`~ExperimentSession.sweep` -- any of the above expanded over a
   spec x workload x cluster grid, executed concurrently with per-point
   memoization.
@@ -313,6 +315,36 @@ class ExperimentSession:
             kernel_backend=self.backend,
             scenario=scenario,
             policy=policy,
+        )
+
+    def validate(
+        self,
+        specs: Sequence[str] | None = None,
+        *,
+        trace=None,
+        num_steps: int = 2,
+        seed: int | None = None,
+        transport: str = "inprocess",
+        cluster: ClusterSpec | None = None,
+    ):
+        """Check the simulator's predictions against real execution.
+
+        Runs the real-tensor bridge (:mod:`repro.bridge`) next to the
+        monolithic simulated path over the same gradient trace and returns
+        the :class:`~repro.experiments.validation.ValidationReport` of
+        measured-vs-simulated VNMSE and traffic agreement.  Defaults to the
+        whole scheme registry on a seeded synthetic trace sized to the
+        session's cluster.
+        """
+        from repro.experiments.validation import run_validation
+
+        return run_validation(
+            tuple(specs) if specs is not None else None,
+            trace=trace,
+            cluster=cluster or self.cluster,
+            num_steps=num_steps,
+            seed=self.seed + 7 if seed is None else seed,
+            transport=transport,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,308 @@
+"""Versioned on-disk gradient traces: npz shards plus a JSON manifest.
+
+A *gradient trace* is the bridge's unit of workload: for each training step,
+the gradient every worker computed, layer by layer.  On disk a trace is a
+directory::
+
+    trace/
+      manifest.json       # format tag, version, layers, steps, metadata
+      step_00000.npz      # one shard per step: key "w{rank}::{layer}"
+      step_00001.npz
+      ...
+
+The manifest pins the layer schema (names, shapes, dtypes) and the shard
+list; loading validates every array against it and fails loudly with
+:class:`TraceFormatError` on any mismatch, so a corrupted or hand-edited
+trace can never silently feed wrong tensors into a validation run.  Traces
+produced by the recorders in :mod:`repro.bridge.recorders` are
+seed-deterministic, and the save -> load round-trip is bit-exact (covered by
+a hypothesis fuzz suite).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+#: Format tag every manifest must carry.
+TRACE_FORMAT = "repro-gradient-trace"
+
+#: Current (and only) trace format version.
+TRACE_VERSION = 1
+
+#: Manifest file name inside a trace directory.
+MANIFEST_NAME = "manifest.json"
+
+
+class TraceFormatError(ValueError):
+    """A trace directory does not conform to the on-disk format."""
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Schema of one recorded layer: its name, shape, and dtype."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TraceFormatError("layer names must be non-empty")
+        if any(dim <= 0 for dim in self.shape):
+            raise TraceFormatError(f"layer {self.name!r} has a non-positive dimension")
+        try:
+            np.dtype(self.dtype)
+        except TypeError as error:
+            raise TraceFormatError(
+                f"layer {self.name!r} declares unknown dtype {self.dtype!r}"
+            ) from error
+
+    @property
+    def size(self) -> int:
+        """Number of coordinates in this layer."""
+        return int(np.prod(self.shape))
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "shape": list(self.shape), "dtype": self.dtype}
+
+    @staticmethod
+    def from_json(payload: dict) -> "LayerSpec":
+        try:
+            return LayerSpec(
+                name=str(payload["name"]),
+                shape=tuple(int(dim) for dim in payload["shape"]),
+                dtype=str(payload["dtype"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceFormatError(f"malformed layer entry {payload!r}") from error
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One training step: per worker, one gradient array per layer."""
+
+    index: int
+    gradients: tuple[tuple[np.ndarray, ...], ...]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.gradients)
+
+    def flat(self, rank: int) -> np.ndarray:
+        """Worker ``rank``'s gradient flattened to one float32 vector.
+
+        This is the parameter-flattening step a DDP hook performs before
+        handing the gradient to the compression scheme.
+        """
+        layers = self.gradients[rank]
+        return np.concatenate(
+            [np.asarray(layer, dtype=np.float32).ravel() for layer in layers]
+        )
+
+    def flats(self) -> list[np.ndarray]:
+        """Every worker's flattened gradient, in rank order."""
+        return [self.flat(rank) for rank in range(self.num_workers)]
+
+    def true_mean(self) -> np.ndarray:
+        """The exact mean gradient of this step (the harness's ground truth)."""
+        return np.mean(np.stack(self.flats()), axis=0)
+
+
+@dataclass
+class GradientTrace:
+    """An in-memory gradient trace: layer schema, steps, free-form metadata."""
+
+    layers: tuple[LayerSpec, ...]
+    steps: list[TraceStep]
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.layers = tuple(self.layers)
+        if not self.layers:
+            raise TraceFormatError("a trace needs at least one layer")
+        if not self.steps:
+            raise TraceFormatError("a trace needs at least one step")
+        workers = self.steps[0].num_workers
+        if workers < 1:
+            raise TraceFormatError("a trace needs at least one worker")
+        for step in self.steps:
+            if step.num_workers != workers:
+                raise TraceFormatError(
+                    f"step {step.index} has {step.num_workers} workers, "
+                    f"expected {workers}"
+                )
+            for rank, layer_arrays in enumerate(step.gradients):
+                self._check_layers(step.index, rank, layer_arrays)
+
+    def _check_layers(
+        self, step_index: int, rank: int, layer_arrays: tuple[np.ndarray, ...]
+    ) -> None:
+        if len(layer_arrays) != len(self.layers):
+            raise TraceFormatError(
+                f"step {step_index} worker {rank}: {len(layer_arrays)} layer "
+                f"arrays, manifest declares {len(self.layers)}"
+            )
+        for spec, array in zip(self.layers, layer_arrays):
+            if tuple(array.shape) != spec.shape:
+                raise TraceFormatError(
+                    f"step {step_index} worker {rank} layer {spec.name!r}: "
+                    f"shape {tuple(array.shape)} != declared {spec.shape}"
+                )
+            if array.dtype != np.dtype(spec.dtype):
+                raise TraceFormatError(
+                    f"step {step_index} worker {rank} layer {spec.name!r}: "
+                    f"dtype {array.dtype} != declared {spec.dtype}"
+                )
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_workers(self) -> int:
+        return self.steps[0].num_workers
+
+    @property
+    def num_coordinates(self) -> int:
+        """Flattened gradient length: the sum of all layer sizes."""
+        return sum(layer.size for layer in self.layers)
+
+    @property
+    def layer_shapes(self) -> list[tuple[int, ...]]:
+        """Layer shapes in declaration order (PowerSGD consumes these)."""
+        return [layer.shape for layer in self.layers]
+
+
+def _shard_name(step_index: int) -> str:
+    return f"step_{step_index:05d}.npz"
+
+
+def _array_key(rank: int, layer_name: str) -> str:
+    return f"w{rank:05d}::{layer_name}"
+
+
+def save_trace(trace: GradientTrace, directory: str | Path) -> Path:
+    """Write ``trace`` to ``directory`` and return the manifest path.
+
+    The directory is created if needed; an existing manifest is overwritten
+    (traces are immutable artifacts -- re-saving is re-recording).
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    shards = []
+    for step in trace.steps:
+        name = _shard_name(step.index)
+        arrays = {
+            _array_key(rank, spec.name): np.ascontiguousarray(array)
+            for rank, layer_arrays in enumerate(step.gradients)
+            for spec, array in zip(trace.layers, layer_arrays)
+        }
+        np.savez(root / name, **arrays)
+        shards.append({"step": step.index, "file": name})
+    manifest = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "num_workers": trace.num_workers,
+        "num_coordinates": trace.num_coordinates,
+        "layers": [layer.to_json() for layer in trace.layers],
+        "shards": shards,
+        "metadata": trace.metadata,
+    }
+    manifest_path = root / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest_path
+
+
+def load_trace(directory: str | Path) -> GradientTrace:
+    """Load a trace from ``directory``, validating it against its manifest.
+
+    Raises:
+        TraceFormatError: The manifest is missing, unparseable, from an
+            unknown format/version, or any shard array deviates from the
+            declared schema.
+    """
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise TraceFormatError(f"no {MANIFEST_NAME} in {root}: not a gradient trace")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise TraceFormatError(f"{manifest_path} is not valid JSON: {error}") from error
+    if not isinstance(manifest, dict):
+        raise TraceFormatError(f"{manifest_path} must contain a JSON object")
+    if manifest.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"{manifest_path} declares format {manifest.get('format')!r}, "
+            f"expected {TRACE_FORMAT!r}"
+        )
+    if manifest.get("version") != TRACE_VERSION:
+        raise TraceFormatError(
+            f"trace version {manifest.get('version')!r} is not supported "
+            f"(this reader understands version {TRACE_VERSION})"
+        )
+    for key in ("num_workers", "layers", "shards"):
+        if key not in manifest:
+            raise TraceFormatError(f"{manifest_path} is missing required key {key!r}")
+    layers = tuple(LayerSpec.from_json(entry) for entry in manifest["layers"])
+    num_workers = int(manifest["num_workers"])
+    if num_workers < 1:
+        raise TraceFormatError(f"manifest declares num_workers={num_workers}")
+
+    steps = []
+    for entry in manifest["shards"]:
+        try:
+            step_index = int(entry["step"])
+            file_name = str(entry["file"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise TraceFormatError(f"malformed shard entry {entry!r}") from error
+        shard_path = root / file_name
+        if not shard_path.exists():
+            raise TraceFormatError(
+                f"shard {file_name} is listed in the manifest but missing on disk"
+            )
+        try:
+            with np.load(shard_path) as shard:
+                gradients = tuple(
+                    tuple(
+                        _load_array(shard, rank, spec, step_index, file_name)
+                        for spec in layers
+                    )
+                    for rank in range(num_workers)
+                )
+        except (OSError, ValueError) as error:
+            raise TraceFormatError(
+                f"shard {file_name} is unreadable: {error}"
+            ) from error
+        steps.append(TraceStep(index=step_index, gradients=gradients))
+
+    metadata = manifest.get("metadata", {})
+    if not isinstance(metadata, dict):
+        raise TraceFormatError("manifest metadata must be a JSON object")
+    # GradientTrace.__post_init__ re-validates shapes/dtypes against the
+    # schema, so a shard whose arrays disagree with the manifest fails here.
+    return GradientTrace(layers=layers, steps=steps, metadata=metadata)
+
+
+def _load_array(shard, rank: int, spec: LayerSpec, step_index: int, file_name: str):
+    key = _array_key(rank, spec.name)
+    if key not in shard:
+        raise TraceFormatError(
+            f"shard {file_name} (step {step_index}) is missing array {key!r}"
+        )
+    array = shard[key]
+    if tuple(array.shape) != spec.shape:
+        raise TraceFormatError(
+            f"shard {file_name} array {key!r}: shape {tuple(array.shape)} "
+            f"!= declared {spec.shape}"
+        )
+    if array.dtype != np.dtype(spec.dtype):
+        raise TraceFormatError(
+            f"shard {file_name} array {key!r}: dtype {array.dtype} "
+            f"!= declared {spec.dtype}"
+        )
+    return array

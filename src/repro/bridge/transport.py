@@ -1,0 +1,85 @@
+"""Worker <-> server message channels: in-process queues or OS pipes.
+
+The harness speaks one tiny protocol (python dict messages whose payload
+fields are the :class:`~repro.bridge.wire.EncodedSection` bytes) over a
+duplex channel per worker.  Two concrete transports:
+
+* :func:`inprocess_channel` -- a pair of ``queue.Queue`` endpoints; workers
+  run as threads of the driver process.  Fast, no serialization, the default
+  for tests and the CI smoke pass.
+* :func:`multiprocess_channel` -- a ``multiprocessing.Pipe``; workers run as
+  real OS processes and every message (control header + payload bytes)
+  crosses a pickled pipe, exactly as a socket transport would see it.
+
+Both endpoints implement ``send(obj)`` / ``recv(timeout)``; a receive that
+outlives its timeout raises :class:`BridgeTimeoutError`, the harness's
+loud-failure mode for a deadlocked or crashed peer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+
+
+class BridgeTimeoutError(RuntimeError):
+    """A harness endpoint waited longer than its timeout for a message."""
+
+
+class QueueEndpoint:
+    """One side of an in-process duplex channel built from two queues."""
+
+    def __init__(self, inbox: queue.Queue, outbox: queue.Queue):
+        self._inbox = inbox
+        self._outbox = outbox
+
+    def send(self, message) -> None:
+        self._outbox.put(message)
+
+    def recv(self, timeout: float):
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty as error:
+            raise BridgeTimeoutError(
+                f"no message within {timeout:g}s on in-process channel"
+            ) from error
+
+
+class PipeEndpoint:
+    """One side of a multiprocess duplex channel over an OS pipe."""
+
+    def __init__(self, connection):
+        self._connection = connection
+
+    def send(self, message) -> None:
+        self._connection.send(message)
+
+    def recv(self, timeout: float):
+        if not self._connection.poll(timeout):
+            raise BridgeTimeoutError(
+                f"no message within {timeout:g}s on multiprocess channel"
+            )
+        try:
+            return self._connection.recv()
+        except EOFError as error:
+            raise BridgeTimeoutError(
+                "peer closed the multiprocess channel (worker crashed?)"
+            ) from error
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def inprocess_channel() -> tuple[QueueEndpoint, QueueEndpoint]:
+    """A duplex in-process channel: returns (worker_end, server_end)."""
+    to_server: queue.Queue = queue.Queue()
+    to_worker: queue.Queue = queue.Queue()
+    worker_end = QueueEndpoint(inbox=to_worker, outbox=to_server)
+    server_end = QueueEndpoint(inbox=to_server, outbox=to_worker)
+    return worker_end, server_end
+
+
+def multiprocess_channel() -> tuple[PipeEndpoint, PipeEndpoint]:
+    """A duplex multiprocess channel: returns (worker_end, server_end)."""
+    worker_conn, server_conn = multiprocessing.Pipe(duplex=True)
+    return PipeEndpoint(worker_conn), PipeEndpoint(server_conn)

@@ -1,0 +1,197 @@
+"""Bit-exact wire codecs: collective payloads as real bytes.
+
+The simulator prices every collective at a declared *wire width* -- 16 bits
+for an FP16 payload, ``q`` bits for q-bit quantization levels, 32 bits for a
+norm scalar.  This module is where those declarations stop being bookkeeping
+and become actual encodings:
+
+* a 16-bit width encodes IEEE float16;
+* a 32-bit width encodes IEEE float32 (or int32 for integer payloads such as
+  TopK indices);
+* a 64-bit width encodes the array raw (used for server downlinks);
+* any other integer width requires an *integral-valued* payload and packs
+  each value into exactly ``w`` bits (offset-binary two's complement), which
+  is how q-bit quantization levels and signSGD votes travel.
+
+``encode_section`` therefore refuses payloads the declared width cannot
+faithfully carry (fractional values at a 5-bit width, levels outside the
+signed w-bit range) by raising :class:`WireFormatError` -- if a scheme's
+traffic accounting cannot be realised as bytes, the differential validation
+suite should fail loudly rather than fudge the byte count.
+
+The *logical* payload size of a section is ``size * wire_bits`` bits, matching
+the simulator's ``payload_bits`` accounting exactly; the byte buffer is that
+rounded up to whole bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class WireFormatError(ValueError):
+    """A payload cannot be faithfully encoded at its declared wire width."""
+
+
+@dataclass(frozen=True)
+class EncodedSection:
+    """One wire-encoded payload section.
+
+    Attributes:
+        payload: The raw bytes on the wire.
+        shape: Original array shape (decode restores it).
+        dtype: Original array dtype name (decode restores it).
+        wire_bits: Declared bits per value.
+        encoding: Concrete codec used (``f16``/``f32``/``f64``/``i32``/
+            ``i64``/``pack``).
+        bits: Logical payload size in bits: ``size * wire_bits``.
+    """
+
+    payload: bytes
+    shape: tuple[int, ...]
+    dtype: str
+    wire_bits: float
+    encoding: str
+    bits: int
+
+    @property
+    def nbytes(self) -> int:
+        """Actual buffer length on the wire."""
+        return len(self.payload)
+
+
+def encode_section(array: np.ndarray, wire_bits: float) -> EncodedSection:
+    """Encode ``array`` at ``wire_bits`` bits per value.
+
+    Raises:
+        WireFormatError: The width is not realisable for this payload.
+    """
+    array = np.asarray(array)
+    size = array.size
+    logical_bits = _logical_bits(size, wire_bits)
+
+    def section(payload: bytes, encoding: str) -> EncodedSection:
+        expected = -(-logical_bits // 8)  # ceil division
+        if len(payload) != expected:
+            raise WireFormatError(
+                f"{encoding} encoding produced {len(payload)} bytes for a "
+                f"{logical_bits}-bit payload (expected {expected})"
+            )
+        return EncodedSection(
+            payload=payload,
+            shape=tuple(array.shape),
+            dtype=array.dtype.name,
+            wire_bits=float(wire_bits),
+            encoding=encoding,
+            bits=logical_bits,
+        )
+
+    integral_dtype = np.issubdtype(array.dtype, np.integer)
+    if wire_bits == 16.0 and not integral_dtype:
+        return section(np.ascontiguousarray(array, dtype=np.float16).tobytes(), "f16")
+    if wire_bits == 32.0:
+        if integral_dtype:
+            _check_int_range(array, 32)
+            return section(
+                np.ascontiguousarray(array, dtype=np.int32).tobytes(), "i32"
+            )
+        return section(np.ascontiguousarray(array, dtype=np.float32).tobytes(), "f32")
+    if wire_bits == 64.0:
+        if integral_dtype:
+            return section(
+                np.ascontiguousarray(array, dtype=np.int64).tobytes(), "i64"
+            )
+        return section(np.ascontiguousarray(array, dtype=np.float64).tobytes(), "f64")
+
+    # Narrow widths: the payload must be integral-valued (quantization
+    # levels, sign votes) and fit the signed w-bit range.
+    width = int(wire_bits)
+    if width != wire_bits or width < 2:
+        raise WireFormatError(
+            f"wire width {wire_bits} bits is not encodable: only 16/32/64-bit "
+            "float widths and integer widths >= 2 have codecs"
+        )
+    values = array.reshape(-1)
+    if not integral_dtype:
+        rounded = np.rint(values)
+        if not np.array_equal(rounded, values):
+            raise WireFormatError(
+                f"payload declared at {width} bits/value holds non-integral "
+                "values; only integral payloads can be bit-packed"
+            )
+        values = rounded
+    values = values.astype(np.int64)
+    _check_int_range(values, width)
+    return section(_pack_ints(values, width), "pack")
+
+
+def decode_section(section: EncodedSection) -> np.ndarray:
+    """Decode a section back to its original shape and dtype.
+
+    Float16/float32 wire formats decode through the wire precision, so the
+    returned values carry exactly the rounding a real link imposes.
+    """
+    shape = section.shape
+    dtype = np.dtype(section.dtype)
+    size = int(np.prod(shape)) if shape else 1
+    if section.encoding == "f16":
+        values = np.frombuffer(section.payload, dtype=np.float16, count=size)
+    elif section.encoding == "f32":
+        values = np.frombuffer(section.payload, dtype=np.float32, count=size)
+    elif section.encoding == "f64":
+        values = np.frombuffer(section.payload, dtype=np.float64, count=size)
+    elif section.encoding == "i32":
+        values = np.frombuffer(section.payload, dtype=np.int32, count=size)
+    elif section.encoding == "i64":
+        values = np.frombuffer(section.payload, dtype=np.int64, count=size)
+    elif section.encoding == "pack":
+        values = _unpack_ints(section.payload, size, int(section.wire_bits))
+    else:
+        raise WireFormatError(f"unknown wire encoding {section.encoding!r}")
+    return values.astype(dtype).reshape(shape)
+
+
+def _logical_bits(size: int, wire_bits: float) -> int:
+    bits = size * wire_bits
+    rounded = int(round(bits))
+    if abs(bits - rounded) > 1e-9:
+        raise WireFormatError(
+            f"payload of {size} values at {wire_bits} bits/value is not a "
+            "whole number of bits"
+        )
+    return rounded
+
+
+def _check_int_range(values: np.ndarray, width: int) -> None:
+    if values.size == 0:
+        return
+    limit = (1 << (width - 1)) - 1
+    top = int(np.max(values))
+    bottom = int(np.min(values))
+    if top > limit or bottom < -limit - 1:
+        raise WireFormatError(
+            f"integer payload range [{bottom}, {top}] exceeds the signed "
+            f"{width}-bit wire range [{-limit - 1}, {limit}]"
+        )
+
+
+def _pack_ints(values: np.ndarray, width: int) -> bytes:
+    """Pack int64 values into ``width``-bit offset-binary fields."""
+    offset = (values + (1 << (width - 1))).astype(np.uint64)
+    shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+    bits = ((offset[:, None] >> shifts) & np.uint64(1)).astype(np.uint8).reshape(-1)
+    return np.packbits(bits).tobytes()
+
+
+def _unpack_ints(payload: bytes, size: int, width: int) -> np.ndarray:
+    """Inverse of :func:`_pack_ints`."""
+    total = size * width
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    bits = np.unpackbits(raw, count=total)
+    weights = (np.uint64(1) << np.arange(width - 1, -1, -1, dtype=np.uint64)).astype(
+        np.int64
+    )
+    fields = bits.reshape(size, width).astype(np.int64) @ weights
+    return fields - (1 << (width - 1))

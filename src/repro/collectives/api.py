@@ -65,6 +65,20 @@ class CollectiveResult:
     cost: CollectiveCost
 
 
+@dataclass(frozen=True)
+class SectionedGatherResult:
+    """Outcome of a sectioned all-gather (:meth:`CollectiveBackend.allgather_sections`).
+
+    Attributes:
+        gathered: Per worker, the tuple of section arrays that worker sent --
+            exactly what every worker ends up holding after the gather.
+        cost: Simulated communication cost of the whole exchange.
+    """
+
+    gathered: list[tuple[np.ndarray, ...]]
+    cost: CollectiveCost
+
+
 class CollectiveBackend:
     """Performs and prices collectives on a simulated cluster."""
 
@@ -98,29 +112,52 @@ class CollectiveBackend:
         self._check_world(worker_vectors)
         op = op or SumOp()
         payload_bits = worker_vectors[0].size * wire_bits_per_value
+        aggregate = self.reduce_vectors(worker_vectors, op, collective)
+        cost = self.allreduce_cost(payload_bits, collective)
+        return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)
+
+    def reduce_vectors(
+        self,
+        worker_vectors: list[np.ndarray],
+        op: ReduceOp,
+        collective: Collective,
+    ) -> np.ndarray:
+        """The functional fold of :meth:`allreduce`, without the pricing.
+
+        Exposed so an execution engine that moves the payloads over a real
+        transport (``repro.bridge``) can replay the exact per-hop reduction
+        order of the simulated collective -- which matters for non-associative
+        (saturating) operators.
+        """
         if collective is Collective.RING_ALLREDUCE:
             if self.cluster.has_active_fabric:
                 # A topology-aware engine runs the hierarchical schedule on a
                 # multi-rack fabric: fold rack-locally, then across racks.
                 # The hop order matters for non-associative (saturating) ops,
                 # and the cost model prices the same schedule.
-                aggregate = hierarchical_aggregate(
+                return hierarchical_aggregate(
                     worker_vectors, op, self.cluster.rack_assignment()
                 )
-            else:
-                aggregate = ring_allreduce(worker_vectors, op)
-            cost = self.cost_model.ring_allreduce(payload_bits)
-        elif collective is Collective.TREE_ALLREDUCE:
-            aggregate = tree_allreduce(worker_vectors, op)
-            cost = self.cost_model.tree_allreduce(payload_bits)
-        elif collective is Collective.SWITCH_AGGREGATION:
-            aggregate = hierarchical_aggregate(
+            return ring_allreduce(worker_vectors, op)
+        if collective is Collective.TREE_ALLREDUCE:
+            return tree_allreduce(worker_vectors, op)
+        if collective is Collective.SWITCH_AGGREGATION:
+            return hierarchical_aggregate(
                 worker_vectors, op, self.cluster.rack_assignment()
             )
-            cost = self.cost_model.switch_aggregation(payload_bits)
-        else:
-            raise ValueError(f"{collective} is not an all-reduce collective")
-        return CollectiveResult(aggregate=aggregate, gathered=None, cost=cost)
+        raise ValueError(f"{collective} is not an all-reduce collective")
+
+    def allreduce_cost(
+        self, payload_bits: float, collective: Collective
+    ) -> CollectiveCost:
+        """The priced cost of :meth:`allreduce`, without the functional fold."""
+        if collective is Collective.RING_ALLREDUCE:
+            return self.cost_model.ring_allreduce(payload_bits)
+        if collective is Collective.TREE_ALLREDUCE:
+            return self.cost_model.tree_allreduce(payload_bits)
+        if collective is Collective.SWITCH_AGGREGATION:
+            return self.cost_model.switch_aggregation(payload_bits)
+        raise ValueError(f"{collective} is not an all-reduce collective")
 
     def allreduce_matrix(
         self,
@@ -181,6 +218,46 @@ class CollectiveBackend:
         max_payload_bits = max(p.size for p in worker_payloads) * wire_bits_per_value
         cost = self.cost_model.allgather(max_payload_bits)
         return CollectiveResult(aggregate=None, gathered=gathered, cost=cost)
+
+    def allgather_sections(
+        self,
+        worker_sections: list[tuple[np.ndarray, ...]],
+        *,
+        wire_bits_per_section: tuple[float, ...],
+    ) -> SectionedGatherResult:
+        """All-gather payloads made of heterogeneous sections per worker.
+
+        Sparsification payloads are not one homogeneous array: TopK ships
+        32-bit indices next to 16-bit values.  Each worker contributes a tuple
+        of section arrays; section ``j`` travels at ``wire_bits_per_section[j]``
+        bits per element.  The whole multi-section payload is exchanged as one
+        all-gather, so the priced cost equals a single :meth:`allgather` of the
+        same total volume (the historical single-array accounting).
+        """
+        if len(worker_sections) != self.world_size:
+            raise ValueError(
+                f"expected {self.world_size} payloads, got {len(worker_sections)}"
+            )
+        num_sections = len(wire_bits_per_section)
+        for sections in worker_sections:
+            if len(sections) != num_sections:
+                raise ValueError(
+                    f"every worker must send {num_sections} sections, "
+                    f"got {len(sections)}"
+                )
+        gathered = [
+            tuple(np.array(section, copy=True) for section in sections)
+            for sections in worker_sections
+        ]
+        max_payload_bits = max(
+            sum(
+                section.size * bits
+                for section, bits in zip(sections, wire_bits_per_section)
+            )
+            for sections in worker_sections
+        )
+        cost = self.cost_model.allgather(max_payload_bits)
+        return SectionedGatherResult(gathered=gathered, cost=cost)
 
     def parameter_server(
         self,

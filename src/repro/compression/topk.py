@@ -29,8 +29,14 @@ from repro.simulator.timeline import (
     PHASE_DECOMPRESSION,
 )
 
+#: Wire width of one transmitted coordinate index.
+INDEX_BITS = 32.0
+
+#: Wire width of one transmitted FP16 coordinate value.
+VALUE_BITS = 16.0
+
 #: Bits transmitted per selected coordinate: FP16 value + 32-bit index.
-BITS_PER_SELECTED_COORDINATE = 48.0
+BITS_PER_SELECTED_COORDINATE = INDEX_BITS + VALUE_BITS
 
 
 def topk_indices(vector: np.ndarray, k: int) -> np.ndarray:
@@ -212,13 +218,12 @@ class TopKCompressor(AggregationScheme):
         ctx.add_time(PHASE_COMPRESSION, f"{self.name}:select", select_seconds)
         ctx.add_time(PHASE_COMPRESSION, f"{self.name}:pack", pack_seconds)
 
-        # All-gather of the packed payloads (indices + values travel together).
-        payloads = [
-            np.concatenate([idx.astype(np.float64), val.astype(np.float64)])
-            for idx, val in compressed
-        ]
-        gather = ctx.backend.allgather(
-            payloads, wire_bits_per_value=BITS_PER_SELECTED_COORDINATE / 2.0
+        # All-gather of the packed payloads: indices and values travel as two
+        # sections of one payload (32-bit indices next to FP16 values), priced
+        # as a single gather of the combined 48k-bit volume.
+        gather = ctx.backend.allgather_sections(
+            [(idx, val.astype(np.float64)) for idx, val in compressed],
+            wire_bits_per_section=(INDEX_BITS, VALUE_BITS),
         )
         ctx.add_time(PHASE_COMMUNICATION, f"{self.name}:allgather", gather.cost.seconds)
 
@@ -229,7 +234,13 @@ class TopKCompressor(AggregationScheme):
         ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:scatter", scatter_seconds)
         ctx.add_time(PHASE_DECOMPRESSION, f"{self.name}:sum", sum_seconds)
 
-        transmitted = [self.decompress(idx, val, d) for idx, val in compressed]
+        # Aggregation consumes the *gathered* payloads -- what the collective
+        # actually delivered -- not the local compression state, so the same
+        # code path runs unchanged when the gather crosses a real transport.
+        transmitted = [
+            self.decompress(idx.astype(np.int64), val, d)
+            for idx, val in gather.gathered
+        ]
         total = np.zeros(d, dtype=np.float32)
         for dense in transmitted:
             total += dense

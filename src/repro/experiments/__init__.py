@@ -19,6 +19,7 @@ EXPERIMENTS.md document records the measured values next to the paper's.
 | ``figure2`` | TTA of THC variants                                         |
 | ``figure3`` | TTA of PowerSGD across ranks                                |
 | ``fleet``   | Scheme pricing on 100k-1M-worker generated fabrics          |
+| ``validation`` | Measured-vs-simulated agreement via the real-tensor bridge |
 """
 
 from repro.experiments import (  # noqa: F401
@@ -38,6 +39,7 @@ from repro.experiments import (  # noqa: F401
     table7,
     table8,
     table9,
+    validation,
 )
 
 __all__ = [
@@ -46,6 +48,7 @@ __all__ = [
     "faults",
     "fleet",
     "scenario_fleet",
+    "validation",
     "table1",
     "table2",
     "table4",

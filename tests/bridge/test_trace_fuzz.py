@@ -1,0 +1,138 @@
+"""Hypothesis fuzzing of the trace format.
+
+Two properties:
+
+* **Round-trip is bit-exact** over randomized layer schemas (names, shapes,
+  dtypes), worker counts, step counts, and values (including NaN/inf --
+  real gradients blow up, the trace format must not care).
+* **Corruption fails loudly**: random mutations of a valid manifest either
+  leave it valid or raise :class:`TraceFormatError` -- never a silently
+  wrong trace, never an unrelated exception.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bridge import GradientTrace, LayerSpec, TraceFormatError, TraceStep, load_trace, save_trace
+from repro.bridge.trace import MANIFEST_NAME
+
+MAX_EXAMPLES = int(os.environ.get("TRACE_FUZZ_EXAMPLES", "25"))
+
+DTYPES = ("float32", "float64", "float16")
+
+layer_names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="._-"),
+    min_size=1,
+    max_size=12,
+)
+
+layer_specs = st.builds(
+    LayerSpec,
+    name=layer_names,
+    shape=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3).map(tuple),
+    dtype=st.sampled_from(DTYPES),
+)
+
+
+@st.composite
+def traces(draw):
+    layers = draw(
+        st.lists(layer_specs, min_size=1, max_size=4, unique_by=lambda spec: spec.name)
+    )
+    num_workers = draw(st.integers(min_value=1, max_value=3))
+    num_steps = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    special = draw(st.booleans())
+    steps = []
+    for index in range(num_steps):
+        workers = []
+        for _ in range(num_workers):
+            arrays = []
+            for spec in layers:
+                array = rng.standard_normal(spec.shape).astype(spec.dtype)
+                if special and array.size:
+                    flat = array.reshape(-1)
+                    flat[0] = np.inf
+                    if flat.size > 1:
+                        flat[1] = np.nan
+                arrays.append(array)
+            workers.append(tuple(arrays))
+        steps.append(TraceStep(index=index, gradients=tuple(workers)))
+    return GradientTrace(layers=tuple(layers), steps=steps)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(trace=traces())
+def test_round_trip_is_bit_exact(trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fuzz") / "trace"
+    save_trace(trace, directory)
+    loaded = load_trace(directory)
+    assert loaded.layers == trace.layers
+    assert loaded.num_steps == trace.num_steps
+    for original, restored in zip(trace.steps, loaded.steps):
+        assert restored.index == original.index
+        for worker_o, worker_r in zip(original.gradients, restored.gradients):
+            for x, y in zip(worker_o, worker_r):
+                assert x.dtype == y.dtype
+                assert x.shape == y.shape
+                # Bit-exact: compare raw bytes so NaN payloads count too.
+                assert x.tobytes() == y.tobytes()
+
+
+#: Manifest mutations: each returns the corrupted manifest dict (or raises
+#: KeyError when the target key is absent, filtered by the fuzz driver).
+def _drop_key(manifest, key):
+    manifest.pop(key)
+    return manifest
+
+
+MUTATIONS = [
+    lambda m: _drop_key(m, "format"),
+    lambda m: _drop_key(m, "version"),
+    lambda m: _drop_key(m, "layers"),
+    lambda m: _drop_key(m, "shards"),
+    lambda m: _drop_key(m, "num_workers"),
+    lambda m: {**m, "format": "bogus"},
+    lambda m: {**m, "version": 0},
+    lambda m: {**m, "version": "one"},
+    lambda m: {**m, "num_workers": 0},
+    lambda m: {**m, "num_workers": m["num_workers"] + 1},
+    lambda m: {**m, "layers": m["layers"] + [{"name": "ghost", "shape": [2], "dtype": "float32"}]},
+    lambda m: {**m, "layers": [{**m["layers"][0], "shape": [dim + 1 for dim in m["layers"][0]["shape"]]}] + m["layers"][1:]},
+    lambda m: {**m, "layers": [{**m["layers"][0], "dtype": "complex128"}] + m["layers"][1:]},
+    lambda m: {**m, "layers": [{"nope": 1}] + m["layers"][1:]},
+    lambda m: {**m, "shards": m["shards"] + [{"step": 999, "file": "step_00999.npz"}]},
+    lambda m: {**m, "shards": [{"bad": "entry"}]},
+    lambda m: {**m, "metadata": "not an object"},
+]
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(trace=traces(), mutation=st.sampled_from(range(len(MUTATIONS))))
+def test_corrupted_manifests_fail_loudly(trace, mutation, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fuzz") / "trace"
+    save_trace(trace, directory)
+    manifest_path = directory / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    corrupted = MUTATIONS[mutation](manifest)
+    manifest_path.write_text(json.dumps(corrupted))
+    with pytest.raises(TraceFormatError):
+        load_trace(directory)
+
+
+@settings(max_examples=MAX_EXAMPLES, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(trace=traces(), garbage=st.binary(min_size=0, max_size=64))
+def test_garbage_manifests_fail_loudly(trace, garbage, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fuzz") / "trace"
+    save_trace(trace, directory)
+    (directory / MANIFEST_NAME).write_bytes(garbage)
+    with pytest.raises(TraceFormatError):
+        load_trace(directory)

@@ -19,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments import adaptive, faults, table6, table8
+from repro.experiments import adaptive, faults, table6, table8, validation
 
 GOLDEN_DIR = Path(__file__).parent / "goldens"
 
@@ -213,6 +213,18 @@ class TestTable8Goldens:
     def test_multirack(self, update_goldens):
         rows = table8.run_table8_multirack(num_racks=4, oversubscription=4.0)
         check_golden("table8_multirack", table8_multirack_payload(rows), update_goldens)
+
+
+class TestValidationGolden:
+    def test_validation_report(self, update_goldens):
+        """The real-tensor agreement report, pinned: measured VNMSE, traffic
+        accounting, and per-class verdicts for the whole registry on the
+        canonical seeded trace.  The payload excludes wall-clock, so the
+        golden is machine-independent; any drift means either a scheme's
+        numerics changed or the harness stopped reproducing the simulator."""
+        report = validation.run_validation(num_steps=2, seed=7)
+        assert report.all_ok, report.render()
+        check_golden("validation", report.to_payload(), update_goldens)
 
 
 class TestGoldenHarness:

@@ -1,0 +1,51 @@
+"""Smoke suite: every example under ``examples/`` must actually run.
+
+Examples are the repo's executable documentation; a refactor that breaks one
+breaks the first thing a reader tries.  Each example runs as a subprocess --
+the same way a user runs it -- under a per-example time budget, and must
+exit zero without writing to stderr's exception channel.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Per-example wall-clock budget, seconds.  The slowest example (TTA
+#: comparisons) takes ~12s on CI hardware; the budget leaves generous slack
+#: without letting a hang eat the suite.
+TIME_BUDGET_SECONDS = 120
+
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, f"no examples found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.stem)
+def test_example_runs(example: Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIME_BUDGET_SECONDS,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"
